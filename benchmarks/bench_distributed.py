@@ -1,0 +1,146 @@
+"""Extension bench — distributed factorization with fan-in (paper §VI).
+
+Not a paper figure: the paper names the distributed heterogeneous
+extension and its fan-in communication scheme as future work.  This
+bench quantifies the scheme on the simulated cluster:
+
+* strong scaling of the Serena analogue over 1–8 twelve-core nodes;
+* fan-in vs. per-update messages across network latencies — "by locally
+  accumulating the updates … we trade bandwidth for latency";
+* mapping-strategy comparison (proportional subtree vs. block/cyclic).
+
+Run ``python benchmarks/bench_distributed.py``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import pytest
+
+from common import analyzed, format_table, matrix_factotype, write_csv
+from repro.distributed import ClusterSpec, map_cblks, simulate_distributed
+
+MATRIX = "Serena"
+
+
+def _sym(scale=1.0):
+    return analyzed(MATRIX, scale).symbol
+
+
+def scaling_rows(scale: float = 1.0) -> list[list]:
+    sym = _sym(scale)
+    ft = matrix_factotype(MATRIX)
+    rows = []
+    for nodes in (1, 2, 4, 8):
+        owner = map_cblks(sym, nodes, factotype=ft)
+        cluster = ClusterSpec(n_nodes=nodes, cores_per_node=12)
+        for fanin in (True, False):
+            r = simulate_distributed(
+                sym, owner, cluster, factotype=ft, fanin=fanin
+            )
+            rows.append([
+                nodes,
+                "fan-in" if fanin else "per-update",
+                f"{r.gflops:.1f}",
+                r.n_messages,
+                f"{r.bytes_on_wire / 1e6:.1f}",
+                f"{r.load_imbalance:.2f}",
+            ])
+    return rows
+
+
+SCALING_HEADERS = ["nodes", "comm", "GFlop/s", "messages", "MB on wire", "imbalance"]
+
+
+def latency_rows(scale: float = 1.0) -> list[list]:
+    sym = _sym(scale)
+    ft = matrix_factotype(MATRIX)
+    owner = map_cblks(sym, 4, factotype=ft)
+    rows = []
+    for lat_us in (2, 20, 100, 500):
+        cells = [f"{lat_us}"]
+        for fanin in (True, False):
+            cluster = ClusterSpec(
+                n_nodes=4, cores_per_node=12, net_latency_s=lat_us * 1e-6
+            )
+            r = simulate_distributed(
+                sym, owner, cluster, factotype=ft, fanin=fanin
+            )
+            cells.append(f"{r.gflops:.1f}")
+        rows.append(cells)
+    return rows
+
+
+LATENCY_HEADERS = ["latency (us)", "fan-in GF/s", "per-update GF/s"]
+
+
+def mapping_rows(scale: float = 1.0) -> list[list]:
+    sym = _sym(scale)
+    ft = matrix_factotype(MATRIX)
+    cluster = ClusterSpec(n_nodes=4, cores_per_node=12)
+    rows = []
+    for strategy in ("subtree", "block", "cyclic"):
+        owner = map_cblks(sym, 4, strategy=strategy, factotype=ft)
+        r = simulate_distributed(sym, owner, cluster, factotype=ft)
+        rows.append([
+            strategy,
+            f"{r.gflops:.1f}",
+            r.n_messages,
+            f"{r.bytes_on_wire / 1e6:.1f}",
+            f"{r.load_imbalance:.2f}",
+        ])
+    return rows
+
+
+MAPPING_HEADERS = ["mapping", "GFlop/s", "messages", "MB on wire", "imbalance"]
+
+
+def main(argv=None) -> None:
+    import argparse
+
+    p = argparse.ArgumentParser(description=__doc__)
+    p.add_argument("--scale", type=float, default=1.0)
+    args = p.parse_args(argv)
+    for title, headers, rows, csv in (
+        ("strong scaling", SCALING_HEADERS, scaling_rows(args.scale),
+         "distributed_scaling.csv"),
+        ("latency sensitivity (4 nodes)", LATENCY_HEADERS,
+         latency_rows(args.scale), "distributed_latency.csv"),
+        ("mapping strategies (4 nodes)", MAPPING_HEADERS,
+         mapping_rows(args.scale), "distributed_mapping.csv"),
+    ):
+        print(f"\n=== {title} ({MATRIX} analogue) ===")
+        print(format_table(headers, rows))
+        write_csv(csv, headers, rows)
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entries
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("fanin", [True, False])
+def test_distributed_simulation(benchmark, fanin):
+    sym = _sym(0.5)
+    ft = matrix_factotype(MATRIX)
+    owner = map_cblks(sym, 4, factotype=ft)
+    cluster = ClusterSpec(n_nodes=4, cores_per_node=12)
+    r = benchmark(
+        simulate_distributed, sym, owner, cluster, factotype=ft, fanin=fanin
+    )
+    assert r.gflops > 0
+
+
+def test_fanin_tradeoff_quick():
+    rows = latency_rows(0.5)
+    # At the highest latency, fan-in must be strictly ahead.
+    last = rows[-1]
+    assert float(last[1]) > float(last[2])
+
+
+if __name__ == "__main__":
+    main()

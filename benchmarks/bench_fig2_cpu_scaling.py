@@ -1,0 +1,93 @@
+"""Figure 2 — CPU strong-scaling study.
+
+GFlop/s of the factorization step on the nine collection analogues with
+the three schedulers (native PaStiX, StarPU, PaRSEC) from 1 to 12 cores
+on the simulated Mirage node.
+
+Shapes to reproduce (paper §V-A):
+
+* the three schedulers are comparable on shared memory;
+* PaRSEC is mostly ahead of StarPU, increasingly so with more cores
+  (StarPU lacks a CPU cache-reuse policy);
+* on the LDLᵀ matrices (pmlDF, Serena) the generic runtimes trail the
+  native scheduler, which keeps a temporary ``DLᵀ`` buffer.
+
+Run ``python benchmarks/bench_fig2_cpu_scaling.py`` for the full sweep,
+or ``pytest benchmarks/bench_fig2_cpu_scaling.py --benchmark-only`` for
+a timed subset.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import pytest
+
+from common import (
+    StageTimer,
+    format_table,
+    simulate_config,
+    standard_parser,
+    write_csv,
+)
+from repro.sparse.collection import collection_names
+
+CORE_COUNTS = (1, 3, 6, 9, 12)
+POLICIES = ("native", "starpu", "parsec")
+
+
+def figure2_rows(scale: float = 1.0, names=None) -> list[list]:
+    timer = StageTimer()
+    rows = []
+    for name in names or collection_names():
+        for policy in POLICIES:
+            row = [name, policy]
+            for cores in CORE_COUNTS:
+                g = simulate_config(
+                    name, policy, scale=scale, n_cores=cores
+                )
+                row.append(f"{g:.2f}")
+            rows.append(row)
+            timer.note(f"fig2 {name}/{policy}: " + " ".join(row[2:]))
+    return rows
+
+
+HEADERS = ["Matrix", "Scheduler"] + [f"{c} cores" for c in CORE_COUNTS]
+
+
+def main(argv=None) -> None:
+    args = standard_parser(__doc__).parse_args(argv)
+    rows = figure2_rows(args.scale, args.matrices)
+    print(format_table(HEADERS, rows))
+    path = write_csv("fig2_cpu_scaling.csv", HEADERS, rows)
+    print(f"\nwritten: {path}")
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entries
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_simulate_12_cores(benchmark, policy):
+    """Time one 12-core simulation cell on a reduced-scale analogue."""
+    g = benchmark(
+        simulate_config, "Geo1438", policy, scale=0.5, n_cores=12
+    )
+    assert g > 0
+
+
+def test_scaling_shape_quick():
+    """Smoke-check the headline Fig. 2 shapes at reduced scale."""
+    g1 = simulate_config("Geo1438", "parsec", scale=0.5, n_cores=1)
+    g12 = simulate_config("Geo1438", "parsec", scale=0.5, n_cores=12)
+    assert g12 > 2.5 * g1  # strong scaling happens
+    s12 = simulate_config("Geo1438", "starpu", scale=0.5, n_cores=12)
+    assert g12 >= s12 * 0.95  # PaRSEC >= StarPU (cache reuse)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+"""Figure 4 — GPU scaling study.
+
+GFlop/s of the factorization with twelve CPU cores plus zero to three
+GPUs, for StarPU and PaRSEC (the latter with 1 and 3 CUDA streams), on
+the nine collection analogues.  The native PaStiX run (CPU-only) is the
+reference bar.
+
+Shapes to reproduce (paper §V-C):
+
+* the runtimes exploit the GPUs: large matrices speed up substantially;
+* afshell10 produces too few flops to benefit from GPUs at all;
+* PaRSEC's multiple streams compensate StarPU's prefetching;
+* StarPU dedicates a CPU core per GPU (its CPU pool shrinks), PaRSEC
+  does not.
+
+Run ``python benchmarks/bench_fig4_gpu_scaling.py`` for the full sweep.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import pytest
+
+from common import (
+    StageTimer,
+    format_table,
+    simulate_config,
+    standard_parser,
+    write_csv,
+)
+from repro.sparse.collection import collection_names
+
+GPU_COUNTS = (0, 1, 2, 3)
+CONFIGS = (
+    ("native", 1, "pastix(cpu)"),
+    ("starpu", 1, "starpu"),
+    ("parsec", 1, "parsec-1s"),
+    ("parsec", 3, "parsec-3s"),
+)
+
+
+def figure4_rows(scale: float = 1.0, names=None) -> list[list]:
+    timer = StageTimer()
+    rows = []
+    for name in names or collection_names():
+        for policy, streams, label in CONFIGS:
+            row = [name, label]
+            counts = (0,) if policy == "native" else GPU_COUNTS
+            for g in GPU_COUNTS:
+                if g not in counts:
+                    row.append("-")
+                    continue
+                gf = simulate_config(
+                    name, policy, scale=scale, n_cores=12,
+                    n_gpus=g, streams=streams,
+                )
+                row.append(f"{gf:.2f}")
+            rows.append(row)
+            timer.note(f"fig4 {name}/{label}: " + " ".join(row[2:]))
+    return rows
+
+
+HEADERS = ["Matrix", "Config"] + [f"{g} GPU" for g in GPU_COUNTS]
+
+
+def main(argv=None) -> None:
+    args = standard_parser(__doc__).parse_args(argv)
+    rows = figure4_rows(args.scale, args.matrices)
+    print(format_table(HEADERS, rows))
+    path = write_csv("fig4_gpu_scaling.csv", HEADERS, rows)
+    print(f"\nwritten: {path}")
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entries
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("policy,streams", [("starpu", 1), ("parsec", 3)])
+def test_simulate_hybrid(benchmark, policy, streams):
+    """Time one 12-core + 2-GPU simulation cell at reduced scale."""
+    g = benchmark(
+        simulate_config, "Geo1438", policy, scale=0.5,
+        n_cores=12, n_gpus=2, streams=streams,
+    )
+    assert g > 0
+
+
+def test_gpu_shapes_quick():
+    """Smoke-check the headline Fig. 4 shapes at reduced scale."""
+    big_cpu = simulate_config("Serena", "parsec", scale=0.6, n_cores=12)
+    big_gpu = simulate_config(
+        "Serena", "parsec", scale=0.6, n_cores=12, n_gpus=3, streams=3
+    )
+    assert big_gpu > 1.1 * big_cpu  # big matrices gain from GPUs
+    shell_cpu = simulate_config("afshell10", "parsec", scale=0.6, n_cores=12)
+    shell_gpu = simulate_config(
+        "afshell10", "parsec", scale=0.6, n_cores=12, n_gpus=3
+    )
+    assert shell_gpu < 1.6 * shell_cpu  # afshell gains little
+
+
+if __name__ == "__main__":
+    main()

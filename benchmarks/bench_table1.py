@@ -1,0 +1,93 @@
+"""Table I — matrix description.
+
+Regenerates the paper's Table I for the synthetic analogues: size,
+nnz(A), nnz(L), and flop count of the factorization, next to the paper's
+published values for the original UFL matrices.  The analogues are
+~1000× smaller in flops by design (documented in DESIGN.md); what must
+match is the *ordering* and the qualitative spread.
+
+Run ``python benchmarks/bench_table1.py [--scale S]`` for the table, or
+``pytest benchmarks/bench_table1.py --benchmark-only`` to time the
+analyze phase itself.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import numpy as np
+import pytest
+
+from common import (
+    analyzed,
+    format_table,
+    matrix_factotype,
+    paper_flops,
+    standard_parser,
+    write_csv,
+)
+from repro.sparse.collection import MATRIX_COLLECTION, collection_names, load_matrix
+
+
+def table1_rows(scale: float = 1.0, names=None) -> list[list]:
+    rows = []
+    for name in names or collection_names():
+        info = MATRIX_COLLECTION[name]
+        matrix = load_matrix(name, scale=scale)
+        res = analyzed(name, scale)
+        flops = paper_flops(name, scale)
+        rows.append([
+            name,
+            info.prec,
+            info.method,
+            matrix.n_rows,
+            matrix.nnz,
+            res.symbol.nnz(),
+            f"{flops / 1e9:.2f}",
+            f"{info.paper_size:.1e}",
+            f"{info.paper_nnz_l:.0e}",
+            f"{info.paper_tflop:g}",
+        ])
+    return rows
+
+
+HEADERS = [
+    "Matrix", "Prec", "Method", "n", "nnzA", "nnzL", "GFlop",
+    "paper n", "paper nnzL", "paper TFlop",
+]
+
+
+def main(argv=None) -> None:
+    args = standard_parser(__doc__).parse_args(argv)
+    rows = table1_rows(args.scale, args.matrices)
+    print(format_table(HEADERS, rows))
+    path = write_csv("table1.csv", HEADERS, rows)
+    print(f"\nwritten: {path}")
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entries
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", ["afshell10", "audi", "MHD"])
+def test_analyze_phase(benchmark, name):
+    """Time the full analyze phase on a reduced-scale analogue."""
+    from repro.symbolic import SymbolicOptions, analyze
+
+    matrix = load_matrix(name, scale=0.4)
+    result = benchmark(analyze, matrix, SymbolicOptions(split_max_width=96))
+    result.symbol.validate()
+
+
+def test_table_row_generation(benchmark):
+    """Time one full Table-I row (generation + analysis + stats)."""
+    rows = benchmark(table1_rows, 0.3, ["Geo1438"])
+    assert len(rows) == 1
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,151 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every ``bench_*.py`` file regenerates one table or figure of the paper:
+run it as a script for the full sweep (``python benchmarks/bench_fig2_cpu_scaling.py
+--scale 1.0``), or through ``pytest benchmarks/ --benchmark-only`` for a
+quick timed subset.  Results are printed as aligned text tables (the
+paper's rows/series) and written as CSV under ``results/``.
+
+Analysis results are memoised on disk (``benchmarks/.cache``) because the
+same nine matrices feed several figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pickle
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.dag import build_dag
+from repro.kernels.cost import flops_total
+from repro.machine import mirage, simulate
+from repro.runtime import get_policy
+from repro.sparse.collection import MATRIX_COLLECTION, load_matrix
+from repro.symbolic import SymbolicOptions, analyze
+
+CACHE_DIR = Path(__file__).resolve().parent / ".cache"
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+#: Split width used across the performance figures (96 balances panel
+#: size against parallelism at the analogues' reduced scale).
+SPLIT_WIDTH = 96
+
+_memory_cache: dict = {}
+
+
+def analyzed(name: str, scale: float = 1.0, *, split_width: int = SPLIT_WIDTH):
+    """Analysis of a collection matrix, cached in memory and on disk."""
+    key = (name, round(scale, 4), split_width)
+    if key in _memory_cache:
+        return _memory_cache[key]
+    CACHE_DIR.mkdir(exist_ok=True)
+    path = CACHE_DIR / f"{name}_{scale:g}_{split_width}.pkl"
+    if path.exists():
+        with open(path, "rb") as fh:
+            res = pickle.load(fh)
+    else:
+        matrix = load_matrix(name, scale=scale)
+        res = analyze(
+            matrix,
+            SymbolicOptions(split_max_width=split_width),
+        )
+        with open(path, "wb") as fh:
+            pickle.dump(res, fh)
+    _memory_cache[key] = res
+    return res
+
+
+def matrix_factotype(name: str) -> str:
+    return MATRIX_COLLECTION[name].method.lower()
+
+
+def matrix_dtype(name: str):
+    return MATRIX_COLLECTION[name].dtype
+
+
+def simulate_config(
+    name: str,
+    policy_name: str,
+    *,
+    scale: float = 1.0,
+    n_cores: int = 12,
+    n_gpus: int = 0,
+    streams: int = 1,
+    split_width: int = SPLIT_WIDTH,
+):
+    """Simulate one (matrix, policy, machine) cell; returns GFlop/s."""
+    res = analyzed(name, scale, split_width=split_width)
+    policy = get_policy(policy_name)
+    ft = matrix_factotype(name)
+    dt = matrix_dtype(name)
+    dag = build_dag(
+        res.symbol,
+        ft,
+        granularity=policy.traits.granularity,
+        dtype=dt,
+        recompute_ld=policy.traits.recompute_ld,
+    )
+    machine = mirage(
+        n_cores=n_cores,
+        n_gpus=n_gpus,
+        streams_per_gpu=streams if n_gpus else 1,
+    )
+    sim = simulate(dag, machine, policy, dtype=dt, collect_trace=False)
+    return sim.gflops
+
+
+def paper_flops(name: str, scale: float = 1.0) -> float:
+    res = analyzed(name, scale)
+    return flops_total(res.symbol, matrix_factotype(name), matrix_dtype(name))
+
+
+# ----------------------------------------------------------------------
+# reporting helpers
+# ----------------------------------------------------------------------
+
+
+def format_table(headers: list[str], rows: list[list]) -> str:
+    cols = [headers] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cols) for i in range(len(headers))]
+    out = ["  ".join(h.rjust(w) for h, w in zip(headers, widths))]
+    out.append("  ".join("-" * w for w in widths))
+    for row in cols[1:]:
+        out.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def write_csv(filename: str, headers: list[str], rows: list[list]) -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / filename
+    with open(path, "w") as fh:
+        fh.write(",".join(headers) + "\n")
+        for row in rows:
+            fh.write(",".join(str(c) for c in row) + "\n")
+    return path
+
+
+def standard_parser(description: str) -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(description=description)
+    p.add_argument(
+        "--scale", type=float, default=1.0,
+        help="linear scale of the matrix analogues (default 1.0)",
+    )
+    p.add_argument(
+        "--matrices", nargs="*", default=None,
+        help="subset of collection names (default: all nine)",
+    )
+    return p
+
+
+class StageTimer:
+    """Prints progress lines with elapsed times during long sweeps."""
+
+    def __init__(self) -> None:
+        self.t0 = time.time()
+
+    def note(self, msg: str) -> None:
+        print(f"[{time.time() - self.t0:7.1f}s] {msg}", file=sys.stderr)

@@ -1,0 +1,125 @@
+"""Render the paper's figures as SVG from the benchmark CSVs.
+
+Run the sweeps first (``bench_fig2_cpu_scaling.py`` etc.), then::
+
+    python benchmarks/make_figures.py
+
+Outputs ``results/fig2_*.svg``, ``results/fig3.svg``,
+``results/fig4_*.svg`` — the visual counterparts of the paper's
+Figures 2–4, drawn with the dependency-free :mod:`repro.viz` renderer.
+"""
+
+from __future__ import annotations
+
+import csv
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from common import RESULTS_DIR
+from repro.machine.perfmodel import CUBLAS_PEAK_GFLOPS
+from repro.viz import SvgChart
+
+
+def _read(name: str) -> tuple[list[str], list[list[str]]]:
+    path = RESULTS_DIR / name
+    with open(path) as fh:
+        rows = list(csv.reader(fh))
+    return rows[0], rows[1:]
+
+
+def figure2() -> list[Path]:
+    headers, rows = _read("fig2_cpu_scaling.csv")
+    cores = [int(h.split()[0]) for h in headers[2:]]
+    by_matrix: dict[str, dict[str, list[float]]] = {}
+    for row in rows:
+        by_matrix.setdefault(row[0], {})[row[1]] = [float(v) for v in row[2:]]
+    out = []
+    for matrix in ("audi", "Serena", "pmlDF"):
+        chart = SvgChart(
+            title=f"Figure 2 — CPU scaling, {matrix} analogue",
+            xlabel="cores", ylabel="GFlop/s",
+        )
+        for sched, vals in by_matrix[matrix].items():
+            chart.add_line(cores, vals, sched)
+        path = RESULTS_DIR / f"fig2_{matrix}.svg"
+        chart.save(path)
+        out.append(path)
+    # Overview: 12-core bars for every matrix.
+    cats = list(by_matrix)
+    series = {
+        sched: [by_matrix[m][sched][-1] for m in cats]
+        for sched in ("native", "starpu", "parsec")
+    }
+    chart = SvgChart(
+        title="Figure 2 — 12 cores, all matrices",
+        ylabel="GFlop/s", width=760,
+    )
+    chart.add_bar_groups(cats, series)
+    path = RESULTS_DIR / "fig2_12cores.svg"
+    chart.save(path)
+    out.append(path)
+    return out
+
+
+def figure3() -> list[Path]:
+    headers, rows = _read("fig3_gemm_streams.csv")
+    ms = [int(r[0]) for r in rows]
+    chart = SvgChart(
+        title="Figure 3 — DGEMM kernels, N=K=128",
+        xlabel="M", ylabel="GFlop/s", log_x=True, width=720,
+    )
+    for j, h in enumerate(headers[1:], start=1):
+        chart.add_line(ms, [float(r[j]) for r in rows], h)
+    chart.add_hline(CUBLAS_PEAK_GFLOPS, "cuBLAS peak")
+    path = RESULTS_DIR / "fig3.svg"
+    chart.save(path)
+    return [path]
+
+
+def figure4() -> list[Path]:
+    headers, rows = _read("fig4_gpu_scaling.csv")
+    gpus = [int(h.split()[0]) for h in headers[2:]]
+    by_matrix: dict[str, dict[str, list]] = {}
+    for row in rows:
+        vals = [None if v == "-" else float(v) for v in row[2:]]
+        by_matrix.setdefault(row[0], {})[row[1]] = vals
+    out = []
+    for matrix in ("Serena", "afshell10", "Geo1438"):
+        chart = SvgChart(
+            title=f"Figure 4 — GPU scaling, {matrix} analogue (12 cores)",
+            xlabel="GPUs", ylabel="GFlop/s",
+        )
+        for config, vals in by_matrix[matrix].items():
+            xs = [g for g, v in zip(gpus, vals) if v is not None]
+            ys = [v for v in vals if v is not None]
+            if len(xs) == 1:   # the CPU-only PaStiX reference bar
+                chart.add_hline(ys[0], config)
+            else:
+                chart.add_line(xs, ys, config)
+        path = RESULTS_DIR / f"fig4_{matrix}.svg"
+        chart.save(path)
+        out.append(path)
+    return out
+
+
+def main(argv=None) -> None:
+    import argparse
+
+    argparse.ArgumentParser(description=__doc__).parse_args(argv)
+    written = []
+    for fn, csv_name in ((figure2, "fig2_cpu_scaling.csv"),
+                         (figure3, "fig3_gemm_streams.csv"),
+                         (figure4, "fig4_gpu_scaling.csv")):
+        if (RESULTS_DIR / csv_name).exists():
+            written += fn()
+        else:
+            print(f"skipped {fn.__name__}: missing {csv_name}",
+                  file=sys.stderr)
+    for path in written:
+        print(f"written: {path}")
+
+
+if __name__ == "__main__":
+    main()

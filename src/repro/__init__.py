@@ -1,0 +1,34 @@
+"""repro — a supernodal sparse direct solver over task-based runtimes.
+
+A from-scratch Python reproduction of *"Taking advantage of hybrid
+systems for sparse direct solvers via task-based runtimes"* (Lacoste,
+Faverge, Ramet, Thibault, Bosilca, 2014): the PaStiX-style solver
+(nested dissection, block symbolic factorization, supernodal
+Cholesky/LDLᵀ/LU), its factorization task DAG, three scheduler policies
+(native / StarPU-like / PaRSEC-like), a real threaded execution engine,
+and a discrete-event machine simulator with GPU models that regenerates
+the paper's figures.
+
+Public entry points:
+
+* :class:`repro.SparseSolver` — analyze / factorize / solve;
+* :mod:`repro.sparse` — matrices, generators, the Table-I collection;
+* :mod:`repro.dag` + :mod:`repro.runtime` + :mod:`repro.machine` — the
+  task graph, scheduler policies, and simulated heterogeneous machines.
+"""
+
+from repro.core.options import SolverOptions
+from repro.core.solver import FactorizationInfo, SparseSolver
+from repro.symbolic.analyze import AnalysisResult, SymbolicOptions, analyze
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SparseSolver",
+    "SolverOptions",
+    "FactorizationInfo",
+    "analyze",
+    "AnalysisResult",
+    "SymbolicOptions",
+    "__version__",
+]

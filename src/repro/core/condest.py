@@ -1,0 +1,80 @@
+"""1-norm condition estimation (Hager–Higham).
+
+Direct solvers conventionally report an estimate of ``κ₁(A) = ‖A‖₁ ·
+‖A⁻¹‖₁`` after factorizing; ``‖A⁻¹‖₁`` is estimated without forming the
+inverse by Hager's power iteration on the dual norm, using only a few
+solves with ``A`` and ``Aᵀ`` (Higham's Algorithm 4.1 — the LAPACK
+``xLACON`` approach, simplified to the single-vector variant).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.sparse.csc import SparseMatrixCSC
+
+__all__ = ["norm1", "inverse_norm1_estimate", "condest"]
+
+
+def norm1(matrix: SparseMatrixCSC) -> float:
+    """Exact 1-norm (maximum absolute column sum)."""
+    if matrix.values is None:
+        raise ValueError("pattern-only matrix")
+    sums = np.zeros(matrix.n_cols)
+    cols = np.repeat(
+        np.arange(matrix.n_cols, dtype=np.int64), np.diff(matrix.colptr)
+    )
+    np.add.at(sums, cols, np.abs(matrix.values))
+    return float(sums.max(initial=0.0))
+
+
+def inverse_norm1_estimate(
+    solve: Callable[[np.ndarray], np.ndarray],
+    solve_transpose: Callable[[np.ndarray], np.ndarray],
+    n: int,
+    *,
+    max_iter: int = 5,
+) -> float:
+    """Hager's estimator for ``‖A⁻¹‖₁`` given solves with A and Aᵀ.
+
+    Guaranteed to be a lower bound; in practice within a small factor of
+    the truth (the tests check a factor of 3 against dense inverses).
+    """
+    x = np.full(n, 1.0 / n)
+    est = 0.0
+    for _ in range(max_iter):
+        y = solve(x)
+        new_est = float(np.abs(y).sum())
+        xi = np.sign(y)
+        xi[xi == 0] = 1.0
+        z = solve_transpose(xi)
+        j = int(np.argmax(np.abs(z)))
+        if new_est <= est:
+            break
+        est = new_est
+        if np.abs(z[j]) <= z @ x:
+            break
+        x = np.zeros(n)
+        x[j] = 1.0
+    return est
+
+
+def condest(
+    matrix: SparseMatrixCSC,
+    solve: Callable[[np.ndarray], np.ndarray],
+    solve_transpose: Callable[[np.ndarray], np.ndarray] | None = None,
+    *,
+    max_iter: int = 5,
+) -> float:
+    """Estimate ``κ₁(A)`` using a factorization's solve.
+
+    ``solve_transpose`` defaults to ``solve`` (exact for the symmetric
+    factorizations LLᵀ/LDLᵀ; for LU pass the transpose solve or accept a
+    symmetric-pattern approximation).
+    """
+    inv = inverse_norm1_estimate(
+        solve, solve_transpose or solve, matrix.n_rows, max_iter=max_iter
+    )
+    return norm1(matrix) * inv

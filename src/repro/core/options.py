@@ -1,0 +1,62 @@
+"""Solver-level options bundle."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.symbolic.analyze import SymbolicOptions
+
+__all__ = ["SolverOptions"]
+
+_FACTOTYPES = ("llt", "ldlt", "lu")
+_RUNTIMES = ("sequential", "native", "starpu", "parsec", "threaded")
+
+
+@dataclass(frozen=True)
+class SolverOptions:
+    """Options of :class:`repro.core.solver.SparseSolver`.
+
+    Attributes
+    ----------
+    factotype:
+        ``"llt"``, ``"ldlt"`` or ``"lu"``.
+    symbolic:
+        Analyze-phase options (ordering, amalgamation, splitting).
+    runtime:
+        Which engine executes the factorization DAG: ``"sequential"``
+        (reference driver), ``"threaded"`` (real thread-pool execution),
+        or one of the scheduler policies (``"native"``, ``"starpu"``,
+        ``"parsec"``) when simulating.
+    n_workers:
+        Worker threads for the threaded runtime.
+    workspace_update:
+        CPU two-step update kernel (True) vs. direct-scatter GPU twin.
+    refine:
+        Run iterative refinement inside :meth:`SparseSolver.solve`.
+    refine_tol / refine_max_iter:
+        Refinement stopping criteria.
+    pivot_threshold:
+        When > 0, pivots smaller in magnitude are perturbed to
+        ±threshold instead of failing (static-pivoting recovery; the
+        perturbation count is reported on the factorization info).
+    """
+
+    factotype: str = "llt"
+    symbolic: SymbolicOptions = field(default_factory=SymbolicOptions)
+    runtime: str = "sequential"
+    n_workers: int = 4
+    workspace_update: bool = True
+    refine: bool = True
+    refine_tol: float = 1e-12
+    refine_max_iter: int = 10
+    pivot_threshold: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.factotype not in _FACTOTYPES:
+            raise ValueError(f"factotype must be one of {_FACTOTYPES}")
+        if self.runtime not in _RUNTIMES:
+            raise ValueError(f"runtime must be one of {_RUNTIMES}")
+        if self.n_workers < 1:
+            raise ValueError("n_workers must be positive")
+        if self.pivot_threshold < 0:
+            raise ValueError("pivot_threshold must be >= 0")

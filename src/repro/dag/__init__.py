@@ -1,0 +1,36 @@
+"""Factorization task DAG.
+
+The symbol structure is unrolled into a DAG of tasks at one of two
+granularities (paper §V):
+
+* ``"1d"`` — PaStiX's original tasks: one task per panel bundling the
+  diagonal factorization, the panel TRSM, *and every update the panel
+  generates*.  Fewer, bigger tasks; what the native scheduler consumes.
+* ``"2d"`` — the split used for PaRSEC and StarPU: one *panel task*
+  (POTRF + TRSM) per cblk plus one *update task* per (panel, facing
+  panel) couple, "the number of tasks is bound by the number of blocks in
+  the symbolic structure".
+"""
+
+from repro.dag.tasks import Task, TaskKind, TaskDAG
+from repro.dag.builder import build_dag, update_couples
+from repro.dag.solve_builder import build_solve_dag
+from repro.dag.analysis import (
+    critical_path,
+    parallelism_profile,
+    dag_summary,
+    to_dot,
+)
+
+__all__ = [
+    "Task",
+    "TaskKind",
+    "TaskDAG",
+    "build_dag",
+    "update_couples",
+    "build_solve_dag",
+    "critical_path",
+    "parallelism_profile",
+    "dag_summary",
+    "to_dot",
+]

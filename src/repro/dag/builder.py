@@ -1,0 +1,300 @@
+"""Build the factorization task DAG from a :class:`SymbolMatrix`."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dag.tasks import TaskDAG, TaskKind
+from repro.kernels.cost import (
+    complex_multiplier,
+    flops_panel,
+    flops_update,
+)
+from repro.symbolic.structures import SymbolMatrix
+
+__all__ = ["update_couples", "build_dag"]
+
+
+def update_couples(
+    symbol: SymbolMatrix,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Enumerate the (source panel, facing panel) update couples.
+
+    Returns ``(src, tgt, m, n)`` arrays: for each couple, ``n`` is the
+    number of source rows inside the target panel and ``m`` the number of
+    source rows at-and-after the first of them (the GEMM is ``m×n×w``).
+    """
+    src: list[int] = []
+    tgt: list[int] = []
+    ms: list[int] = []
+    ns: list[int] = []
+    for k in range(symbol.n_cblk):
+        b0, b1 = int(symbol.blok_ptr[k]) + 1, int(symbol.blok_ptr[k + 1])
+        if b0 >= b1:
+            continue
+        sizes = (symbol.blok_lrow[b0:b1] - symbol.blok_frow[b0:b1]).astype(np.int64)
+        faces = symbol.blok_face[b0:b1]
+        suffix = np.cumsum(sizes[::-1])[::-1]
+        # Group maximal runs of equal face.
+        change = np.flatnonzero(faces[1:] != faces[:-1])
+        starts = np.concatenate(([0], change + 1))
+        ends = np.concatenate((change + 1, [faces.size]))
+        for s, e in zip(starts, ends):
+            src.append(k)
+            tgt.append(int(faces[s]))
+            ns.append(int(sizes[s:e].sum()))
+            ms.append(int(suffix[s]))
+    return (
+        np.asarray(src, dtype=np.int64),
+        np.asarray(tgt, dtype=np.int64),
+        np.asarray(ms, dtype=np.int64),
+        np.asarray(ns, dtype=np.int64),
+    )
+
+
+def _csr_from_edges(n: int, heads: np.ndarray, tails: np.ndarray):
+    """CSR successor lists from edge arrays (head → tail)."""
+    order = np.argsort(heads, kind="stable")
+    heads, tails = heads[order], tails[order]
+    ptr = np.zeros(n + 1, dtype=np.int64)
+    np.add.at(ptr, heads + 1, 1)
+    np.cumsum(ptr, out=ptr)
+    return ptr, tails.astype(np.int64)
+
+
+def build_dag(
+    symbol: SymbolMatrix,
+    factotype: str = "llt",
+    *,
+    granularity: str = "2d",
+    dtype=np.float64,
+    recompute_ld: bool = True,
+    fuse_subtree_flops: float | None = None,
+) -> TaskDAG:
+    """Unroll ``symbol`` into a :class:`TaskDAG`.
+
+    ``granularity="2d"`` (runtimes): one panel task per cblk + one update
+    task per couple.  ``granularity="1d"`` (native PaStiX): panel and its
+    updates fused into a single task, dependencies panel→panel.
+
+    ``recompute_ld`` matches the runtime-style LDLᵀ update kernel (see
+    :func:`repro.kernels.cost.flops_update`).
+
+    ``fuse_subtree_flops`` implements the paper's future-work granularity
+    coarsening (§VI: "merging leaves or subtrees together yields bigger,
+    more computationally intensive tasks"): every maximal subtree of the
+    supernode tree whose total work is at most the threshold becomes one
+    CPU task, removing its internal scheduling overhead; updates leaving
+    the subtree stay individual tasks (2D granularity only).
+    """
+    K = symbol.n_cblk
+    widths = np.diff(symbol.cblk_ptr).astype(np.int64)
+    below = np.array([symbol.cblk_below(k) for k in range(K)], dtype=np.int64)
+    mult = complex_multiplier(dtype)
+    src, tgt, ms, ns = update_couples(symbol)
+    n_upd = src.size
+
+    panel_flops = np.array(
+        [mult * flops_panel(int(widths[k]), int(below[k]), factotype) for k in range(K)]
+    )
+    upd_flops = np.array(
+        [
+            mult
+            * flops_update(
+                int(ms[i]), int(ns[i]), int(widths[src[i]]), factotype,
+                recompute_ld=recompute_ld,
+            )
+            for i in range(n_upd)
+        ]
+    )
+
+    if granularity == "2d" and fuse_subtree_flops:
+        return _build_fused(
+            symbol, factotype, dtype, widths, below, src, tgt, ms, ns,
+            panel_flops, upd_flops, fuse_subtree_flops,
+        )
+    if granularity == "2d":
+        n_tasks = K + n_upd
+        kind = np.empty(n_tasks, dtype=np.int8)
+        kind[:K] = TaskKind.PANEL
+        kind[K:] = TaskKind.UPDATE
+        cblk = np.concatenate([np.arange(K, dtype=np.int64), src])
+        target = np.concatenate([np.arange(K, dtype=np.int64), tgt])
+        flops = np.concatenate([panel_flops, upd_flops])
+        gm = np.concatenate([np.zeros(K, np.int64), ms])
+        gn = np.concatenate([np.zeros(K, np.int64), ns])
+        gk = np.concatenate([np.zeros(K, np.int64), widths[src]])
+        upd_ids = K + np.arange(n_upd, dtype=np.int64)
+        # Edges: panel(src) -> update, update -> panel(tgt).
+        heads = np.concatenate([src, upd_ids])
+        tails = np.concatenate([upd_ids, tgt])
+        mutex = np.full(n_tasks, -1, dtype=np.int64)
+        mutex[K:] = tgt
+    elif granularity in ("1d", "1d-left"):
+        # One task per panel.  "1d" (right-looking, PaStiX) charges each
+        # panel's own updates to it; "1d-left" charges the *incoming*
+        # updates (§III's left-looking grouping: many inputs, one in-out).
+        # The dependency edges are identical — only when the update work
+        # executes differs, which is what the scheduling ablation probes.
+        n_tasks = K
+        kind = np.full(K, TaskKind.PANEL1D, dtype=np.int8)
+        cblk = np.arange(K, dtype=np.int64)
+        target = cblk.copy()
+        flops = panel_flops.copy()
+        charge = src if granularity == "1d" else tgt
+        np.add.at(flops, charge, upd_flops)
+        fused_components = {
+            k: [("panel", int(widths[k]), int(below[k]))] for k in range(K)
+        }
+        for i in range(n_upd):
+            fused_components[int(charge[i])].append(
+                ("update", int(ms[i]), int(ns[i]), int(widths[src[i]]))
+            )
+        gm = np.zeros(K, np.int64)
+        gn = np.zeros(K, np.int64)
+        gk = widths.copy()
+        heads, tails = src, tgt  # already deduplicated per couple
+        mutex = np.full(K, -1, dtype=np.int64)
+        succ_ptr, succ_list = _csr_from_edges(n_tasks, heads, tails)
+        return TaskDAG(
+            kind=kind, cblk=cblk, target=target, flops=flops,
+            gemm_m=gm, gemm_n=gn, gemm_k=gk,
+            succ_ptr=succ_ptr, succ_list=succ_list, mutex=mutex,
+            granularity=granularity, symbol=symbol, factotype=factotype,
+            fused_components=fused_components,
+        )
+    else:
+        raise ValueError(f"unknown granularity {granularity!r}")
+
+    succ_ptr, succ_list = _csr_from_edges(n_tasks, heads, tails)
+    return TaskDAG(
+        kind=kind,
+        cblk=cblk,
+        target=target,
+        flops=flops,
+        gemm_m=gm,
+        gemm_n=gn,
+        gemm_k=gk,
+        succ_ptr=succ_ptr,
+        succ_list=succ_list,
+        mutex=mutex,
+        granularity=granularity,
+        symbol=symbol,
+        factotype=factotype,
+    )
+
+
+def _build_fused(
+    symbol, factotype, dtype, widths, below, src, tgt, ms, ns,
+    panel_flops, upd_flops, threshold,
+):
+    """2D DAG with leaf subtrees under ``threshold`` flops fused.
+
+    Group assignment: a cblk belongs to a fused group iff its whole
+    subtree costs at most the threshold; the group's id is the subtree's
+    topmost such cblk.  Because work only flows upward, a fused subtree
+    is complete (no external dependency enters it) and every surviving
+    update leaves a group toward an unfused ancestor panel.
+    """
+    K = symbol.n_cblk
+    n_upd = src.size
+
+    # Supernode-tree parent: the first (lowest) facing cblk.
+    parent = np.full(K, -1, dtype=np.int64)
+    for i in range(n_upd - 1, -1, -1):  # first couple of each src wins
+        parent[src[i]] = tgt[i]
+
+    own = panel_flops.copy()
+    np.add.at(own, src, upd_flops)
+    subtree = own.copy()
+    for k in range(K):  # ascending is bottom-up (parent > child)
+        if parent[k] >= 0:
+            subtree[parent[k]] += subtree[k]
+
+    group = np.full(K, -1, dtype=np.int64)
+    for k in range(K - 1, -1, -1):
+        if subtree[k] > threshold:
+            continue
+        p = parent[k]
+        if p >= 0 and group[p] >= 0:
+            group[k] = group[p]
+        else:
+            group[k] = k  # topmost fused node of its subtree
+
+    # Task layout: one task per "unit" (unfused panel or group root), then
+    # the surviving update tasks.
+    owner_task = np.full(K, -1, dtype=np.int64)
+    kinds: list[int] = []
+    cblks: list[int] = []
+    flops_list: list[float] = []
+    fused_components: dict[int, list] = {}
+    for k in range(K):
+        if group[k] == -1:
+            owner_task[k] = len(kinds)
+            kinds.append(int(TaskKind.PANEL))
+            cblks.append(k)
+            flops_list.append(float(panel_flops[k]))
+        elif group[k] == k:
+            owner_task[k] = len(kinds)
+            kinds.append(int(TaskKind.SUBTREE))
+            cblks.append(k)
+            flops_list.append(0.0)  # accumulated below
+            fused_components[owner_task[k]] = []
+    # Members point at their group root's task.
+    for k in range(K):
+        if group[k] != -1 and group[k] != k:
+            owner_task[k] = owner_task[group[k]]
+    for k in range(K):
+        if group[k] != -1:
+            t = int(owner_task[k])
+            flops_list[t] += float(panel_flops[k])
+            fused_components[t].append(
+                ("panel", int(widths[k]), int(below[k]))
+            )
+
+    n_units = len(kinds)
+    keep_upd: list[int] = []
+    for i in range(n_upd):
+        s, t = int(src[i]), int(tgt[i])
+        if group[s] != -1 and group[s] == group[t]:
+            # Internal update: absorbed into the subtree task.
+            ut = int(owner_task[s])
+            flops_list[ut] += float(upd_flops[i])
+            fused_components[ut].append(
+                ("update", int(ms[i]), int(ns[i]), int(widths[s]))
+            )
+        else:
+            keep_upd.append(i)
+
+    keep = np.asarray(keep_upd, dtype=np.int64)
+    n_tasks = n_units + keep.size
+    kind = np.asarray(kinds + [int(TaskKind.UPDATE)] * keep.size, dtype=np.int8)
+    cblk = np.concatenate([np.asarray(cblks, dtype=np.int64), src[keep]])
+    target = np.concatenate([np.asarray(cblks, dtype=np.int64), tgt[keep]])
+    flops = np.concatenate([np.asarray(flops_list), upd_flops[keep]])
+    gm = np.concatenate([np.zeros(n_units, np.int64), ms[keep]])
+    gn = np.concatenate([np.zeros(n_units, np.int64), ns[keep]])
+    gk = np.concatenate([np.zeros(n_units, np.int64), widths[src[keep]]])
+    mutex = np.full(n_tasks, -1, dtype=np.int64)
+    mutex[n_units:] = tgt[keep]
+
+    upd_ids = n_units + np.arange(keep.size, dtype=np.int64)
+    heads = np.concatenate([owner_task[src[keep]], upd_ids])
+    tails = np.concatenate([upd_ids, owner_task[tgt[keep]]])
+    succ_ptr, succ_list = _csr_from_edges(n_tasks, heads, tails)
+    return TaskDAG(
+        kind=kind,
+        cblk=cblk,
+        target=target,
+        flops=flops,
+        gemm_m=gm,
+        gemm_n=gn,
+        gemm_k=gk,
+        succ_ptr=succ_ptr,
+        succ_list=succ_list,
+        mutex=mutex,
+        granularity="2d",
+        symbol=symbol,
+        factotype=factotype,
+        fused_components=fused_components,
+    )

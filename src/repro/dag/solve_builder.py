@@ -1,0 +1,119 @@
+"""Task DAG of the solve phase (block triangular solves).
+
+PaStiX schedules the forward and backward substitutions through the same
+runtimes as the factorization.  The structure mirrors the factorization
+DAG at 2D granularity, once in each direction:
+
+* forward: ``Pf(k)`` (diagonal tri-solve of panel ``k``) feeds
+  ``Uf(k, t)`` (the GEMV slice of ``k``'s below rows landing in panel
+  ``t``), which feeds ``Pf(t)``;
+* backward: edges reversed — ``Pb(t)`` feeds ``Ub(k, t)`` feeds
+  ``Pb(k)``; and ``Pf(k) → Pb(k)`` joins the phases.
+
+Tasks are tiny (O(w²) and O(n·w) flops), which is exactly why the solve
+step scales poorly compared with the factorization — the simulation
+reproduces that, using a bandwidth-bound efficiency model
+(``dag.phase == "solve"``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dag.builder import _csr_from_edges, update_couples
+from repro.dag.tasks import TaskDAG, TaskKind
+from repro.kernels.cost import complex_multiplier
+from repro.symbolic.structures import SymbolMatrix
+
+__all__ = ["build_solve_dag"]
+
+
+def build_solve_dag(
+    symbol: SymbolMatrix,
+    factotype: str = "llt",
+    *,
+    dtype=np.float64,
+    nrhs: int = 1,
+) -> TaskDAG:
+    """Unroll the forward+backward solve of ``symbol`` into a DAG.
+
+    ``nrhs`` scales every task's flops (block right-hand sides).
+    The returned DAG has ``dag.phase == "solve"``; the simulator uses its
+    bandwidth-bound efficiency model and keeps everything on CPUs (the
+    paper does not offload the solve).
+    """
+    K = symbol.n_cblk
+    widths = np.diff(symbol.cblk_ptr).astype(np.int64)
+    src, tgt, ms, ns = update_couples(symbol)
+    n_upd = src.size
+    mult = complex_multiplier(dtype) * float(nrhs)
+
+    # Panel tasks: triangular solve on the diagonal block (both phases).
+    panel_flops = mult * widths.astype(np.float64) ** 2
+    if factotype == "lu":
+        pass  # forward uses L, backward uses U: same cost per phase
+    upd_flops = mult * 2.0 * ns.astype(np.float64) * widths[src]
+
+    # Layout: [Pf(0..K-1) | Uf(couples) | Pb(0..K-1) | Ub(couples)].
+    pf = np.arange(K, dtype=np.int64)
+    uf = K + np.arange(n_upd, dtype=np.int64)
+    pb = K + n_upd + np.arange(K, dtype=np.int64)
+    ub = 2 * K + n_upd + np.arange(n_upd, dtype=np.int64)
+    n_tasks = 2 * (K + n_upd)
+
+    kind = np.empty(n_tasks, dtype=np.int8)
+    kind[pf] = TaskKind.PANEL
+    kind[uf] = TaskKind.UPDATE
+    kind[pb] = TaskKind.PANEL
+    kind[ub] = TaskKind.UPDATE
+
+    cblk = np.concatenate([pf, src, pf, src])
+    target = np.concatenate([pf, tgt, pf, tgt])
+    flops = np.concatenate([panel_flops, upd_flops, panel_flops, upd_flops])
+    zeros_k = np.zeros(K, dtype=np.int64)
+    zeros_u = np.zeros(n_upd, dtype=np.int64)
+    gm = np.concatenate([zeros_k, ns, zeros_k, ns])
+    gn = np.concatenate([zeros_k, np.ones(n_upd, np.int64) * nrhs,
+                         zeros_k, np.ones(n_upd, np.int64) * nrhs])
+    gk = np.concatenate([zeros_k, widths[src], zeros_k, widths[src]])
+
+    # Mutexes: forward updates write into x-rows of the target panel;
+    # backward updates accumulate into the *source* panel's columns.
+    mutex = np.full(n_tasks, -1, dtype=np.int64)
+    mutex[uf] = tgt            # forward fan-in at the facing panel
+    mutex[ub] = K + src        # backward fan-in at the source panel
+    #                            (offset K: distinct group namespace)
+
+    heads = np.concatenate([
+        pf[src], uf,           # Pf(k) -> Uf(k,t) -> Pf(t)
+        pb[tgt], ub,           # Pb(t) -> Ub(k,t) -> Pb(k)
+        pf,                    # Pf(k) -> Pb(k)
+        uf,                    # Uf(k,t) -> Pb(k): the backward sweep may
+        #                        only overwrite x[cols k] once every
+        #                        forward update sourced from k has read it
+    ])
+    tails = np.concatenate([
+        uf, pf[tgt],
+        ub, pb[src],
+        pb,
+        pb[src],
+    ])
+    succ_ptr, succ_list = _csr_from_edges(n_tasks, heads, tails)
+
+    dag = TaskDAG(
+        kind=kind,
+        cblk=cblk,
+        target=target,
+        flops=flops,
+        gemm_m=gm,
+        gemm_n=gn,
+        gemm_k=gk,
+        succ_ptr=succ_ptr,
+        succ_list=succ_list,
+        mutex=mutex,
+        granularity="2d",
+        symbol=symbol,
+        factotype=factotype,
+    )
+    dag.phase = "solve"
+    return dag

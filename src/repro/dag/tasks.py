@@ -1,0 +1,180 @@
+"""Task and DAG containers.
+
+Tasks are stored struct-of-arrays (NumPy) so hundred-thousand-task DAGs
+stay cheap to build and walk; :class:`Task` is a light per-task view used
+at API boundaries and in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+import numpy as np
+
+__all__ = ["TaskKind", "Task", "TaskDAG"]
+
+
+class TaskKind(IntEnum):
+    """Task flavours.
+
+    ``PANEL``  — diagonal-block factorization + panel TRSM of one cblk;
+    ``UPDATE`` — sparse GEMM of one (panel → facing panel) couple;
+    ``PANEL1D`` — PaStiX 1D task: PANEL plus all its UPDATEs fused;
+    ``SUBTREE`` — a whole leaf subtree of the supernode tree fused into
+    one task (the paper's future-work granularity coarsening, §VI).
+    """
+
+    PANEL = 0
+    UPDATE = 1
+    PANEL1D = 2
+    SUBTREE = 3
+
+
+@dataclass(frozen=True)
+class Task:
+    """View of one task."""
+
+    index: int
+    kind: TaskKind
+    cblk: int           # source panel
+    target: int         # facing panel (== cblk for panel tasks)
+    flops: float
+    m: int              # GEMM rows (update tasks; 0 otherwise)
+    n: int              # GEMM cols
+    k: int              # GEMM depth == panel width
+
+    @property
+    def is_update(self) -> bool:
+        return self.kind == TaskKind.UPDATE
+
+
+class TaskDAG:
+    """The factorization DAG (struct-of-arrays).
+
+    Attributes
+    ----------
+    kind, cblk, target, flops, gemm_m, gemm_n, gemm_k:
+        Per-task arrays (see :class:`Task`).
+    succ_ptr / succ_list:
+        CSR adjacency of *successor* edges.
+    n_deps:
+        In-degree of each task (number of predecessors).
+    mutex:
+        Per-task mutual-exclusion group (the target panel for updates,
+        ``-1`` otherwise): two tasks in the same group must not run
+        concurrently, modelling the in-out access to the facing panel.
+    granularity:
+        ``"1d"`` or ``"2d"``.
+    """
+
+    def __init__(
+        self,
+        kind: np.ndarray,
+        cblk: np.ndarray,
+        target: np.ndarray,
+        flops: np.ndarray,
+        gemm_m: np.ndarray,
+        gemm_n: np.ndarray,
+        gemm_k: np.ndarray,
+        succ_ptr: np.ndarray,
+        succ_list: np.ndarray,
+        mutex: np.ndarray,
+        granularity: str,
+        symbol=None,
+        factotype: str = "llt",
+        fused_components: dict | None = None,
+    ) -> None:
+        self.kind = kind
+        self.cblk = cblk
+        self.target = target
+        self.flops = flops
+        self.gemm_m = gemm_m
+        self.gemm_n = gemm_n
+        self.gemm_k = gemm_k
+        self.succ_ptr = succ_ptr
+        self.succ_list = succ_list
+        self.mutex = mutex
+        self.granularity = granularity
+        self.symbol = symbol
+        self.factotype = factotype
+        #: "facto" (default) or "solve" — selects the simulator's kernel
+        #: efficiency model and GPU eligibility.
+        self.phase = "facto"
+        #: For SUBTREE tasks: task id -> list of kernel components, each
+        #: ("panel", width, below) or ("update", m, n, w) — used by the
+        #: simulator's duration models.
+        self.fused_components = fused_components or {}
+        # In-degrees from the successor lists.
+        n_deps = np.zeros(kind.size, dtype=np.int64)
+        np.add.at(n_deps, succ_list, 1)
+        self.n_deps = n_deps
+
+    # ------------------------------------------------------------------
+    @property
+    def n_tasks(self) -> int:
+        return int(self.kind.size)
+
+    @property
+    def n_edges(self) -> int:
+        return int(self.succ_list.size)
+
+    def task(self, i: int) -> Task:
+        return Task(
+            i,
+            TaskKind(int(self.kind[i])),
+            int(self.cblk[i]),
+            int(self.target[i]),
+            float(self.flops[i]),
+            int(self.gemm_m[i]),
+            int(self.gemm_n[i]),
+            int(self.gemm_k[i]),
+        )
+
+    def successors(self, i: int) -> np.ndarray:
+        return self.succ_list[self.succ_ptr[i]: self.succ_ptr[i + 1]]
+
+    def sources(self) -> np.ndarray:
+        """Tasks with no predecessors."""
+        return np.flatnonzero(self.n_deps == 0)
+
+    def total_flops(self) -> float:
+        return float(self.flops.sum())
+
+    # ------------------------------------------------------------------
+    def topological_order(self) -> np.ndarray:
+        """Kahn topological order; raises on cycles."""
+        indeg = self.n_deps.copy()
+        order = np.empty(self.n_tasks, dtype=np.int64)
+        stack = list(np.flatnonzero(indeg == 0))
+        pos = 0
+        while stack:
+            t = stack.pop()
+            order[pos] = t
+            pos += 1
+            for s in self.successors(t):
+                indeg[s] -= 1
+                if indeg[s] == 0:
+                    stack.append(int(s))
+        if pos != self.n_tasks:
+            raise ValueError("task graph contains a cycle")
+        return order
+
+    def validate(self) -> None:
+        """Structural checks (acyclicity, edge sanity, mutex sanity)."""
+        self.topological_order()
+        assert self.succ_ptr[0] == 0
+        assert self.succ_ptr[-1] == self.succ_list.size
+        if self.succ_list.size:
+            assert self.succ_list.min() >= 0
+            assert self.succ_list.max() < self.n_tasks
+        upd = self.kind == TaskKind.UPDATE
+        if self.phase == "facto":
+            assert np.all(self.mutex[upd] == self.target[upd])
+        assert np.all(self.mutex[~upd] == -1)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TaskDAG({self.granularity}, tasks={self.n_tasks}, "
+            f"edges={self.n_edges}, flops={self.total_flops():.3e})"
+        )

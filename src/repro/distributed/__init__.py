@@ -1,0 +1,36 @@
+"""Distributed-memory extension (the paper's §VI future work).
+
+PaStiX is MPI+threads; the paper's runtime port targets single
+heterogeneous nodes and names the distributed extension as future work,
+specifically the **fan-in** communication scheme: "when a supernode
+updates another non-local supernode, the update blocks are stored in a
+local extra-memory space … by locally accumulating the updates until the
+last updates to the supernode are available, we trade bandwidth for
+latency".
+
+This package builds that extension on the simulator substrate:
+
+* :mod:`repro.distributed.mapping` — cblk → node mappings (proportional
+  subtree mapping, block, cyclic);
+* :mod:`repro.distributed.cluster` — cluster specifications (nodes ×
+  cores + an interconnect);
+* :mod:`repro.distributed.simulator` — a discrete-event simulation of
+  the distributed factorization with either per-update messages
+  (fan-out) or fan-in accumulation, reporting makespan, message counts,
+  and bytes on the wire.
+"""
+
+from repro.distributed.cluster import ClusterSpec
+from repro.distributed.mapping import map_cblks, subtree_loads
+from repro.distributed.simulator import (
+    simulate_distributed,
+    DistributedResult,
+)
+
+__all__ = [
+    "ClusterSpec",
+    "map_cblks",
+    "subtree_loads",
+    "simulate_distributed",
+    "DistributedResult",
+]

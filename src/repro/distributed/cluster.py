@@ -1,0 +1,42 @@
+"""Cluster specification for the distributed simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.machine.model import CpuSpec
+
+__all__ = ["ClusterSpec"]
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster of multicore nodes.
+
+    The interconnect is modelled as one full-duplex NIC per node
+    (serialized sends, serialized receives) with ``net_latency_s`` per
+    message and ``net_gbps`` bandwidth — an InfiniBand-class network of
+    the paper's era.  GPUs inside nodes are out of scope here (the
+    single-node simulator covers them); the distributed layer isolates
+    the communication-scheme question.
+    """
+
+    n_nodes: int = 4
+    cores_per_node: int = 12
+    cpu: CpuSpec = field(default_factory=CpuSpec)
+    net_gbps: float = 3.0
+    net_latency_s: float = 2e-6
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError("need at least one node")
+        if self.cores_per_node < 1:
+            raise ValueError("need at least one core per node")
+
+    @property
+    def total_cores(self) -> int:
+        return self.n_nodes * self.cores_per_node
+
+    def transfer_time(self, nbytes: float) -> float:
+        """One message of ``nbytes`` on the wire (latency + bandwidth)."""
+        return self.net_latency_s + nbytes / (self.net_gbps * 1e9)

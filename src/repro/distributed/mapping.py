@@ -1,0 +1,126 @@
+"""cblk → node mappings.
+
+The quality of a distributed supernodal factorization hinges on the data
+mapping: PaStiX uses *proportional subtree mapping* — the supernode tree
+is walked from the root, each subtree receiving a set of nodes sized
+proportionally to its workload; a subtree owned by a single node keeps
+all its panels local (zero communication inside), while the panels above
+the "fork points" are distributed across their subtree's node set.
+Block and cyclic mappings are included as baselines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dag.builder import update_couples
+from repro.kernels.cost import flops_panel, flops_update
+from repro.symbolic.structures import SymbolMatrix
+
+__all__ = ["subtree_loads", "map_cblks"]
+
+
+def _snode_tree(symbol: SymbolMatrix) -> np.ndarray:
+    """Parent of each cblk in the supernode tree (first facing cblk)."""
+    K = symbol.n_cblk
+    src, tgt, _, _ = update_couples(symbol)
+    parent = np.full(K, -1, dtype=np.int64)
+    for i in range(src.size - 1, -1, -1):
+        parent[src[i]] = tgt[i]
+    return parent
+
+
+def subtree_loads(symbol: SymbolMatrix, factotype: str = "llt") -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-cblk own work, subtree work, and the supernode-tree parents."""
+    K = symbol.n_cblk
+    widths = np.diff(symbol.cblk_ptr).astype(np.int64)
+    src, tgt, ms, ns = update_couples(symbol)
+    own = np.array(
+        [
+            flops_panel(int(widths[k]), symbol.cblk_below(k), factotype)
+            for k in range(K)
+        ]
+    )
+    for i in range(src.size):
+        own[src[i]] += flops_update(
+            int(ms[i]), int(ns[i]), int(widths[src[i]]), factotype
+        )
+    parent = _snode_tree(symbol)
+    subtree = own.copy()
+    for k in range(K):
+        if parent[k] >= 0:
+            subtree[parent[k]] += subtree[k]
+    return own, subtree, parent
+
+
+def map_cblks(
+    symbol: SymbolMatrix,
+    n_nodes: int,
+    *,
+    strategy: str = "subtree",
+    factotype: str = "llt",
+) -> np.ndarray:
+    """Owner node of every cblk.
+
+    ``"subtree"`` — proportional subtree mapping (default);
+    ``"block"``  — contiguous column ranges;
+    ``"cyclic"`` — round-robin (a communication worst case).
+    """
+    K = symbol.n_cblk
+    if n_nodes == 1:
+        return np.zeros(K, dtype=np.int64)
+    if strategy == "cyclic":
+        return (np.arange(K, dtype=np.int64)) % n_nodes
+    if strategy == "block":
+        # Split columns (not cblks) evenly so loads roughly balance.
+        bounds = np.linspace(0, symbol.n, n_nodes + 1)
+        mids = (symbol.cblk_ptr[:-1] + symbol.cblk_ptr[1:]) / 2.0
+        return np.clip(
+            np.searchsorted(bounds, mids, side="right") - 1, 0, n_nodes - 1
+        ).astype(np.int64)
+    if strategy != "subtree":
+        raise ValueError(f"unknown mapping strategy {strategy!r}")
+
+    own, subtree, parent = subtree_loads(symbol, factotype)
+    children: list[list[int]] = [[] for _ in range(K)]
+    roots: list[int] = []
+    for k in range(K):
+        if parent[k] >= 0:
+            children[parent[k]].append(k)
+        else:
+            roots.append(k)
+
+    owner = np.full(K, -1, dtype=np.int64)
+    # Work queue of (cblk, node_lo, node_hi): the subtree at cblk owns
+    # node range [lo, hi).
+    stack: list[tuple[int, int, int]] = [(r, 0, n_nodes) for r in roots]
+    rr = 0
+    while stack:
+        k, lo, hi = stack.pop()
+        span = hi - lo
+        if span <= 1:
+            # Whole subtree on one node: mark and skip recursion (all
+            # descendants inherit it below).
+            owner[k] = lo
+            for c in children[k]:
+                stack.append((c, lo, hi))
+            continue
+        # Panels above fork points are spread over their node set
+        # round-robin (they are the top, wide panels).
+        owner[k] = lo + (rr % span)
+        rr += 1
+        # Distribute node sub-ranges to children proportionally to load.
+        kids = sorted(children[k], key=lambda c: -subtree[c])
+        total = sum(subtree[c] for c in kids) or 1.0
+        cursor = float(lo)
+        for i, c in enumerate(kids):
+            share = span * subtree[c] / total
+            c_lo = int(round(cursor))
+            cursor += share
+            c_hi = int(round(cursor)) if i < len(kids) - 1 else hi
+            c_hi = max(c_hi, c_lo + 1)
+            c_hi = min(c_hi, hi)
+            c_lo = min(c_lo, c_hi - 1)
+            stack.append((c, c_lo, c_hi))
+    assert owner.min() >= 0
+    return owner

@@ -1,0 +1,380 @@
+"""Discrete-event simulation of the distributed factorization.
+
+Execution model (the fan-in scheme of the paper's §VI, and PaStiX's MPI
+layer):
+
+* every panel lives on its owner node; the panel task and all update
+  tasks *sourced* from it run there (compute-at-source — the factorized
+  panel never travels);
+* an update into a panel owned by the same node scatters directly
+  (serialized per target by the usual mutex);
+* an update into a *remote* panel accumulates into a node-local fan-in
+  buffer; when the last local contribution to that panel completes, one
+  message carries the whole buffer to the owner, where a cheap
+  accumulate task (mutex-serialized like an update) applies it.  With
+  ``fanin=False`` every remote update sends its own message immediately
+  instead — more, smaller messages: the latency/bandwidth trade the
+  paper describes.
+
+The interconnect has one full-duplex NIC per node: sends serialize at
+the sender, receives at the receiver.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.dag.builder import build_dag, update_couples
+from repro.distributed.cluster import ClusterSpec
+from repro.machine.perfmodel import CpuPerfModel
+from repro.runtime.base import bottom_levels
+from repro.runtime.tracing import ExecutionTrace
+from repro.symbolic.structures import SymbolMatrix
+
+__all__ = ["simulate_distributed", "DistributedResult"]
+
+#: Effective memory bandwidth for applying a received fan-in buffer.
+_ACCUMULATE_GBPS = 4.0
+
+
+@dataclass
+class DistributedResult:
+    """Outcome of one distributed simulation."""
+
+    cluster: ClusterSpec
+    fanin: bool
+    makespan: float
+    flops: float
+    n_messages: int
+    bytes_on_wire: float
+    node_busy: list
+    trace: Optional[ExecutionTrace]
+
+    @property
+    def gflops(self) -> float:
+        return self.flops / self.makespan / 1e9 if self.makespan > 0 else 0.0
+
+    @property
+    def load_imbalance(self) -> float:
+        """max(node busy) / mean(node busy) — 1.0 is perfect."""
+        busy = np.asarray(self.node_busy)
+        return float(busy.max() / busy.mean()) if busy.mean() > 0 else 1.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DistributedResult(nodes={self.cluster.n_nodes}, "
+            f"fanin={self.fanin}, {self.gflops:.1f} GFlop/s, "
+            f"{self.n_messages} msgs, {self.bytes_on_wire / 1e6:.1f} MB)"
+        )
+
+
+class _DistSim:
+    def __init__(
+        self,
+        symbol: SymbolMatrix,
+        owner: np.ndarray,
+        cluster: ClusterSpec,
+        *,
+        factotype: str,
+        dtype,
+        fanin: bool,
+        cpu_model: CpuPerfModel | None,
+        task_overhead_s: float,
+        collect_trace: bool,
+    ) -> None:
+        self.symbol = symbol
+        self.owner = np.asarray(owner, dtype=np.int64)
+        self.cluster = cluster
+        self.factotype = factotype
+        self.dtype = np.dtype(dtype)
+        self.fanin = fanin
+        self.cpu_model = cpu_model or CpuPerfModel()
+        self.overhead = task_overhead_s
+        self.trace = ExecutionTrace() if collect_trace else None
+
+        K = symbol.n_cblk
+        if self.owner.shape != (K,):
+            raise ValueError("owner array must have one entry per cblk")
+        if self.owner.size and (
+            self.owner.min() < 0 or self.owner.max() >= cluster.n_nodes
+        ):
+            raise ValueError("owner out of node range")
+
+        self._precompute()
+        self._init_state()
+
+    # ------------------------------------------------------------------
+    def _precompute(self) -> None:
+        symbol, factotype = self.symbol, self.factotype
+        K = symbol.n_cblk
+        # Reuse the 2D DAG for flops and priorities.
+        dag = build_dag(symbol, factotype, granularity="2d",
+                        dtype=self.dtype, recompute_ld=False)
+        self.total_flops = dag.total_flops()
+        bl = bottom_levels(dag)
+        self.panel_prio = bl[:K]
+        self.upd_prio = bl[K:]
+
+        widths = np.diff(symbol.cblk_ptr).astype(np.int64)
+        below = np.array([symbol.cblk_below(k) for k in range(K)])
+        peak = self.cluster.cpu.peak_gflops * 1e9
+        self.panel_dur = np.array([
+            dag.flops[k] / (peak * self.cpu_model.panel_eff(
+                float(widths[k]), float(below[k])))
+            for k in range(K)
+        ]) + self.overhead
+
+        self.src, self.tgt, ms, ns = update_couples(symbol)
+        n_upd = self.src.size
+        self.upd_dur = np.empty(n_upd)
+        per_entry = self.dtype.itemsize * (2 if factotype == "lu" else 1)
+        self.contrib_bytes = (
+            ms.astype(np.float64) * ns.astype(np.float64) * per_entry
+        )
+        heights = np.array([symbol.cblk_height(k) for k in range(K)])
+        self.panel_bytes = heights * widths * float(per_entry)
+        for i in range(n_upd):
+            eff = self.cpu_model.update_eff(
+                int(ms[i]), int(ns[i]), int(widths[self.src[i]]),
+                factotype=factotype, recompute_ld=False,
+            )
+            self.upd_dur[i] = dag.flops[K + i] / (peak * eff) + self.overhead
+
+        own = self.owner
+        self.is_local = own[self.src] == own[self.tgt]
+
+        # Dependency counts for each panel.
+        self.panel_deps = np.zeros(K, dtype=np.int64)
+        np.add.at(self.panel_deps, self.tgt[self.is_local], 1)
+        if self.fanin:
+            senders: dict[int, set[int]] = {}
+            for i in np.flatnonzero(~self.is_local):
+                senders.setdefault(int(self.tgt[i]), set()).add(
+                    int(own[self.src[i]])
+                )
+            for t, s in senders.items():
+                self.panel_deps[t] += len(s)
+            # Fan-in buffers: (sender node, target) -> [pending, bytes].
+            self.buffers: dict[tuple[int, int], list] = {}
+            for i in np.flatnonzero(~self.is_local):
+                key = (int(own[self.src[i]]), int(self.tgt[i]))
+                entry = self.buffers.setdefault(key, [0, 0.0])
+                entry[0] += 1
+                entry[1] = min(
+                    entry[1] + self.contrib_bytes[i],
+                    float(self.panel_bytes[self.tgt[i]]),
+                )
+        else:
+            np.add.at(self.panel_deps, self.tgt[~self.is_local], 1)
+
+        # Updates of panel k, for release when the panel completes.
+        self.updates_of: list[list[int]] = [[] for _ in range(K)]
+        for i in range(n_upd):
+            self.updates_of[self.src[i]].append(i)
+
+    # ------------------------------------------------------------------
+    def _init_state(self) -> None:
+        n_nodes = self.cluster.n_nodes
+        self.time = 0.0
+        self._heap: list = []
+        self._seq = itertools.count()
+        self.ready: list[list[tuple[float, int, tuple]]] = [
+            [] for _ in range(n_nodes)
+        ]
+        self.idle: list[set[int]] = [
+            set(range(self.cluster.cores_per_node)) for _ in range(n_nodes)
+        ]
+        self.mutex_held: set[int] = set()
+        self.mutex_wait: dict[int, list[tuple]] = {}
+        self.send_free = [0.0] * n_nodes
+        self.recv_free = [0.0] * n_nodes
+        self.node_busy = [0.0] * n_nodes
+        self.n_messages = 0
+        self.bytes_on_wire = 0.0
+        self.panels_done = 0
+        self._tick = itertools.count()
+
+    # ------------------------------------------------------------------
+    def _push_ready(self, node: int, prio: float, task: tuple) -> None:
+        heapq.heappush(self.ready[node], (-prio, next(self._tick), task))
+        self._kick(node)
+
+    def _kick(self, node: int) -> None:
+        while self.idle[node] and self.ready[node]:
+            _, _, task = heapq.heappop(self.ready[node])
+            grp = self._mutex_group(task)
+            if grp is not None and grp in self.mutex_held:
+                self.mutex_wait.setdefault(grp, []).append(task)
+                continue
+            if grp is not None:
+                self.mutex_held.add(grp)
+            core = self.idle[node].pop()
+            self._start(node, core, task)
+
+    def _mutex_group(self, task: tuple) -> int | None:
+        kind = task[0]
+        if kind == "update":
+            return int(self.tgt[task[1]])
+        if kind == "acc":
+            return int(task[2])
+        return None
+
+    def _duration(self, task: tuple) -> float:
+        kind = task[0]
+        if kind == "panel":
+            return float(self.panel_dur[task[1]])
+        if kind == "update":
+            return float(self.upd_dur[task[1]])
+        # ("acc", sender, target, bytes)
+        return self.overhead + task[3] / (_ACCUMULATE_GBPS * 1e9)
+
+    def _start(self, node: int, core: int, task: tuple) -> None:
+        dur = self._duration(task)
+        end = self.time + dur
+        self.node_busy[node] += dur
+        if self.trace is not None:
+            label = {"panel": 0, "update": 1, "acc": 2}[task[0]]
+            self.trace.record(
+                label * 10**8 + int(task[1]), f"n{node}c{core}",
+                self.time, end,
+            )
+        self._schedule(end, self._finish, node, core, task)
+
+    def _schedule(self, when, fn, *args) -> None:
+        heapq.heappush(self._heap, (when, next(self._seq), fn, args))
+
+    # ------------------------------------------------------------------
+    def _finish(self, node: int, core: int, task: tuple) -> None:
+        self.idle[node].add(core)
+        grp = self._mutex_group(task)
+        if grp is not None:
+            self.mutex_held.discard(grp)
+            for waiting in self.mutex_wait.pop(grp, []):
+                w_node = self._task_node(waiting)
+                prio = self._task_prio(waiting)
+                self._push_ready(w_node, prio, waiting)
+
+        kind = task[0]
+        if kind == "panel":
+            k = task[1]
+            self.panels_done += 1
+            for i in self.updates_of[k]:
+                self._push_ready(node, float(self.upd_prio[i]), ("update", i))
+        elif kind == "update":
+            i = task[1]
+            t = int(self.tgt[i])
+            if self.is_local[i]:
+                self._panel_contribution(t)
+            elif self.fanin:
+                key = (node, t)
+                entry = self.buffers[key]
+                entry[0] -= 1
+                if entry[0] == 0:
+                    self._send(node, int(self.owner[t]), t, entry[1])
+            else:
+                self._send(node, int(self.owner[t]), t,
+                           float(self.contrib_bytes[i]))
+        else:  # acc
+            self._panel_contribution(int(task[2]))
+        self._kick(node)
+
+    def _task_node(self, task: tuple) -> int:
+        if task[0] == "update":
+            return int(self.owner[self.src[task[1]]])
+        if task[0] == "acc":
+            return int(self.owner[task[2]])
+        return int(self.owner[task[1]])
+
+    def _task_prio(self, task: tuple) -> float:
+        if task[0] == "update":
+            return float(self.upd_prio[task[1]])
+        if task[0] == "acc":
+            return float(self.panel_prio[task[2]])
+        return float(self.panel_prio[task[1]])
+
+    def _panel_contribution(self, t: int) -> None:
+        self.panel_deps[t] -= 1
+        if self.panel_deps[t] == 0:
+            node = int(self.owner[t])
+            self._push_ready(node, float(self.panel_prio[t]), ("panel", t))
+
+    def _send(self, a: int, b: int, target: int, nbytes: float) -> None:
+        start = max(self.time, self.send_free[a])
+        wire = self.cluster.transfer_time(nbytes)
+        self.send_free[a] = start + wire
+        arrival = max(start + wire, self.recv_free[b])
+        self.recv_free[b] = arrival
+        self.n_messages += 1
+        self.bytes_on_wire += nbytes
+        if self.trace is not None:
+            self.trace.record_transfer(target, f"net{a}->{b}", start, arrival)
+        self._schedule(arrival, self._arrive, a, b, target, nbytes)
+
+    def _arrive(self, a: int, b: int, target: int, nbytes: float) -> None:
+        self._push_ready(
+            b, float(self.panel_prio[target]), ("acc", a, target, nbytes)
+        )
+
+    # ------------------------------------------------------------------
+    def run(self) -> DistributedResult:
+        for k in np.flatnonzero(self.panel_deps == 0):
+            self._push_ready(
+                int(self.owner[k]), float(self.panel_prio[k]),
+                ("panel", int(k)),
+            )
+        while self._heap:
+            when, _, fn, args = heapq.heappop(self._heap)
+            self.time = when
+            fn(*args)
+        if self.panels_done != self.symbol.n_cblk:
+            raise RuntimeError(
+                f"distributed simulation stalled: "
+                f"{self.panels_done}/{self.symbol.n_cblk} panels"
+            )
+        return DistributedResult(
+            cluster=self.cluster,
+            fanin=self.fanin,
+            makespan=self.time,
+            flops=self.total_flops,
+            n_messages=self.n_messages,
+            bytes_on_wire=self.bytes_on_wire,
+            node_busy=self.node_busy,
+            trace=self.trace,
+        )
+
+
+def simulate_distributed(
+    symbol: SymbolMatrix,
+    owner: np.ndarray,
+    cluster: ClusterSpec,
+    *,
+    factotype: str = "llt",
+    dtype=np.float64,
+    fanin: bool = True,
+    cpu_model: CpuPerfModel | None = None,
+    task_overhead_s: float = 1e-6,
+    collect_trace: bool = False,
+) -> DistributedResult:
+    """Simulate the distributed factorization of ``symbol``.
+
+    ``owner`` maps each cblk to a node (see
+    :func:`repro.distributed.mapping.map_cblks`); ``fanin`` selects the
+    accumulated-buffer communication scheme vs. per-update messages.
+    """
+    sim = _DistSim(
+        symbol,
+        owner,
+        cluster,
+        factotype=factotype,
+        dtype=dtype,
+        fanin=fanin,
+        cpu_model=cpu_model,
+        task_overhead_s=task_overhead_s,
+        collect_trace=collect_trace,
+    )
+    return sim.run()

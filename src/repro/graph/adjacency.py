@@ -1,0 +1,139 @@
+"""Undirected adjacency-list graph backed by CSR arrays."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.sparse.csc import SparseMatrixCSC
+
+__all__ = ["Graph"]
+
+
+@dataclass
+class Graph:
+    """Undirected graph in CSR form.
+
+    ``xadj`` has length ``n + 1``; the neighbours of vertex ``v`` are
+    ``adjncy[xadj[v]:xadj[v+1]]``.  Self-loops are disallowed; every edge
+    appears in both endpoints' lists.  ``vwgt`` carries vertex weights
+    (defaults to 1), used by coarsened graphs so balance is computed on
+    original-vertex counts.
+    """
+
+    n: int
+    xadj: np.ndarray
+    adjncy: np.ndarray
+    vwgt: Optional[np.ndarray] = None
+    ewgt: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        if self.vwgt is None:
+            self.vwgt = np.ones(self.n, dtype=np.int64)
+
+    @property
+    def n_edges(self) -> int:
+        """Number of undirected edges."""
+        return int(self.adjncy.size) // 2
+
+    @property
+    def total_weight(self) -> int:
+        return int(self.vwgt.sum())
+
+    def neighbors(self, v: int) -> np.ndarray:
+        return self.adjncy[self.xadj[v] : self.xadj[v + 1]]
+
+    def degrees(self) -> np.ndarray:
+        return np.diff(self.xadj)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_matrix(cls, mat: SparseMatrixCSC) -> "Graph":
+        """Adjacency graph of a square matrix pattern.
+
+        The pattern is symmetrised (the graph of :math:`A + A^T`) and the
+        diagonal is dropped, matching what PaStiX hands to Scotch.
+        """
+        sym = mat.symmetrize_pattern()
+        rows, cols, _ = sym.to_coo()
+        off = rows != cols
+        rows, cols = rows[off], cols[off]
+        # The symmetrised pattern already contains both (i,j) and (j,i).
+        order = np.lexsort((cols, rows))
+        rows, cols = rows[order], cols[order]
+        xadj = np.zeros(sym.n_rows + 1, dtype=np.int64)
+        np.add.at(xadj, rows + 1, 1)
+        np.cumsum(xadj, out=xadj)
+        return cls(sym.n_rows, xadj, cols)
+
+    @classmethod
+    def from_edges(cls, n: int, u: np.ndarray, v: np.ndarray) -> "Graph":
+        """Build from an undirected edge list (each edge listed once)."""
+        u = np.asarray(u, dtype=np.int64)
+        v = np.asarray(v, dtype=np.int64)
+        if np.any(u == v):
+            raise ValueError("self-loops are not allowed")
+        rows = np.concatenate([u, v])
+        cols = np.concatenate([v, u])
+        order = np.lexsort((cols, rows))
+        rows, cols = rows[order], cols[order]
+        # Drop duplicate edges.
+        if rows.size:
+            keep = np.ones(rows.size, dtype=bool)
+            keep[1:] = (rows[1:] != rows[:-1]) | (cols[1:] != cols[:-1])
+            rows, cols = rows[keep], cols[keep]
+        xadj = np.zeros(n + 1, dtype=np.int64)
+        np.add.at(xadj, rows + 1, 1)
+        np.cumsum(xadj, out=xadj)
+        return cls(n, xadj, cols)
+
+    # ------------------------------------------------------------------
+    def subgraph(self, vertices: np.ndarray) -> tuple["Graph", np.ndarray]:
+        """Induced subgraph on ``vertices``.
+
+        Returns ``(sub, vertices)`` where ``vertices[i]`` is the original
+        id of sub-vertex ``i``.  Fully vectorised: edges with an endpoint
+        outside the set are masked out via a global relabelling array.
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        local = np.full(self.n, -1, dtype=np.int64)
+        local[vertices] = np.arange(vertices.size, dtype=np.int64)
+        counts = np.diff(self.xadj)
+        # Gather all adjacency of the selected vertices.
+        starts = self.xadj[vertices]
+        lens = counts[vertices]
+        total = int(lens.sum())
+        # Build gather indices: for each selected vertex, a contiguous run.
+        gather = np.repeat(starts - np.concatenate(([0], np.cumsum(lens)[:-1])), lens) + np.arange(total)
+        nbrs = self.adjncy[gather]
+        src_local = np.repeat(np.arange(vertices.size, dtype=np.int64), lens)
+        dst_local = local[nbrs]
+        keep = dst_local >= 0
+        src_local, dst_local = src_local[keep], dst_local[keep]
+        xadj = np.zeros(vertices.size + 1, dtype=np.int64)
+        np.add.at(xadj, src_local + 1, 1)
+        np.cumsum(xadj, out=xadj)
+        # src_local is already sorted (runs in vertex order); dst follows.
+        sub = Graph(vertices.size, xadj, dst_local,
+                    vwgt=self.vwgt[vertices].copy())
+        return sub, vertices
+
+    def check(self) -> None:
+        """Validate symmetry and basic invariants (tests only)."""
+        if self.xadj[0] != 0 or self.xadj[-1] != self.adjncy.size:
+            raise ValueError("xadj endpoints inconsistent")
+        if self.adjncy.size:
+            if self.adjncy.min() < 0 or self.adjncy.max() >= self.n:
+                raise ValueError("neighbour index out of range")
+        src = np.repeat(np.arange(self.n, dtype=np.int64), np.diff(self.xadj))
+        if np.any(src == self.adjncy):
+            raise ValueError("self-loop present")
+        fwd = set(zip(src.tolist(), self.adjncy.tolist()))
+        for a, b in fwd:
+            if (b, a) not in fwd:
+                raise ValueError(f"edge ({a},{b}) missing its reverse")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Graph(n={self.n}, m={self.n_edges})"

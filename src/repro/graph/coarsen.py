@@ -1,0 +1,85 @@
+"""Graph coarsening via heavy-edge matching (HEM).
+
+Used by the multilevel bisection partitioner: match each vertex with its
+heaviest-edge unmatched neighbour, contract matched pairs, and repeat until
+the graph is small enough to partition directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.adjacency import Graph
+
+__all__ = ["heavy_edge_matching", "coarsen_graph"]
+
+
+def heavy_edge_matching(graph: Graph, seed: int = 0) -> np.ndarray:
+    """Compute a matching: ``match[v]`` is v's partner (or v itself).
+
+    Vertices are visited in random order; each unmatched vertex picks its
+    heaviest unmatched neighbour (edge weights default to 1, making this
+    random matching, which is adequate for separator purposes).
+    """
+    rng = np.random.default_rng(seed)
+    match = np.full(graph.n, -1, dtype=np.int64)
+    order = rng.permutation(graph.n)
+    xadj, adjncy = graph.xadj, graph.adjncy
+    ewgt = graph.ewgt
+    for v in order:
+        if match[v] >= 0:
+            continue
+        nbrs = adjncy[xadj[v]: xadj[v + 1]]
+        free = nbrs[match[nbrs] < 0]
+        if free.size == 0:
+            match[v] = v
+            continue
+        if ewgt is not None:
+            w = ewgt[xadj[v]: xadj[v + 1]][match[nbrs] < 0]
+            u = int(free[np.argmax(w)])
+        else:
+            u = int(free[0])
+        match[v] = u
+        match[u] = v
+    return match
+
+
+def coarsen_graph(graph: Graph, match: np.ndarray) -> tuple[Graph, np.ndarray]:
+    """Contract matched pairs into coarse vertices.
+
+    Returns ``(coarse, cmap)`` where ``cmap[v]`` is the coarse vertex of
+    fine vertex ``v``.  Coarse vertex weights are the sums of their fine
+    constituents; parallel edges are merged with summed weights.
+    """
+    n = graph.n
+    # Assign coarse ids: the lower endpoint of each pair is canonical.
+    canonical = np.minimum(np.arange(n, dtype=np.int64), match)
+    uniq, cmap = np.unique(canonical, return_inverse=True)
+    nc = uniq.size
+
+    src = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.xadj))
+    cu = cmap[src]
+    cv = cmap[graph.adjncy]
+    keep = cu != cv
+    cu, cv = cu[keep], cv[keep]
+    ew = (graph.ewgt[keep] if graph.ewgt is not None
+          else np.ones(cu.size, dtype=np.int64))
+    # Merge parallel edges.
+    key = cu * nc + cv
+    order = np.argsort(key, kind="stable")
+    cu, cv, ew, key = cu[order], cv[order], ew[order], key[order]
+    if key.size:
+        first = np.ones(key.size, dtype=bool)
+        first[1:] = key[1:] != key[:-1]
+        seg = np.cumsum(first) - 1
+        acc = np.zeros(int(seg[-1]) + 1, dtype=np.int64)
+        np.add.at(acc, seg, ew)
+        cu, cv, ew = cu[first], cv[first], acc
+
+    xadj = np.zeros(nc + 1, dtype=np.int64)
+    np.add.at(xadj, cu + 1, 1)
+    np.cumsum(xadj, out=xadj)
+    vwgt = np.zeros(nc, dtype=np.int64)
+    np.add.at(vwgt, cmap, graph.vwgt)
+    coarse = Graph(nc, xadj, cv, vwgt=vwgt, ewgt=ew)
+    return coarse, cmap

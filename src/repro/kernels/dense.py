@@ -1,0 +1,142 @@
+"""Dense kernels on contiguous blocks.
+
+The solver performs *static pivoting* (the paper, §III: "PASTIX doesn't
+perform dynamic pivoting … which allows the factorized matrix structure
+to be fully known at the analysis step"), so the LDLᵀ and LU kernels here
+deliberately do **not** pivot.  The generators guarantee diagonal
+dominance, making that numerically safe, as in the paper's test set.
+
+All kernels operate on NumPy arrays and lean on BLAS/LAPACK through NumPy
+and SciPy (which release the GIL — the threaded runtime depends on this).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg as sla
+
+__all__ = [
+    "potrf",
+    "ldlt_nopiv",
+    "getrf_nopiv",
+    "trsm_lower_right",
+    "trsm_unit_lower_left",
+]
+
+
+def potrf(block: np.ndarray) -> np.ndarray:
+    """Cholesky factorization: returns lower ``L`` with ``L Lᵀ = block``.
+
+    Real SPD blocks only (the complex collection entries use LDLᵀ or LU).
+    """
+    if np.iscomplexobj(block):
+        raise TypeError("potrf is for real SPD blocks; use ldlt_nopiv/getrf_nopiv")
+    return np.linalg.cholesky(block)
+
+
+class PivotMonitor:
+    """Static-pivoting safety net.
+
+    PaStiX-style solvers do not exchange rows at factorization time;
+    instead, a pivot whose magnitude falls under ``threshold`` is
+    *perturbed* to ``±threshold`` and counted, and iterative refinement
+    recovers the lost digits afterwards (the SuperLU-dist / PaStiX
+    static-pivoting recipe).  One monitor instance is threaded through a
+    factorization; ``n_perturbed`` reports how often it fired.
+    """
+
+    def __init__(self, threshold: float = 0.0) -> None:
+        if threshold < 0:
+            raise ValueError("threshold must be >= 0")
+        self.threshold = threshold
+        self.n_perturbed = 0
+
+    def fix(self, pivot, where: str):
+        """Return a safe pivot, perturbing (or raising) as configured."""
+        if pivot != 0 and abs(pivot) >= self.threshold:
+            return pivot
+        if self.threshold == 0.0:
+            raise ZeroDivisionError(
+                f"zero pivot at {where} (static pivoting failed)"
+            )
+        self.n_perturbed += 1
+        if pivot == 0:
+            return self.threshold
+        return pivot / abs(pivot) * self.threshold
+
+
+_STRICT = PivotMonitor(0.0)
+
+
+def ldlt_nopiv(
+    block: np.ndarray, monitor: PivotMonitor | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """LDLᵀ factorization without pivoting.
+
+    Returns ``(L, d)`` with ``L`` unit lower triangular and ``d`` the
+    diagonal of ``D``, such that ``L·diag(d)·Lᵀ = block``.  Works for real
+    symmetric and *complex symmetric* (not Hermitian) blocks — the
+    transpose is plain, never conjugated, matching the paper's Z-LDLᵀ
+    matrices.  ``monitor`` enables tiny-pivot perturbation.
+
+    Right-looking column loop: O(w) Python iterations of vectorised
+    rank-1 updates, fine for panel widths up to a few hundred.
+    """
+    monitor = monitor or _STRICT
+    a = np.array(block)  # working copy
+    w = a.shape[0]
+    d = np.empty(w, dtype=a.dtype)
+    for j in range(w):
+        dj = monitor.fix(a[j, j], f"column {j}")
+        d[j] = dj
+        col = a[j + 1:, j] / dj
+        a[j + 1:, j] = col
+        # Trailing update: A22 -= col * dj * colᵀ  (plain transpose).
+        a[j + 1:, j + 1:] -= np.outer(col * dj, col)
+    L = np.tril(a, -1)
+    np.fill_diagonal(L, 1.0)
+    return L, d
+
+
+def getrf_nopiv(
+    block: np.ndarray, monitor: PivotMonitor | None = None
+) -> np.ndarray:
+    """LU factorization without pivoting, packed in one array.
+
+    Returns ``LU`` with the strict lower triangle holding ``L`` (unit
+    diagonal implicit) and the upper triangle holding ``U``.
+    ``monitor`` enables tiny-pivot perturbation.
+    """
+    monitor = monitor or _STRICT
+    a = np.array(block)
+    w = a.shape[0]
+    for j in range(w):
+        piv = monitor.fix(a[j, j], f"column {j}")
+        a[j, j] = piv
+        a[j + 1:, j] /= piv
+        a[j + 1:, j + 1:] -= np.outer(a[j + 1:, j], a[j, j + 1:])
+    return a
+
+
+def trsm_lower_right(diag_l: np.ndarray, b: np.ndarray, *, unit: bool = False) -> np.ndarray:
+    """Solve ``X · diag_lᵀ = b`` for ``X`` (right-side lower-transpose TRSM).
+
+    This is the panel TRSM of the factorization: ``L21 = A21 · L11^{-T}``.
+    Plain transpose (complex-symmetric safe).  ``unit`` marks a unit
+    diagonal.
+    """
+    # X L^T = B  <=>  L X^T = B^T
+    xt = sla.solve_triangular(
+        diag_l, b.T, lower=True, unit_diagonal=unit, check_finite=False
+    )
+    return xt.T
+
+
+def trsm_unit_lower_left(diag_l: np.ndarray, b: np.ndarray, *, unit: bool = True) -> np.ndarray:
+    """Solve ``diag_l · X = b`` (left lower TRSM), unit diagonal by default.
+
+    Used for the U panel of the LU factorization: ``U12 = L11^{-1} A12``.
+    """
+    return sla.solve_triangular(
+        diag_l, b, lower=True, unit_diagonal=unit, check_finite=False
+    )

@@ -1,0 +1,137 @@
+"""Supernodal panel kernels.
+
+The two task bodies of the factorization DAG (paper §V):
+
+* :func:`panel_factorize` — factorize a panel's diagonal block and apply
+  the TRSM to its off-diagonal rows (one task per cblk);
+* :func:`panel_update` — apply a factorized panel's contribution to one
+  facing panel: the sparse GEMM with scatter into the gappy destination
+  (one task per (panel, facing panel) couple).
+
+Both operate in place on a :class:`repro.core.factor.NumericFactor`-like
+object (duck-typed: ``L``, ``U``, ``D``, ``rows``, ``symbol``,
+``factotype`` attributes), so they are equally callable from the
+sequential driver, the threaded runtime, and the tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg as sla
+
+from repro.kernels.dense import (
+    getrf_nopiv,
+    ldlt_nopiv,
+    potrf,
+    trsm_lower_right,
+    trsm_unit_lower_left,
+)
+
+__all__ = ["panel_factorize", "panel_update", "update_slice"]
+
+
+def panel_factorize(factor, k: int) -> None:
+    """Factorize panel ``k`` in place (diagonal block + panel TRSM)."""
+    sym = factor.symbol
+    w = sym.cblk_width(k)
+    Lk = factor.L[k]
+    diag = Lk[:w, :w]
+    monitor = getattr(factor, "pivot_monitor", None)
+
+    if factor.factotype == "llt":
+        ld = potrf(diag)
+        Lk[:w, :w] = np.tril(ld)
+        if Lk.shape[0] > w:
+            Lk[w:, :] = trsm_lower_right(ld, Lk[w:, :])
+    elif factor.factotype == "ldlt":
+        ld, d = ldlt_nopiv(diag, monitor)
+        Lk[:w, :w] = ld
+        factor.D[k] = d
+        if Lk.shape[0] > w:
+            # L21 = A21 · L11^{-T} · D^{-1}
+            Lk[w:, :] = trsm_lower_right(ld, Lk[w:, :], unit=True) / d
+    elif factor.factotype == "lu":
+        lu = getrf_nopiv(diag, monitor)
+        Lk[:w, :w] = lu  # packed L\U diagonal block
+        Uk = factor.U[k]
+        if Lk.shape[0] > w:
+            # L21 = A21 · U11^{-1}  ⇔  U11ᵀ · L21ᵀ = A21ᵀ
+            u11 = np.triu(lu)
+            Lk[w:, :] = sla.solve_triangular(
+                u11, Lk[w:, :].T, lower=False, trans="T", check_finite=False
+            ).T
+            # U12ᵀ = A12ᵀ · L11^{-T}  (unit lower diagonal)
+            Uk[w:, :] = trsm_lower_right(lu, Uk[w:, :], unit=True)
+    else:
+        raise ValueError(f"unknown factotype {factor.factotype!r}")
+
+
+def update_slice(factor, k: int, t: int) -> tuple[int, int, np.ndarray]:
+    """Locate panel ``k``'s rows facing panel ``t``.
+
+    Returns ``(i0, i1, rk)`` where ``rk`` is ``k``'s below-diagonal global
+    row array and ``rk[i0:i1]`` the (contiguous) slice of rows inside
+    ``t``'s column range.
+    """
+    sym = factor.symbol
+    w = sym.cblk_width(k)
+    rk = factor.rows[k][w:]
+    f_t, l_t = int(sym.cblk_ptr[t]), int(sym.cblk_ptr[t + 1])
+    i0 = int(np.searchsorted(rk, f_t))
+    i1 = int(np.searchsorted(rk, l_t))
+    return i0, i1, rk
+
+
+def panel_update(factor, k: int, t: int, *, workspace: bool = True) -> None:
+    """Apply the update of factorized panel ``k`` onto facing panel ``t``.
+
+    ``workspace=True`` computes the outer product into a contiguous
+    temporary and scatters it afterwards (the paper's CPU strategy:
+    "the outer product is computed in a contiguous temporary buffer, and
+    upon completion, the result is dispatched on the destination panel");
+    ``workspace=False`` routes through the blok-wise direct-scatter kernel
+    (the GPU-style kernel twin, see :mod:`repro.kernels.sparse_gemm`).
+    """
+    sym = factor.symbol
+    w = sym.cblk_width(k)
+    i0, i1, rk = update_slice(factor, k, t)
+    if i0 == i1:
+        return  # k does not actually face t
+
+    cols_local = (rk[i0:i1] - sym.cblk_ptr[t]).astype(np.int64)
+    rows_t = factor.rows[t]
+    Lk = factor.L[k]
+    Lt = factor.L[t]
+
+    a_tail = Lk[w + i0:, :]
+    b_mid = Lk[w + i0: w + i1, :]
+    if factor.factotype == "ldlt":
+        # Recompute (L·D) for the facing rows — the generic-runtime
+        # variant the paper discusses (no persistent DLᵀ buffer).
+        b_mid = b_mid * factor.D[k]
+    elif factor.factotype == "lu":
+        b_mid = factor.U[k][w + i0: w + i1, :]
+
+    rows_local = np.searchsorted(rows_t, rk[i0:]).astype(np.int64)
+    if workspace:
+        contrib = a_tail @ b_mid.T
+        Lt[np.ix_(rows_local, cols_local)] -= contrib
+    else:
+        from repro.kernels.sparse_gemm import sparse_gemm_scatter
+
+        sparse_gemm_scatter(a_tail, b_mid, Lt, rows_local, cols_local)
+
+    if factor.factotype == "lu" and i1 < rk.size:
+        # U-side update: strictly-below rows of the target's U panel.
+        Uk = factor.U[k]
+        Ut = factor.U[t]
+        u_tail = Uk[w + i1:, :]
+        l_mid = Lk[w + i0: w + i1, :]
+        rows_local_u = np.searchsorted(rows_t, rk[i1:]).astype(np.int64)
+        if workspace:
+            contrib_u = u_tail @ l_mid.T
+            Ut[np.ix_(rows_local_u, cols_local)] -= contrib_u
+        else:
+            from repro.kernels.sparse_gemm import sparse_gemm_scatter
+
+            sparse_gemm_scatter(u_tail, l_mid, Ut, rows_local_u, cols_local)

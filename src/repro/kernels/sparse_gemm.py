@@ -1,0 +1,70 @@
+"""Sparse-target GEMM with direct scatter (GPU-kernel functional twin).
+
+The paper's GPU kernel (§V-B) extends the ASTRA DGEMM so the addition
+step lands *directly* in the gappy destination panel — trading memory
+coalescence for the elimination of the per-kernel temporary buffer that a
+GPU cannot afford.  This module is the CPU functional twin: instead of
+one big temporary + dispatch, the product is computed and subtracted one
+*run of consecutive target rows* at a time, writing straight into the
+destination storage.
+
+Numerically it produces exactly what the workspace path produces (tests
+assert this); the machine simulator models its different *performance*
+profile separately (:mod:`repro.machine.perfmodel`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["sparse_gemm_scatter", "row_runs"]
+
+
+def row_runs(rows_local: np.ndarray) -> list[tuple[int, int, int]]:
+    """Decompose target row indices into runs of consecutive rows.
+
+    Returns ``(src_start, dst_start, length)`` triples: source rows
+    ``src_start:src_start+length`` map to destination rows
+    ``dst_start:dst_start+length``.
+    """
+    if rows_local.size == 0:
+        return []
+    breaks = np.flatnonzero(np.diff(rows_local) != 1)
+    starts = np.concatenate(([0], breaks + 1))
+    ends = np.concatenate((breaks + 1, [rows_local.size]))
+    return [
+        (int(s), int(rows_local[s]), int(e - s)) for s, e in zip(starts, ends)
+    ]
+
+
+def sparse_gemm_scatter(
+    a_tail: np.ndarray,
+    b_mid: np.ndarray,
+    c_panel: np.ndarray,
+    rows_local: np.ndarray,
+    cols_local: np.ndarray,
+) -> None:
+    """Compute ``C[rows_local, cols_local] -= a_tail · b_midᵀ`` in place.
+
+    ``a_tail`` is ``m×w``, ``b_mid`` is ``n×w``, ``rows_local`` has length
+    ``m`` (strictly increasing), ``cols_local`` length ``n`` (strictly
+    increasing).  Consecutive destination rows are processed as blocks so
+    each partial product is written directly to the destination without a
+    full ``m×n`` temporary.
+    """
+    m, w = a_tail.shape
+    n = b_mid.shape[0]
+    if rows_local.size != m or cols_local.size != n:
+        raise ValueError("index arrays do not match operand shapes")
+    if n == 0 or m == 0:
+        return
+    bt = b_mid.T
+    # Column runs let us use plain slices on contiguous destinations.
+    col_slices = row_runs(cols_local)
+    for src_r, dst_r, len_r in row_runs(rows_local):
+        a_blk = a_tail[src_r: src_r + len_r, :]
+        prod = a_blk @ bt  # len_r × n, the largest live temporary
+        for src_c, dst_c, len_c in col_slices:
+            c_panel[dst_r: dst_r + len_r, dst_c: dst_c + len_c] -= (
+                prod[:, src_c: src_c + len_c]
+            )

@@ -1,0 +1,36 @@
+"""Simulated heterogeneous machines.
+
+The paper's performance results (Figures 2–4) come from a 12-core
+Westmere node with three Tesla M2070 GPUs.  Without that hardware, this
+package provides a calibrated *discrete-event simulator*: the very task
+DAG the solver builds is executed under each scheduler policy against
+kernel-duration and transfer models, reproducing the mechanisms the paper
+identifies (granularity, cache reuse, per-task overhead, PCIe transfers,
+stream overlap) and hence the shapes of its figures.
+"""
+
+from repro.machine.model import CpuSpec, GpuSpec, MachineSpec, mirage
+from repro.machine.perfmodel import (
+    CpuPerfModel,
+    GpuKernelModel,
+    cublas_rate,
+    astra_rate,
+    sparse_astra_rate,
+    gemm_occupancy,
+)
+from repro.machine.simulator import simulate, SimulationResult
+
+__all__ = [
+    "CpuSpec",
+    "GpuSpec",
+    "MachineSpec",
+    "mirage",
+    "CpuPerfModel",
+    "GpuKernelModel",
+    "cublas_rate",
+    "astra_rate",
+    "sparse_astra_rate",
+    "gemm_occupancy",
+    "simulate",
+    "SimulationResult",
+]

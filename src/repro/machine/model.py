@@ -1,0 +1,76 @@
+"""Machine specifications.
+
+The default :func:`mirage` factory models a node of the PLAFRIM Mirage
+cluster used throughout the paper's evaluation: two hexa-core Westmere
+Xeon X5650 (2.67 GHz, 4 DP flops/cycle/core → 10.68 GFlop/s/core peak)
+and three NVIDIA Tesla M2070 GPUs (515 GFlop/s DP peak, ~5.25 GB usable,
+PCIe 2.0 x16).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["CpuSpec", "GpuSpec", "MachineSpec", "mirage"]
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """One CPU core class.
+
+    ``peak_gflops`` is the per-core double-precision peak; efficiency
+    factors live in :class:`repro.machine.perfmodel.CpuPerfModel`.
+    """
+
+    peak_gflops: float = 10.68
+    cache_reuse_bonus: float = 1.10   # locality gain when the scheduler
+    #                                   keeps a panel's updates on one core
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """One GPU class (defaults: Tesla M2070).
+
+    ``h2d_gbps`` covers both directions of the PCIe link (modelled as one
+    exclusive channel per GPU, as transfers through a single copy engine).
+    """
+
+    peak_gflops: float = 515.0
+    memory_bytes: int = int(5.25e9)
+    h2d_gbps: float = 6.0
+    transfer_latency_s: float = 15e-6
+    max_streams: int = 3
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A node: ``n_cores`` CPU cores plus ``n_gpus`` GPUs."""
+
+    n_cores: int = 12
+    n_gpus: int = 0
+    cpu: CpuSpec = field(default_factory=CpuSpec)
+    gpu: GpuSpec = field(default_factory=GpuSpec)
+    streams_per_gpu: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_cores < 1:
+            raise ValueError("need at least one core")
+        if self.n_gpus < 0:
+            raise ValueError("n_gpus must be >= 0")
+        if not (1 <= self.streams_per_gpu <= self.gpu.max_streams):
+            raise ValueError(
+                f"streams_per_gpu must be in [1, {self.gpu.max_streams}]"
+            )
+
+    def with_(self, **kw) -> "MachineSpec":
+        """Functional update (``spec.with_(n_gpus=2, streams_per_gpu=3)``)."""
+        return replace(self, **kw)
+
+
+def mirage(
+    n_cores: int = 12, n_gpus: int = 0, streams_per_gpu: int = 1
+) -> MachineSpec:
+    """A Mirage node (the paper's testbed) with the given resources."""
+    return MachineSpec(
+        n_cores=n_cores, n_gpus=n_gpus, streams_per_gpu=streams_per_gpu
+    )

@@ -1,0 +1,83 @@
+"""Minimum-degree ordering with element absorption.
+
+A quotient-graph minimum-degree: eliminated vertices become *elements*;
+the reachable set of a vertex is its remaining plain neighbours plus the
+union of the variables of its adjacent elements.  Adjacent elements are
+absorbed when a new element is formed, which keeps element lists shallow.
+
+This is the exact-external-degree variant (no approximation, no
+supervariable detection): asymptotically slower than AMD but simple and
+correct.  It is used for nested-dissection leaves (a few hundred vertices)
+and as a standalone ordering on small matrices; both fit its O(n·d²)
+envelope comfortably.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.graph.adjacency import Graph
+from repro.ordering.perm import Permutation
+
+__all__ = ["minimum_degree"]
+
+
+def minimum_degree(graph: Graph, *, tie_break: str = "index") -> Permutation:
+    """Minimum-degree ordering of ``graph`` (scatter-form permutation).
+
+    ``tie_break`` is ``"index"`` (deterministic, lowest id first) —
+    kept as a parameter so ablations can plug alternatives in.
+    """
+    if tie_break != "index":
+        raise ValueError("only 'index' tie-breaking is implemented")
+    n = graph.n
+    # Plain (uneliminated) neighbour sets, and per-vertex element lists.
+    nbr: list[set[int]] = [
+        set(graph.neighbors(v).tolist()) for v in range(n)
+    ]
+    elems: list[set[int]] = [set() for _ in range(n)]
+    # element id -> variable set (element ids are the eliminated vertices)
+    elem_vars: dict[int, set[int]] = {}
+    eliminated = np.zeros(n, dtype=bool)
+
+    def reach(v: int) -> set[int]:
+        r = set(nbr[v])
+        for e in elems[v]:
+            r |= elem_vars[e]
+        r.discard(v)
+        return r
+
+    heap: list[tuple[int, int]] = [(len(nbr[v]), v) for v in range(n)]
+    heapq.heapify(heap)
+    degree = [len(nbr[v]) for v in range(n)]
+
+    iperm = np.empty(n, dtype=np.int64)
+    for k in range(n):
+        # Pop until a live, up-to-date entry surfaces (lazy deletion).
+        while True:
+            d, v = heapq.heappop(heap)
+            if not eliminated[v] and d == degree[v]:
+                break
+        eliminated[v] = True
+        iperm[k] = v
+
+        r = reach(v)
+        # Absorb v's adjacent elements into the new element v.
+        absorbed = elems[v]
+        elem_vars[v] = r
+        for e in absorbed:
+            del elem_vars[e]
+        for u in r:
+            nbr[u].discard(v)
+            # u's plain neighbours inside the new element become redundant.
+            nbr[u] -= r
+            elems[u] -= absorbed
+            elems[u].add(v)
+            degree[u] = len(reach(u))
+            heapq.heappush(heap, (degree[u], u))
+        nbr[v].clear()
+        elems[v] = set()
+
+    return Permutation.from_iperm(iperm)

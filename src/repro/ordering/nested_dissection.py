@@ -1,0 +1,152 @@
+"""Nested-dissection ordering.
+
+The top of the analysis pipeline.  Recursively: find a small balanced
+vertex separator, order the two halves first and the separator last, and
+recurse into the halves.  Separator vertices ordered last become the large
+supernodes at the top of the elimination tree — exactly the blocks the
+paper offloads to GPUs.
+
+PaStiX delegates this to Scotch; here it is built on
+:mod:`repro.graph`.  Two separator engines are available:
+
+* ``"levelset"`` (default) — BFS level-set separator, cheap and robust;
+* ``"multilevel"`` — multilevel edge bisection + vertex cover, better
+  separators at higher cost (used in the ordering-quality ablation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.adjacency import Graph
+from repro.graph.bfs import bfs_levels
+from repro.graph.partition import multilevel_bisection
+from repro.graph.separator import level_set_separator, separator_from_edge_cut
+from repro.ordering.mindeg import minimum_degree
+from repro.ordering.perm import Permutation
+from repro.sparse.csc import SparseMatrixCSC
+
+__all__ = ["nested_dissection", "NestedDissectionOptions"]
+
+
+@dataclass(frozen=True)
+class NestedDissectionOptions:
+    """Tuning knobs for :func:`nested_dissection`.
+
+    Attributes
+    ----------
+    leaf_size:
+        Subgraphs at or below this size stop recursing and are ordered
+        with ``leaf_ordering``.
+    leaf_ordering:
+        ``"mindeg"`` (default), ``"natural"`` or ``"rcm"``.
+    separator:
+        ``"levelset"`` or ``"multilevel"``.
+    seed:
+        Seed for the multilevel engine's randomised matching.
+    """
+
+    leaf_size: int = 96
+    leaf_ordering: str = "mindeg"
+    separator: str = "levelset"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.leaf_ordering not in ("mindeg", "natural", "rcm"):
+            raise ValueError(f"unknown leaf ordering {self.leaf_ordering!r}")
+        if self.separator not in ("levelset", "multilevel"):
+            raise ValueError(f"unknown separator engine {self.separator!r}")
+
+
+def _order_leaf(sub: Graph, opts: NestedDissectionOptions) -> np.ndarray:
+    """Local ordering of a leaf subgraph; returns local iperm (new→old)."""
+    if opts.leaf_ordering == "natural" or sub.n <= 2:
+        return np.arange(sub.n, dtype=np.int64)
+    if opts.leaf_ordering == "rcm":
+        from repro.ordering.rcm import reverse_cuthill_mckee
+
+        return reverse_cuthill_mckee(sub).iperm
+    return minimum_degree(sub).iperm
+
+
+def _split_components(sub: Graph, mapping: np.ndarray) -> list[np.ndarray]:
+    """Split a subgraph's vertices into connected components (original ids)."""
+    comp = np.full(sub.n, -1, dtype=np.int64)
+    cid = 0
+    while True:
+        rest = np.flatnonzero(comp < 0)
+        if rest.size == 0:
+            break
+        levels = bfs_levels(sub, int(rest[0]))
+        comp[levels >= 0] = cid
+        cid += 1
+    return [mapping[comp == c] for c in range(cid)]
+
+
+def nested_dissection(
+    source: Graph | SparseMatrixCSC,
+    options: NestedDissectionOptions | None = None,
+) -> Permutation:
+    """Compute a nested-dissection permutation (scatter form).
+
+    Accepts a :class:`Graph` or a square sparse matrix (whose symmetrised
+    pattern is used).  The returned permutation sends each region's
+    interior before its separator, recursively, so separators stack at the
+    end of the ordering.
+    """
+    opts = options or NestedDissectionOptions()
+    graph = (
+        source
+        if isinstance(source, Graph)
+        else Graph.from_matrix(source)
+    )
+    n = graph.n
+    iperm = np.empty(n, dtype=np.int64)
+
+    # Work stack of (original-vertex-ids, lo, hi): fill iperm[lo:hi].
+    stack: list[tuple[np.ndarray, int, int]] = [
+        (np.arange(n, dtype=np.int64), 0, n)
+    ]
+    while stack:
+        vertices, lo, hi = stack.pop()
+        size = vertices.size
+        assert hi - lo == size
+        if size == 0:
+            continue
+        sub, mapping = graph.subgraph(vertices)
+
+        # Disconnected regions: dissect each component independently.
+        comps = _split_components(sub, mapping)
+        if len(comps) > 1:
+            pos = lo
+            for comp_vertices in comps:
+                stack.append((comp_vertices, pos, pos + comp_vertices.size))
+                pos += comp_vertices.size
+            continue
+
+        if size <= opts.leaf_size:
+            local = _order_leaf(sub, opts)
+            iperm[lo:hi] = mapping[local]
+            continue
+
+        if opts.separator == "multilevel":
+            part = multilevel_bisection(sub, seed=opts.seed)
+            sep, pa, pb = separator_from_edge_cut(sub, part)
+        else:
+            sep, pa, pb = level_set_separator(sub)
+
+        if sep.size == 0 or pa.size == 0 or pb.size == 0:
+            # Separation failed (dense or tiny graph): order locally.
+            local = _order_leaf(sub, opts)
+            iperm[lo:hi] = mapping[local]
+            continue
+
+        # Layout: [A | B | separator]; separator gets the last positions.
+        sep_lo = hi - sep.size
+        iperm[sep_lo:hi] = mapping[sep]
+        stack.append((mapping[pa], lo, lo + pa.size))
+        stack.append((mapping[pb], lo + pa.size, sep_lo))
+
+    return Permutation.from_iperm(iperm)

@@ -1,0 +1,98 @@
+"""Permutation objects.
+
+Two equivalent encodings exist for a permutation and confusing them is the
+classic ordering bug, so both live behind one type:
+
+* ``perm[old] = new`` — scatter convention (where does row ``old`` go);
+* ``iperm[new] = old`` — gather convention (which row lands at ``new``).
+
+:class:`Permutation` stores the scatter form and derives the gather form
+on demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Permutation"]
+
+
+@dataclass(frozen=True)
+class Permutation:
+    """A permutation of ``n`` indices, stored as ``perm[old] = new``."""
+
+    perm: np.ndarray
+
+    def __post_init__(self) -> None:
+        p = np.asarray(self.perm, dtype=np.int64)
+        object.__setattr__(self, "perm", p)
+        n = p.size
+        seen = np.zeros(n, dtype=bool)
+        if n and (p.min() < 0 or p.max() >= n):
+            raise ValueError("permutation values out of range")
+        seen[p] = True
+        if not seen.all():
+            raise ValueError("not a permutation (duplicate targets)")
+
+    @property
+    def n(self) -> int:
+        return int(self.perm.size)
+
+    @property
+    def iperm(self) -> np.ndarray:
+        """Gather form: ``iperm[new] = old``."""
+        inv = np.empty_like(self.perm)
+        inv[self.perm] = np.arange(self.n, dtype=np.int64)
+        return inv
+
+    @classmethod
+    def identity(cls, n: int) -> "Permutation":
+        return cls(np.arange(n, dtype=np.int64))
+
+    @classmethod
+    def from_iperm(cls, iperm: np.ndarray) -> "Permutation":
+        """Build from gather form (new → old)."""
+        iperm = np.asarray(iperm, dtype=np.int64)
+        perm = np.empty_like(iperm)
+        perm[iperm] = np.arange(iperm.size, dtype=np.int64)
+        return cls(perm)
+
+    @classmethod
+    def random(cls, n: int, seed: int = 0) -> "Permutation":
+        rng = np.random.default_rng(seed)
+        return cls(rng.permutation(n).astype(np.int64))
+
+    def inverse(self) -> "Permutation":
+        return Permutation(self.iperm)
+
+    def compose(self, other: "Permutation") -> "Permutation":
+        """Return the permutation applying ``self`` then ``other``.
+
+        ``(self @ other).perm[i] == other.perm[self.perm[i]]``.
+        """
+        if other.n != self.n:
+            raise ValueError("size mismatch")
+        return Permutation(other.perm[self.perm])
+
+    def __matmul__(self, other: "Permutation") -> "Permutation":
+        return self.compose(other)
+
+    def apply_to_vector(self, x: np.ndarray) -> np.ndarray:
+        """Permute a vector: result[perm[i]] = x[i] (i.e. ``P x``)."""
+        out = np.empty_like(np.asarray(x))
+        out[self.perm] = x
+        return out
+
+    def undo_on_vector(self, y: np.ndarray) -> np.ndarray:
+        """Inverse action: result[i] = y[perm[i]] (i.e. ``P^T y``)."""
+        return np.asarray(y)[self.perm]
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Permutation) and np.array_equal(
+            self.perm, other.perm
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Permutation(n={self.n})"

@@ -1,0 +1,13 @@
+"""Incomplete factorizations (preconditioners).
+
+The paper's amalgamation stage is "reused from the implementation of an
+incomplete factorization" (§V, citing Hénon–Ramet–Roman's approximate
+supernodes for ILU(k)).  This package provides that other half of the
+lineage: level-of-fill incomplete LU / incomplete Cholesky, usable
+directly as preconditioners for the Krylov solvers in
+:mod:`repro.core.krylov`.
+"""
+
+from repro.precond.ilu import IncompleteLU, ilu_symbolic
+
+__all__ = ["IncompleteLU", "ilu_symbolic"]

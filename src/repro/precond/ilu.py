@@ -1,0 +1,211 @@
+"""Level-of-fill incomplete LU factorization, ILU(k).
+
+The classic two-phase construction:
+
+1. **symbolic** (:func:`ilu_symbolic`) — row-wise level-of-fill: an entry
+   ``(i, j)`` enters the pattern with level
+   ``min(lev(i,k) + lev(k,j) + 1)`` over eliminated pivots ``k``; entries
+   with level ≤ k survive.  ILU(0) keeps exactly A's pattern; growing k
+   approaches the exact factor.
+2. **numeric** — IKJ elimination restricted to the fixed pattern, without
+   pivoting (consistent with the static-pivoting solver; the generators'
+   diagonal dominance keeps it stable).
+
+:class:`IncompleteLU` wraps both phases plus the triangular application,
+and plugs straight into :mod:`repro.core.krylov` via its
+:meth:`IncompleteLU.solve` closure.  Real and complex (plain-transpose)
+systems are supported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.ordering.perm import Permutation
+from repro.sparse.csc import SparseMatrixCSC
+
+__all__ = ["ilu_symbolic", "IncompleteLU"]
+
+
+def ilu_symbolic(
+    matrix: SparseMatrixCSC, level: int = 0
+) -> tuple[list[np.ndarray], list[np.ndarray]]:
+    """Level-of-fill pattern of ILU(k).
+
+    Returns ``(lower, upper)``: for each row ``i``, the sorted column
+    indices strictly left of the diagonal (``lower[i]``) and from the
+    diagonal rightward (``upper[i]``, always including ``i``).
+    """
+    if not matrix.is_square:
+        raise ValueError("ILU needs a square matrix")
+    if level < 0:
+        raise ValueError("level must be >= 0")
+    n = matrix.n_rows
+    csr = matrix.to_scipy().tocsr()
+    csr.sort_indices()
+
+    lower: list[np.ndarray] = []
+    upper: list[np.ndarray] = []
+    # Levels of the U part of every processed row (dict per row).
+    u_levels: list[dict[int, int]] = []
+
+    for i in range(n):
+        cols = csr.indices[csr.indptr[i]: csr.indptr[i + 1]]
+        row_lev: dict[int, int] = {int(j): 0 for j in cols}
+        row_lev.setdefault(i, 0)  # structurally full diagonal
+        # Eliminate pivots in ascending column order; the active set can
+        # grow while iterating, so re-scan a sorted snapshot each time.
+        done: set[int] = set()
+        while True:
+            cands = sorted(
+                j for j in row_lev
+                if j < i and j not in done and row_lev[j] <= level
+            )
+            if not cands:
+                break
+            k = cands[0]
+            done.add(k)
+            lev_ik = row_lev[k]
+            for j, lev_kj in u_levels[k].items():
+                if j <= k:
+                    continue
+                new = lev_ik + lev_kj + 1
+                if new <= level and (j not in row_lev or row_lev[j] > new):
+                    row_lev[j] = min(row_lev.get(j, new), new)
+        keep = {j: l for j, l in row_lev.items() if l <= level}
+        lo = np.array(sorted(j for j in keep if j < i), dtype=np.int64)
+        up = np.array(sorted(j for j in keep if j >= i), dtype=np.int64)
+        lower.append(lo)
+        upper.append(up)
+        u_levels.append({int(j): keep[j] for j in up})
+    return lower, upper
+
+
+@dataclass
+class IncompleteLU:
+    """ILU(k) preconditioner.
+
+    Parameters
+    ----------
+    matrix:
+        Square sparse matrix with values.
+    level:
+        Level of fill (0 = A's own pattern).
+    ordering:
+        Optional :class:`Permutation` applied symmetrically before the
+        factorization (a fill-reducing ordering also helps ILU quality);
+        ``solve`` handles the permutation transparently.
+
+    Attributes
+    ----------
+    nnz:
+        Stored entries of L (strict) + U (with diagonal).
+    """
+
+    matrix: SparseMatrixCSC
+    level: int = 0
+    ordering: Optional[Permutation] = None
+
+    def __post_init__(self) -> None:
+        work = (
+            self.matrix
+            if self.ordering is None
+            else self.matrix.permute(self.ordering.perm)
+        )
+        lower, upper = ilu_symbolic(work, self.level)
+        self._factorize(work, lower, upper)
+
+    # ------------------------------------------------------------------
+    def _factorize(self, work, lower, upper) -> None:
+        n = work.n_rows
+        dtype = work.values.dtype
+        csr = work.to_scipy().tocsr()
+        csr.sort_indices()
+
+        # U rows stored as dicts during elimination for O(1) access.
+        u_rows: list[dict[int, complex]] = []
+        l_rows: list[dict[int, complex]] = []
+        for i in range(n):
+            cols = csr.indices[csr.indptr[i]: csr.indptr[i + 1]]
+            vals = csr.data[csr.indptr[i]: csr.indptr[i + 1]]
+            row = {int(j): v for j, v in zip(cols, vals)}
+            # Ensure pattern entries exist (fill positions start at 0).
+            for j in lower[i]:
+                row.setdefault(int(j), 0.0)
+            for j in upper[i]:
+                row.setdefault(int(j), 0.0)
+            for k in lower[i]:
+                k = int(k)
+                piv = u_rows[k].get(k, 0.0)
+                if piv == 0:
+                    raise ZeroDivisionError(
+                        f"zero pivot in ILU at row {k}"
+                    )
+                lik = row[k] / piv
+                row[k] = lik
+                for j, ukj in u_rows[k].items():
+                    if j > k and j in row:
+                        row[j] -= lik * ukj
+            l_rows.append({int(j): row[int(j)] for j in lower[i]})
+            u_rows.append({int(j): row[int(j)] for j in upper[i]})
+        # Compress to CSR triangles.
+        self._L = self._to_csr(l_rows, n, dtype, unit=True)
+        self._U = self._to_csr(u_rows, n, dtype, unit=False)
+        self.nnz = int(self._L.nnz + self._U.nnz)
+
+    @staticmethod
+    def _to_csr(rows, n, dtype, *, unit: bool):
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        indices: list[int] = []
+        data: list = []
+        for i, row in enumerate(rows):
+            cols = sorted(row)
+            indices.extend(cols)
+            data.extend(row[j] for j in cols)
+            indptr[i + 1] = len(indices)
+        mat = sp.csr_matrix(
+            (np.asarray(data, dtype=dtype),
+             np.asarray(indices, dtype=np.int64), indptr),
+            shape=(n, n),
+        )
+        return mat
+
+    # ------------------------------------------------------------------
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """Apply the preconditioner: solve ``L U x = b`` on the pattern."""
+        b = np.asarray(b)
+        if self.ordering is not None:
+            b = self.ordering.apply_to_vector(b)
+        y = sp.linalg.spsolve_triangular(
+            self._L + sp.eye(self._L.shape[0], format="csr",
+                             dtype=self._L.dtype),
+            b, lower=True, unit_diagonal=True,
+        )
+        x = sp.linalg.spsolve_triangular(self._U, y, lower=False)
+        if self.ordering is not None:
+            x = self.ordering.undo_on_vector(x)
+        return x
+
+    def factors(self) -> tuple[SparseMatrixCSC, SparseMatrixCSC]:
+        """L (strict lower, unit diagonal implicit) and U as CSC."""
+        return (
+            SparseMatrixCSC.from_scipy(self._L.tocsc()),
+            SparseMatrixCSC.from_scipy(self._U.tocsc()),
+        )
+
+    def residual_operator_norm(self, samples: int = 8, seed: int = 0) -> float:
+        """Rough estimate of ``‖I − (LU)⁻¹A‖`` by random probing —
+        a quality measure that shrinks as the level grows."""
+        rng = np.random.default_rng(seed)
+        n = self.matrix.n_rows
+        worst = 0.0
+        for _ in range(samples):
+            v = rng.standard_normal(n)
+            v /= np.linalg.norm(v)
+            r = v - self.solve(self.matrix.matvec(v))
+            worst = max(worst, float(np.linalg.norm(r)))
+        return worst

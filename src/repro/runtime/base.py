@@ -1,0 +1,99 @@
+"""Scheduler-policy interface.
+
+A policy plugs into the machine simulator
+(:mod:`repro.machine.simulator`): the simulator owns time, dependencies,
+panel coherence, mutexes, transfers and GPU sharing; the policy owns the
+*decisions* — which queue a ready task joins and which task an idle
+resource picks next.  The simulator is visible to the policy through a
+narrow helper surface documented on :class:`SchedulerPolicy.bind`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dag.tasks import TaskDAG
+
+__all__ = ["PolicyTraits", "SchedulerPolicy", "bottom_levels"]
+
+
+@dataclass(frozen=True)
+class PolicyTraits:
+    """Static characteristics of a scheduler policy.
+
+    These encode the runtime differences the paper discusses:
+
+    * ``granularity`` — ``"1d"`` (PaStiX fused tasks) or ``"2d"``;
+    * ``task_overhead_s`` — per-task dispatch cost on a CPU worker
+      (PaRSEC pays a little extra to instantiate tasks lazily; StarPU's
+      centralized scheduler pays more; the native static scheduler
+      almost nothing);
+    * ``cache_reuse`` — whether the policy keeps a panel's consumers on
+      the core that produced it (PaStiX, PaRSEC yes; StarPU no — §V-A);
+    * ``dedicated_gpu_workers`` — StarPU removes one CPU worker per GPU;
+    * ``prefetch`` — StarPU starts input transfers at assignment time;
+    * ``recompute_ld`` — generic runtimes recompute (L·D) inside each
+      LDLᵀ update instead of keeping PaStiX's temporary buffer.
+    """
+
+    name: str
+    granularity: str = "2d"
+    task_overhead_s: float = 2e-6
+    cache_reuse: bool = True
+    dedicated_gpu_workers: bool = False
+    prefetch: bool = False
+    recompute_ld: bool = True
+
+
+class SchedulerPolicy(ABC):
+    """Base class for scheduler policies."""
+
+    traits: PolicyTraits
+
+    def bind(self, sim) -> None:
+        """Attach to a simulator before the run.
+
+        The simulator exposes (at least): ``dag``, ``machine``, ``time``,
+        ``n_cpu_workers``, ``cpu_duration[t]``, ``gpu_duration[t]``,
+        ``gpu_eligible[t]`` (bool array), ``transfer_estimate(g, t)``,
+        ``last_writer_core(cblk)``, ``prefetch(g, cblk)``.
+        """
+        self.sim = sim
+        self.setup()
+
+    def setup(self) -> None:
+        """Per-run initialisation (queues, priorities)."""
+
+    @abstractmethod
+    def on_ready(self, task: int) -> None:
+        """A task's dependencies are all satisfied."""
+
+    @abstractmethod
+    def next_cpu_task(self, worker: int) -> int | None:
+        """An idle CPU worker asks for work (None = nothing for it now)."""
+
+    def next_gpu_task(self, gpu: int) -> int | None:
+        """An idle GPU stream asks for work."""
+        return None
+
+    def on_complete(self, task: int, resource) -> None:
+        """Notification after a task completes (optional hook)."""
+
+
+def bottom_levels(dag: TaskDAG) -> np.ndarray:
+    """Flops-weighted bottom level of every task.
+
+    ``bl[t]`` = weight of the heaviest path from ``t`` to a sink,
+    including ``t`` itself — the classic list-scheduling priority, and
+    the analogue of PaStiX's analysis-time cost-model ordering.
+    """
+    order = dag.topological_order()
+    bl = dag.flops.astype(np.float64).copy()
+    for t in order[::-1]:
+        succ = dag.successors(int(t))
+        if succ.size:
+            bl[t] = dag.flops[t] + bl[succ].max()
+    return bl

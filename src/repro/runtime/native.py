@@ -1,0 +1,81 @@
+"""PaStiX's native scheduler.
+
+The baseline of every figure.  PaStiX's unit of scheduling is the 1D
+task — a panel factorization fused with *all* the updates it generates,
+executed back-to-back on one core — but each update releases its target's
+dependency as soon as it is applied, not when the whole 1D task ends.
+The policy therefore runs on the 2D DAG and reproduces the 1D behaviour
+by *placement*: when panel ``k`` finishes on a core, every update of
+``k`` is queued on that same core, in static priority order.  Idle cores
+steal (the work-stealing refinement of [Faverge & Ramet 2008/2012] the
+paper describes), panels are picked by analysis-time cost-model priority
+(flops-weighted bottom levels), per-task overhead is negligible, locality
+is maximal — and there is no GPU support (in the paper, native PaStiX
+runs CPU-only; heterogeneous results come from the generic runtimes).
+
+A strict fused-1D model (``granularity="1d"``) remains available through
+:func:`repro.dag.build_dag` for the granularity ablation.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+
+from repro.dag.tasks import TaskKind
+from repro.runtime.base import PolicyTraits, SchedulerPolicy, bottom_levels
+
+__all__ = ["NativePolicy"]
+
+
+class NativePolicy(SchedulerPolicy):
+    """Static-priority scheduling with 1D placement + work stealing."""
+
+    def __init__(self, *, task_overhead_s: float = 0.3e-6) -> None:
+        self.traits = PolicyTraits(
+            name="native",
+            granularity="2d",
+            task_overhead_s=task_overhead_s,
+            cache_reuse=True,
+            dedicated_gpu_workers=False,
+            prefetch=False,
+            recompute_ld=False,  # PaStiX's temp-buffer LDLT update kernel
+        )
+
+    def setup(self) -> None:
+        sim = self.sim
+        self._prio = bottom_levels(sim.dag)
+        self._panel_heap: list[tuple[float, int]] = []
+        self._local: list[deque[int]] = [
+            deque() for _ in range(sim.n_cpu_workers)
+        ]
+        self._rr = 0
+
+    def on_ready(self, task: int) -> None:
+        sim = self.sim
+        if sim.dag.kind[task] == TaskKind.UPDATE:
+            # Updates run on the core that factorized their source panel
+            # (the 1D-task placement).
+            w = sim.last_writer_core(int(sim.dag.cblk[task]))
+            if w < 0 or w >= sim.n_cpu_workers:
+                w = self._rr
+                self._rr = (self._rr + 1) % sim.n_cpu_workers
+            self._local[w].append(task)
+        else:
+            heapq.heappush(self._panel_heap, (-float(self._prio[task]), task))
+
+    def next_cpu_task(self, worker: int) -> int | None:
+        own = self._local[worker]
+        if own:
+            return own.popleft()  # finish the current 1D task first
+        if self._panel_heap:
+            return heapq.heappop(self._panel_heap)[1]
+        # Work stealing from the most loaded core.
+        victim = max(
+            range(len(self._local)),
+            key=lambda v: len(self._local[v]),
+            default=None,
+        )
+        if victim is not None and self._local[victim]:
+            return self._local[victim].popleft()
+        return None

@@ -1,0 +1,192 @@
+"""Analysis-time static scheduling (PaStiX §III).
+
+Historically "PASTIX scheduling strategy was based on a cost model of the
+tasks executed that defines the execution order used at runtime during
+the analyze phase"; the dynamic work-stealing layer was added later to
+absorb the cost model's error on hierarchical machines.  This module
+provides that static layer:
+
+* :func:`static_schedule` — classic ETF/HEFT-style list scheduling of a
+  :class:`TaskDAG` onto ``n_cores`` homogeneous cores using modelled
+  durations, producing per-core ordered task lists and the predicted
+  makespan;
+* :class:`StaticPolicy` — a scheduler policy that *replays* the static
+  assignment inside the machine simulator, optionally with work stealing
+  disabled, so the value of dynamic correction can be measured when the
+  true durations deviate from the model (the
+  ``bench_ablations``/``tests`` perturbation experiments).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dag.tasks import TaskDAG
+from repro.runtime.base import PolicyTraits, SchedulerPolicy, bottom_levels
+
+__all__ = ["StaticSchedule", "static_schedule", "StaticPolicy"]
+
+
+@dataclass(frozen=True)
+class StaticSchedule:
+    """Result of analysis-time list scheduling."""
+
+    core_of: np.ndarray          # task -> core
+    order: np.ndarray            # global order of task start times
+    start: np.ndarray            # predicted start time per task
+    makespan: float              # predicted makespan
+
+    @property
+    def n_cores(self) -> int:
+        return int(self.core_of.max()) + 1 if self.core_of.size else 0
+
+    def core_list(self, core: int) -> np.ndarray:
+        """Tasks of ``core`` in predicted start order."""
+        mine = np.flatnonzero(self.core_of == core)
+        return mine[np.argsort(self.start[mine], kind="stable")]
+
+
+def static_schedule(
+    dag: TaskDAG,
+    durations: np.ndarray,
+    n_cores: int,
+) -> StaticSchedule:
+    """List-schedule ``dag`` on ``n_cores`` cores with modelled durations.
+
+    Ready tasks are started highest-bottom-level-first on the earliest
+    available core (mutex groups are respected: two updates of one panel
+    never overlap, matching what the runtime will enforce).
+    """
+    durations = np.asarray(durations, dtype=np.float64)
+    if durations.shape != (dag.n_tasks,):
+        raise ValueError("durations must have one entry per task")
+    if n_cores < 1:
+        raise ValueError("need at least one core")
+
+    prio = bottom_levels(dag)
+    import heapq
+
+    deps = dag.n_deps.copy()
+    ready: list[tuple[float, int]] = [
+        (-float(prio[t]), int(t)) for t in np.flatnonzero(deps == 0)
+    ]
+    heapq.heapify(ready)
+    core_free = np.zeros(n_cores, dtype=np.float64)
+    task_end = np.zeros(dag.n_tasks, dtype=np.float64)
+    dep_ready = np.zeros(dag.n_tasks, dtype=np.float64)
+    mutex_free: dict[int, float] = {}
+    core_of = np.full(dag.n_tasks, -1, dtype=np.int64)
+    start = np.zeros(dag.n_tasks, dtype=np.float64)
+    scheduled = 0
+
+    while ready:
+        _, t = heapq.heappop(ready)
+        core = int(np.argmin(core_free))
+        begin = max(core_free[core], dep_ready[t])
+        grp = int(dag.mutex[t])
+        if grp >= 0:
+            begin = max(begin, mutex_free.get(grp, 0.0))
+        end = begin + durations[t]
+        core_of[t] = core
+        start[t] = begin
+        task_end[t] = end
+        core_free[core] = end
+        if grp >= 0:
+            mutex_free[grp] = end
+        scheduled += 1
+        for s in dag.successors(t):
+            dep_ready[s] = max(dep_ready[s], end)
+            deps[s] -= 1
+            if deps[s] == 0:
+                heapq.heappush(ready, (-float(prio[s]), int(s)))
+
+    if scheduled != dag.n_tasks:
+        raise ValueError("task graph contains a cycle")
+    order = np.argsort(start, kind="stable").astype(np.int64)
+    return StaticSchedule(
+        core_of=core_of,
+        order=order,
+        start=start,
+        makespan=float(task_end.max(initial=0.0)),
+    )
+
+
+class StaticPolicy(SchedulerPolicy):
+    """Replay a :class:`StaticSchedule` inside the machine simulator.
+
+    Each core executes exactly its statically assigned tasks in the
+    planned order; with ``work_stealing=True`` an idle core may instead
+    take the next planned task of the most loaded core (the refinement
+    PaStiX added for NUMA machines).  Comparing both modes under
+    perturbed durations quantifies the static model's fragility.
+    """
+
+    def __init__(
+        self,
+        schedule: StaticSchedule,
+        *,
+        work_stealing: bool = False,
+        task_overhead_s: float = 0.3e-6,
+    ) -> None:
+        self.traits = PolicyTraits(
+            name="static" + ("+steal" if work_stealing else ""),
+            granularity="2d",
+            task_overhead_s=task_overhead_s,
+            cache_reuse=True,
+            dedicated_gpu_workers=False,
+            prefetch=False,
+            recompute_ld=False,
+        )
+        self.schedule = schedule
+        self.work_stealing = work_stealing
+
+    def setup(self) -> None:
+        n = self.sim.n_cpu_workers
+        self._plan: list[deque[int]] = [deque() for _ in range(n)]
+        self._core_of: dict[int, int] = {}
+        for t in self.schedule.order:
+            core = int(self.schedule.core_of[t]) % n
+            self._plan[core].append(int(t))
+            self._core_of[int(t)] = core
+        self._ready: set[int] = set()
+        self._issued: set[int] = set()
+
+    def on_ready(self, task: int) -> None:
+        if task in self._issued:
+            # The simulator handed the task back (mutex was held when it
+            # was issued): restore it at the head of its plan.
+            self._issued.discard(task)
+            self._plan[self._core_of[task]].appendleft(task)
+        self._ready.add(task)
+
+    def _pop(self, core: int) -> int:
+        t = self._plan[core].popleft()
+        self._ready.discard(t)
+        self._issued.add(t)
+        return t
+
+    def next_cpu_task(self, worker: int) -> int | None:
+        plan = self._plan[worker]
+        # Own plan first: only the *head* may run (static order).
+        if plan and plan[0] in self._ready:
+            return self._pop(worker)
+        if not self.work_stealing:
+            return None
+        # Steal the ready head of the most loaded victim.
+        victims = sorted(
+            range(len(self._plan)),
+            key=lambda v: -len(self._plan[v]),
+        )
+        for v in victims:
+            if v == worker:
+                continue
+            vplan = self._plan[v]
+            if vplan and vplan[0] in self._ready:
+                return self._pop(v)
+        return None
+
+    def on_complete(self, task: int, resource) -> None:
+        self._issued.discard(task)

@@ -1,0 +1,211 @@
+"""Execution traces.
+
+Produced by both the machine simulator and the threaded engine; consumed
+by the tests (schedule-validity checking), the Gantt renderer, and the
+benchmark reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.dag.tasks import TaskDAG
+
+__all__ = ["TraceEvent", "ExecutionTrace"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One task execution: ``resource`` is e.g. ``"cpu3"`` or ``"gpu1"``."""
+
+    task: int
+    resource: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class ExecutionTrace:
+    """A complete schedule: task executions plus optional transfers."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+    transfers: list[TraceEvent] = field(default_factory=list)
+
+    def record(self, task: int, resource: str, start: float, end: float) -> None:
+        self.events.append(TraceEvent(task, resource, start, end))
+
+    def record_transfer(self, tag: int, resource: str, start: float, end: float) -> None:
+        self.transfers.append(TraceEvent(tag, resource, start, end))
+
+    # ------------------------------------------------------------------
+    @property
+    def makespan(self) -> float:
+        return max((e.end for e in self.events), default=0.0)
+
+    def busy_time(self) -> dict[str, float]:
+        """Total busy seconds per resource."""
+        out: dict[str, float] = {}
+        for e in self.events:
+            out[e.resource] = out.get(e.resource, 0.0) + e.duration
+        return out
+
+    def resources(self) -> list[str]:
+        return sorted({e.resource for e in self.events})
+
+    def start_end(self, task: int) -> tuple[float, float]:
+        for e in self.events:
+            if e.task == task:
+                return e.start, e.end
+        raise KeyError(f"task {task} not in trace")
+
+    # ------------------------------------------------------------------
+    def validate(
+        self,
+        dag: TaskDAG,
+        *,
+        exclusive_resources: Optional[Iterable[str]] = None,
+        check_mutex: bool = True,
+        tol: float = 1e-12,
+    ) -> None:
+        """Assert the schedule is feasible.
+
+        * every task appears exactly once;
+        * dependencies: no task starts before all predecessors ended;
+        * exclusive resources (CPU workers) never run two tasks at once;
+        * mutex groups (updates to one panel) never overlap.
+        """
+        seen = np.zeros(dag.n_tasks, dtype=np.int64)
+        start = np.empty(dag.n_tasks)
+        end = np.empty(dag.n_tasks)
+        for e in self.events:
+            seen[e.task] += 1
+            start[e.task] = e.start
+            end[e.task] = e.end
+            assert e.end >= e.start - tol, f"task {e.task} ends before start"
+        assert np.all(seen == 1), (
+            f"tasks executed != once: {np.flatnonzero(seen != 1)[:10]}"
+        )
+        for t in range(dag.n_tasks):
+            for s in dag.successors(t):
+                assert start[s] >= end[t] - tol, (
+                    f"dependency violated: {t} -> {s}"
+                )
+
+        excl = (
+            set(exclusive_resources)
+            if exclusive_resources is not None
+            else {r for r in self.resources() if r.startswith("cpu")}
+        )
+        by_res: dict[str, list[TraceEvent]] = {}
+        for e in self.events:
+            by_res.setdefault(e.resource, []).append(e)
+        for res, evs in by_res.items():
+            if res not in excl:
+                continue
+            evs.sort(key=lambda e: e.start)
+            for a, b in zip(evs, evs[1:]):
+                assert b.start >= a.end - tol, (
+                    f"overlap on {res}: tasks {a.task} and {b.task}"
+                )
+
+        if check_mutex:
+            by_group: dict[int, list[int]] = {}
+            for t in range(dag.n_tasks):
+                g = int(dag.mutex[t])
+                if g >= 0:
+                    by_group.setdefault(g, []).append(t)
+            for g, tasks in by_group.items():
+                tasks.sort(key=lambda t: start[t])
+                for a, b in zip(tasks, tasks[1:]):
+                    assert start[b] >= end[a] - tol, (
+                        f"mutex {g} violated by tasks {a}, {b}"
+                    )
+
+    # ------------------------------------------------------------------
+    def gantt(self, *, width: int = 100) -> str:
+        """ASCII Gantt chart (one row per resource)."""
+        span = self.makespan
+        if span <= 0:
+            return "(empty trace)"
+        lines = []
+        for res in self.resources():
+            row = [" "] * width
+            for e in self.events:
+                if e.resource != res:
+                    continue
+                a = int(e.start / span * (width - 1))
+                b = max(a + 1, int(e.end / span * (width - 1)))
+                for i in range(a, min(b, width)):
+                    row[i] = "#"
+            lines.append(f"{res:>6} |{''.join(row)}|")
+        lines.append(f"{'':>6}  makespan = {span:.6f} s")
+        return "\n".join(lines)
+
+    def to_csv(self, path) -> None:
+        """Dump events as CSV (task,resource,start,end)."""
+        with open(path, "w") as fh:
+            fh.write("task,resource,start,end\n")
+            for e in self.events:
+                fh.write(f"{e.task},{e.resource},{e.start!r},{e.end!r}\n")
+
+    def to_chrome_trace(self, path, dag: Optional[TaskDAG] = None) -> None:
+        """Write the schedule in Chrome trace-event format.
+
+        Open the file at ``chrome://tracing`` or https://ui.perfetto.dev
+        to inspect the schedule interactively.  When ``dag`` is given,
+        events are labelled with task kind and panel indices; transfers
+        appear on their own link rows.
+        """
+        import json
+
+        def label(task: int) -> str:
+            if dag is None:
+                return f"task {task}"
+            from repro.dag.tasks import TaskKind
+
+            kind = TaskKind(int(dag.kind[task]))
+            if kind == TaskKind.UPDATE:
+                return f"update {dag.cblk[task]}->{dag.target[task]}"
+            if kind == TaskKind.SUBTREE:
+                return f"subtree @{dag.cblk[task]}"
+            return f"panel {dag.cblk[task]}"
+
+        rows = sorted({e.resource for e in self.events}
+                      | {e.resource for e in self.transfers})
+        tid = {r: i for i, r in enumerate(rows)}
+        events = []
+        for r, i in tid.items():
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": 0, "tid": i,
+                "args": {"name": r},
+            })
+        for e in self.events:
+            events.append({
+                "name": label(e.task),
+                "cat": "task",
+                "ph": "X",
+                "pid": 0,
+                "tid": tid[e.resource],
+                "ts": e.start * 1e6,
+                "dur": max(e.duration * 1e6, 0.01),
+                "args": {"task": e.task},
+            })
+        for e in self.transfers:
+            events.append({
+                "name": e.resource,
+                "cat": "transfer",
+                "ph": "X",
+                "pid": 0,
+                "tid": tid[e.resource],
+                "ts": e.start * 1e6,
+                "dur": max(e.duration * 1e6, 0.01),
+            })
+        with open(path, "w") as fh:
+            json.dump({"traceEvents": events}, fh)

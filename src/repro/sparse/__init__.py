@@ -1,0 +1,43 @@
+"""Sparse-matrix substrate: containers, generators, I/O, and the Table-I
+matrix collection analogues.
+
+The solver works on compressed-sparse-column (CSC) matrices.  The container
+here is deliberately small and NumPy-backed: three flat arrays (``colptr``,
+``rowind``, ``values``) plus a shape, mirroring what PaStiX consumes.  All
+structural algorithms downstream (ordering, symbolic factorization) operate
+on these arrays directly, vectorised where possible.
+"""
+
+from repro.sparse.csc import SparseMatrixCSC, coo_to_csc
+from repro.sparse.generators import (
+    grid_laplacian_2d,
+    grid_laplacian_3d,
+    random_pattern_spd,
+    elasticity_like_3d,
+    helmholtz_like_2d,
+    shell_like_2d,
+)
+from repro.sparse.io import read_matrix_market, write_matrix_market
+from repro.sparse.collection import (
+    MATRIX_COLLECTION,
+    MatrixInfo,
+    load_matrix,
+    collection_names,
+)
+
+__all__ = [
+    "SparseMatrixCSC",
+    "coo_to_csc",
+    "grid_laplacian_2d",
+    "grid_laplacian_3d",
+    "random_pattern_spd",
+    "elasticity_like_3d",
+    "helmholtz_like_2d",
+    "shell_like_2d",
+    "read_matrix_market",
+    "write_matrix_market",
+    "MATRIX_COLLECTION",
+    "MatrixInfo",
+    "load_matrix",
+    "collection_names",
+]

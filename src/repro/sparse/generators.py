@@ -1,0 +1,240 @@
+"""Deterministic sparse-matrix generators.
+
+These produce the synthetic workloads used throughout the test suite and
+as analogues of the University of Florida matrices of Table I (see
+:mod:`repro.sparse.collection`).  Every generator is deterministic given
+its arguments (seeded RNG), returns a :class:`~repro.sparse.csc.SparseMatrixCSC`
+with a *symmetric pattern* and a structurally full diagonal — the
+invariants the analysis pipeline expects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.csc import SparseMatrixCSC, coo_to_csc
+
+__all__ = [
+    "grid_laplacian_2d",
+    "grid_laplacian_3d",
+    "random_pattern_spd",
+    "elasticity_like_3d",
+    "helmholtz_like_2d",
+    "shell_like_2d",
+]
+
+
+def _grid_edges_2d(nx: int, ny: int, stencil: int) -> tuple[np.ndarray, np.ndarray]:
+    """Undirected edge list of a 2D grid graph (5- or 9-point stencil)."""
+    idx = np.arange(nx * ny, dtype=np.int64).reshape(ny, nx)
+    pairs = [
+        (idx[:, :-1].ravel(), idx[:, 1:].ravel()),   # east
+        (idx[:-1, :].ravel(), idx[1:, :].ravel()),   # south
+    ]
+    if stencil == 9:
+        pairs.append((idx[:-1, :-1].ravel(), idx[1:, 1:].ravel()))   # SE diag
+        pairs.append((idx[:-1, 1:].ravel(), idx[1:, :-1].ravel()))   # SW diag
+    elif stencil != 5:
+        raise ValueError("2D stencil must be 5 or 9")
+    u = np.concatenate([p[0] for p in pairs])
+    v = np.concatenate([p[1] for p in pairs])
+    return u, v
+
+
+def _grid_edges_3d(nx: int, ny: int, nz: int, stencil: int) -> tuple[np.ndarray, np.ndarray]:
+    """Undirected edge list of a 3D grid graph (7- or 27-point stencil)."""
+    idx = np.arange(nx * ny * nz, dtype=np.int64).reshape(nz, ny, nx)
+    pairs = [
+        (idx[:, :, :-1].ravel(), idx[:, :, 1:].ravel()),
+        (idx[:, :-1, :].ravel(), idx[:, 1:, :].ravel()),
+        (idx[:-1, :, :].ravel(), idx[1:, :, :].ravel()),
+    ]
+    if stencil == 27:
+        # All 13 forward neighbour offsets of the 27-point stencil.
+        offsets = [
+            (0, 1, 1), (0, 1, -1),
+            (1, 0, 1), (1, 0, -1), (1, 1, 0), (1, -1, 0),
+            (1, 1, 1), (1, 1, -1), (1, -1, 1), (1, -1, -1),
+        ]
+        for dz, dy, dx in offsets:
+            zs = slice(None, -dz) if dz else slice(None)
+            zd = slice(dz, None) if dz else slice(None)
+            ys = slice(None, -dy) if dy > 0 else (slice(-dy, None) if dy < 0 else slice(None))
+            yd = slice(dy, None) if dy > 0 else (slice(None, dy) if dy < 0 else slice(None))
+            xs = slice(None, -dx) if dx > 0 else (slice(-dx, None) if dx < 0 else slice(None))
+            xd = slice(dx, None) if dx > 0 else (slice(None, dx) if dx < 0 else slice(None))
+            pairs.append((idx[zs, ys, xs].ravel(), idx[zd, yd, xd].ravel()))
+    elif stencil != 7:
+        raise ValueError("3D stencil must be 7 or 27")
+    u = np.concatenate([p[0] for p in pairs])
+    v = np.concatenate([p[1] for p in pairs])
+    return u, v
+
+
+def _assemble_laplacian(
+    n: int,
+    u: np.ndarray,
+    v: np.ndarray,
+    dtype,
+    rng: np.random.Generator,
+    jitter: float,
+) -> SparseMatrixCSC:
+    """Assemble an SPD (or complex-symmetric) graph Laplacian + identity.
+
+    Off-diagonal weights are ``-1`` perturbed by ``jitter`` to avoid exact
+    ties in pivot magnitudes; the diagonal is the (weighted) degree plus
+    one, which makes the real variant strictly diagonally dominant, hence
+    SPD, hence safe for Cholesky/LDLᵀ/LU without pivoting.
+    """
+    w = np.ones(u.size, dtype=np.float64)
+    if jitter:
+        w += jitter * rng.random(u.size)
+    if np.issubdtype(np.dtype(dtype), np.complexfloating):
+        wc = w.astype(np.complex128)
+        if jitter:
+            wc = wc + 1j * jitter * rng.random(u.size)
+        w = wc
+    rows = np.concatenate([u, v, np.arange(n, dtype=np.int64)])
+    cols = np.concatenate([v, u, np.arange(n, dtype=np.int64)])
+    deg = np.zeros(n, dtype=w.dtype)
+    np.add.at(deg, u, w)
+    np.add.at(deg, v, w)
+    vals = np.concatenate([-w, -w, deg + 1.0])
+    return coo_to_csc(n, n, rows, cols, vals.astype(dtype))
+
+
+def grid_laplacian_2d(
+    nx: int,
+    ny: int | None = None,
+    *,
+    stencil: int = 5,
+    dtype=np.float64,
+    jitter: float = 0.0,
+    seed: int = 0,
+) -> SparseMatrixCSC:
+    """SPD Laplacian of an ``nx × ny`` grid (5- or 9-point stencil)."""
+    ny = nx if ny is None else ny
+    rng = np.random.default_rng(seed)
+    u, v = _grid_edges_2d(nx, ny, stencil)
+    return _assemble_laplacian(nx * ny, u, v, dtype, rng, jitter)
+
+
+def grid_laplacian_3d(
+    nx: int,
+    ny: int | None = None,
+    nz: int | None = None,
+    *,
+    stencil: int = 7,
+    dtype=np.float64,
+    jitter: float = 0.0,
+    seed: int = 0,
+) -> SparseMatrixCSC:
+    """SPD Laplacian of an ``nx × ny × nz`` grid (7- or 27-point stencil)."""
+    ny = nx if ny is None else ny
+    nz = nx if nz is None else nz
+    rng = np.random.default_rng(seed)
+    u, v = _grid_edges_3d(nx, ny, nz, stencil)
+    return _assemble_laplacian(nx * ny * nz, u, v, dtype, rng, jitter)
+
+
+def random_pattern_spd(
+    n: int,
+    avg_nnz_per_col: float = 8.0,
+    *,
+    dtype=np.float64,
+    seed: int = 0,
+    locality: float = 0.0,
+) -> SparseMatrixCSC:
+    """Random symmetric-pattern SPD matrix.
+
+    ``locality`` in ``[0, 1)`` biases off-diagonal entries toward the
+    diagonal band (1 → very banded, 0 → uniform), which controls fill-in:
+    banded patterns factor cheaply, uniform ones fill heavily.
+    """
+    rng = np.random.default_rng(seed)
+    m = max(0, int(n * avg_nnz_per_col / 2))
+    u = rng.integers(0, n, size=m, dtype=np.int64)
+    if locality > 0.0:
+        span = np.maximum(1, (n * (1.0 - locality) ** 2).astype(int) if False else int(max(1, n * (1.0 - locality) ** 2)))
+        delta = rng.integers(1, span + 1, size=m, dtype=np.int64)
+        v = np.minimum(n - 1, u + delta)
+    else:
+        v = rng.integers(0, n, size=m, dtype=np.int64)
+    keep = u != v
+    u, v = u[keep], v[keep]
+    return _assemble_laplacian(n, u, v, dtype, rng, jitter=0.05)
+
+
+def elasticity_like_3d(
+    nx: int,
+    *,
+    dofs_per_node: int = 3,
+    dtype=np.float64,
+    seed: int = 0,
+) -> SparseMatrixCSC:
+    """3D elasticity-like matrix: grid graph with a dense block per node.
+
+    Mimics the structure of FE elasticity problems (Audi/Flan-style):
+    each grid node carries ``dofs_per_node`` unknowns, fully coupled within
+    a node and along grid edges.  Built as the Kronecker-style expansion of
+    the 3D 7-point Laplacian with dense ``d×d`` blocks.
+    """
+    rng = np.random.default_rng(seed)
+    u, v = _grid_edges_3d(nx, nx, nx, 7)
+    d = dofs_per_node
+    nn = nx ** 3
+    # Expand each graph edge (u,v) into a dense d×d block pair.
+    di, dj = np.meshgrid(np.arange(d), np.arange(d), indexing="ij")
+    di = di.ravel()
+    dj = dj.ravel()
+    eu = (u[:, None] * d + di[None, :]).ravel()
+    ev = (v[:, None] * d + dj[None, :]).ravel()
+    # Intra-node coupling: strict upper pairs within each node block.
+    iu, iv = np.triu_indices(d, k=1)
+    nu = (np.arange(nn, dtype=np.int64)[:, None] * d + iu[None, :]).ravel()
+    nv = (np.arange(nn, dtype=np.int64)[:, None] * d + iv[None, :]).ravel()
+    allu = np.concatenate([eu, nu])
+    allv = np.concatenate([ev, nv])
+    return _assemble_laplacian(nn * d, allu, allv, dtype, rng, jitter=0.05)
+
+
+def helmholtz_like_2d(
+    nx: int,
+    *,
+    dtype=np.complex128,
+    seed: int = 0,
+) -> SparseMatrixCSC:
+    """Complex-symmetric Helmholtz-like 2D problem (9-point stencil).
+
+    Analogue of PML-damped frequency-domain problems (FilterV2/pmlDF
+    style): complex symmetric (not Hermitian), factorised with LDLᵀ or LU.
+    The imaginary diagonal shift keeps LDLᵀ without pivoting stable.
+    """
+    rng = np.random.default_rng(seed)
+    u, v = _grid_edges_2d(nx, nx, 9)
+    mat = _assemble_laplacian(nx * nx, u, v, dtype, rng, jitter=0.05)
+    # Add an absorbing complex shift to the diagonal.
+    rows, cols, vals = mat.to_coo()
+    diag = rows == cols
+    vals = vals.astype(np.complex128)
+    vals[diag] += 1j * (1.0 + rng.random(int(diag.sum())))
+    return coo_to_csc(mat.n_rows, mat.n_cols, rows, cols, vals.astype(dtype),
+                      sum_duplicates=False)
+
+
+def shell_like_2d(
+    nx: int,
+    ny: int,
+    *,
+    dtype=np.float64,
+    seed: int = 0,
+) -> SparseMatrixCSC:
+    """Thin-shell-like matrix: long skinny 2D 9-point grid, 6 dof/node feel.
+
+    Analogue of ``af_shell10``: a 2D-dominated structure whose factor is
+    comparatively cheap (low flop per nonzero), the case the paper shows
+    gains nothing from GPUs.
+    """
+    rng = np.random.default_rng(seed)
+    u, v = _grid_edges_2d(nx, ny, 9)
+    return _assemble_laplacian(nx * ny, u, v, dtype, rng, jitter=0.05)

@@ -1,0 +1,135 @@
+"""Matrix Market I/O.
+
+A from-scratch reader/writer for the MatrixMarket ``coordinate`` format
+(real / complex / integer / pattern, general / symmetric / skew-symmetric /
+hermitian).  Only the features the solver needs are implemented; ``array``
+(dense) format is rejected explicitly.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO, Union
+
+import numpy as np
+
+from repro.sparse.csc import SparseMatrixCSC, coo_to_csc
+
+__all__ = ["read_matrix_market", "write_matrix_market"]
+
+_FIELD_DTYPES = {
+    "real": np.float64,
+    "integer": np.float64,
+    "complex": np.complex128,
+    "pattern": None,
+}
+
+
+def _open(source: Union[str, Path, TextIO], mode: str):
+    if hasattr(source, "read") or hasattr(source, "write"):
+        return source, False
+    return open(source, mode), True
+
+
+def read_matrix_market(source: Union[str, Path, TextIO]) -> SparseMatrixCSC:
+    """Parse a MatrixMarket coordinate file into CSC form.
+
+    Symmetric / hermitian / skew-symmetric storage is expanded to the full
+    pattern (diagonal entries are not duplicated).
+    """
+    fh, should_close = _open(source, "r")
+    try:
+        header = fh.readline().strip().split()
+        if len(header) != 5 or header[0] != "%%MatrixMarket":
+            raise ValueError("not a MatrixMarket file")
+        _, obj, fmt, field, symmetry = (s.lower() for s in header)
+        if obj != "matrix" or fmt != "coordinate":
+            raise ValueError(f"unsupported MatrixMarket kind: {obj}/{fmt}")
+        if field not in _FIELD_DTYPES:
+            raise ValueError(f"unsupported field: {field}")
+        if symmetry not in ("general", "symmetric", "skew-symmetric", "hermitian"):
+            raise ValueError(f"unsupported symmetry: {symmetry}")
+
+        line = fh.readline()
+        while line.startswith("%") or not line.strip():
+            line = fh.readline()
+            if not line:
+                raise ValueError("truncated MatrixMarket file")
+        n_rows, n_cols, nnz = (int(tok) for tok in line.split())
+
+        dtype = _FIELD_DTYPES[field]
+        if nnz == 0:
+            rows = np.empty(0, dtype=np.int64)
+            cols = np.empty(0, dtype=np.int64)
+            vals = None if dtype is None else np.empty(0, dtype=dtype)
+            return coo_to_csc(n_rows, n_cols, rows, cols, vals)
+
+        body = fh.read()
+        data = np.loadtxt(io.StringIO(body), ndmin=2)
+        if data.shape[0] != nnz:
+            raise ValueError(f"expected {nnz} entries, found {data.shape[0]}")
+        rows = data[:, 0].astype(np.int64) - 1
+        cols = data[:, 1].astype(np.int64) - 1
+        if dtype is None:
+            vals = None
+        elif field == "complex":
+            if data.shape[1] < 4:
+                raise ValueError("complex entries need re and im columns")
+            vals = data[:, 2] + 1j * data[:, 3]
+        else:
+            if data.shape[1] < 3:
+                raise ValueError("real entries need a value column")
+            vals = data[:, 2].astype(np.float64)
+
+        if symmetry != "general":
+            off = rows != cols
+            mr, mc = rows[off], cols[off]
+            rows = np.concatenate([rows, mc])
+            cols = np.concatenate([cols, mr])
+            if vals is not None:
+                mv = vals[off]
+                if symmetry == "skew-symmetric":
+                    mv = -mv
+                elif symmetry == "hermitian":
+                    mv = np.conj(mv)
+                vals = np.concatenate([vals, mv])
+        return coo_to_csc(n_rows, n_cols, rows, cols, vals)
+    finally:
+        if should_close:
+            fh.close()
+
+
+def write_matrix_market(
+    mat: SparseMatrixCSC,
+    target: Union[str, Path, TextIO],
+    *,
+    comment: str = "",
+) -> None:
+    """Write a matrix in MatrixMarket ``coordinate general`` format."""
+    rows, cols, vals = mat.to_coo()
+    if vals is None:
+        field = "pattern"
+    elif np.issubdtype(vals.dtype, np.complexfloating):
+        field = "complex"
+    else:
+        field = "real"
+
+    fh, should_close = _open(target, "w")
+    try:
+        fh.write(f"%%MatrixMarket matrix coordinate {field} general\n")
+        for line in comment.splitlines():
+            fh.write(f"% {line}\n")
+        fh.write(f"{mat.n_rows} {mat.n_cols} {mat.nnz}\n")
+        if field == "pattern":
+            for r, c in zip(rows, cols):
+                fh.write(f"{r + 1} {c + 1}\n")
+        elif field == "complex":
+            for r, c, v in zip(rows, cols, vals):
+                fh.write(f"{r + 1} {c + 1} {v.real:.17g} {v.imag:.17g}\n")
+        else:
+            for r, c, v in zip(rows, cols, vals):
+                fh.write(f"{r + 1} {c + 1} {v:.17g}\n")
+    finally:
+        if should_close:
+            fh.close()

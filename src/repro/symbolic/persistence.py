@@ -1,0 +1,78 @@
+"""Persist the analyze phase.
+
+The analysis (ordering + block symbolic structure) depends only on the
+sparsity pattern and often dwarfs the numeric factorization in wall time
+at Python speed; applications solving many systems with one structure
+save it once and reload it per run.  The container is a single ``.npz``
+(portable, versioned, no pickle — loading cannot execute code).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.ordering.perm import Permutation
+from repro.sparse.csc import SparseMatrixCSC
+from repro.symbolic.analyze import AnalysisResult
+from repro.symbolic.structures import SymbolMatrix
+
+__all__ = ["save_analysis", "load_analysis"]
+
+_FORMAT_VERSION = 1
+
+
+def save_analysis(result: AnalysisResult, path: Union[str, Path]) -> None:
+    """Write an :class:`AnalysisResult` to ``path`` (``.npz``)."""
+    sym = result.symbol
+    np.savez_compressed(
+        path,
+        format_version=np.int64(_FORMAT_VERSION),
+        n=np.int64(result.n),
+        perm=result.perm.perm,
+        parent=result.parent,
+        counts=result.counts,
+        pattern_colptr=result.pattern.colptr,
+        pattern_rowind=result.pattern.rowind,
+        cblk_ptr=sym.cblk_ptr,
+        blok_ptr=sym.blok_ptr,
+        blok_frow=sym.blok_frow,
+        blok_lrow=sym.blok_lrow,
+        blok_face=sym.blok_face,
+        blok_owner=sym.blok_owner,
+        col2cblk=sym.col2cblk,
+    )
+
+
+def load_analysis(path: Union[str, Path]) -> AnalysisResult:
+    """Load an :class:`AnalysisResult` written by :func:`save_analysis`."""
+    with np.load(path) as data:
+        version = int(data["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported analysis format version {version} "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        n = int(data["n"])
+        pattern = SparseMatrixCSC(
+            n, n, data["pattern_colptr"], data["pattern_rowind"]
+        )
+        symbol = SymbolMatrix(
+            n=n,
+            cblk_ptr=data["cblk_ptr"],
+            blok_ptr=data["blok_ptr"],
+            blok_frow=data["blok_frow"],
+            blok_lrow=data["blok_lrow"],
+            blok_face=data["blok_face"],
+            blok_owner=data["blok_owner"],
+            col2cblk=data["col2cblk"],
+        )
+        return AnalysisResult(
+            perm=Permutation(data["perm"]),
+            pattern=pattern,
+            symbol=symbol,
+            parent=data["parent"],
+            counts=data["counts"],
+        )

@@ -1,0 +1,11 @@
+"""Dependency-free visualisation helpers.
+
+The environment has no plotting library, so :mod:`repro.viz.svgchart`
+renders line and grouped-bar charts directly as SVG — enough to redraw
+the paper's figures from the benchmark CSVs
+(``python benchmarks/make_figures.py``).
+"""
+
+from repro.viz.svgchart import SvgChart
+
+__all__ = ["SvgChart"]

@@ -1,0 +1,252 @@
+"""Minimal SVG chart renderer (lines + grouped bars).
+
+No dependencies beyond the standard library; designed for the shapes the
+paper's figures need: GFlop/s-vs-cores lines, GFlop/s-vs-M kernel curves
+(log x), and grouped bars per matrix.  Styling is intentionally plain —
+readable axes, a palette distinguishable in grayscale, a legend.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+__all__ = ["SvgChart"]
+
+_PALETTE = [
+    "#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd",
+    "#8c564b", "#17becf", "#7f7f7f", "#bcbd22", "#e377c2",
+]
+_DASHES = ["", "6,3", "2,2", "8,2,2,2"]
+
+
+def _nice_ticks(lo: float, hi: float, n: int = 6) -> list[float]:
+    """Round tick positions covering [lo, hi]."""
+    if hi <= lo:
+        hi = lo + 1.0
+    raw = (hi - lo) / max(n - 1, 1)
+    mag = 10 ** math.floor(math.log10(raw))
+    for mult in (1, 2, 2.5, 5, 10):
+        step = mult * mag
+        if step >= raw:
+            break
+    start = math.floor(lo / step) * step
+    ticks = [round(start, 10)]
+    while ticks[-1] < hi - 1e-12:
+        ticks.append(round(ticks[-1] + step, 10))
+    return ticks
+
+
+def _fmt(v: float) -> str:
+    if v == int(v) and abs(v) < 1e6:
+        return str(int(v))
+    return f"{v:g}"
+
+
+@dataclass
+class _Line:
+    xs: Sequence[float]
+    ys: Sequence[float]
+    label: str
+    color: str
+    dash: str
+
+
+@dataclass
+class SvgChart:
+    """A single chart; add series then :meth:`save`."""
+
+    title: str = ""
+    xlabel: str = ""
+    ylabel: str = ""
+    width: int = 640
+    height: int = 400
+    log_x: bool = False
+    y_min: Optional[float] = None
+    y_max: Optional[float] = None
+    _lines: list = field(default_factory=list)
+    _hlines: list = field(default_factory=list)
+    _bars: Optional[tuple] = None
+
+    # ------------------------------------------------------------------
+    def add_line(self, xs, ys, label: str = "") -> None:
+        if len(xs) != len(ys):
+            raise ValueError("x and y lengths differ")
+        if self.log_x and any(x <= 0 for x in xs):
+            raise ValueError("log_x requires strictly positive x values")
+        i = len(self._lines)
+        self._lines.append(_Line(
+            list(map(float, xs)), list(map(float, ys)), label,
+            _PALETTE[i % len(_PALETTE)], _DASHES[(i // len(_PALETTE)) % len(_DASHES)],
+        ))
+
+    def add_hline(self, y: float, label: str = "") -> None:
+        self._hlines.append((float(y), label))
+
+    def add_bar_groups(self, categories: Sequence[str], series: dict) -> None:
+        """Grouped bars: one group per category, one bar per series."""
+        for name, vals in series.items():
+            if len(vals) != len(categories):
+                raise ValueError(f"series {name!r} length mismatch")
+        self._bars = (list(categories), {k: list(map(float, v))
+                                         for k, v in series.items()})
+
+    # ------------------------------------------------------------------
+    def _x_transform(self, lo: float, hi: float, plot_w: float):
+        if self.log_x:
+            llo, lhi = math.log10(lo), math.log10(hi)
+            span = (lhi - llo) or 1.0
+            return lambda x: (math.log10(x) - llo) / span * plot_w
+        span = (hi - lo) or 1.0
+        return lambda x: (x - lo) / span * plot_w
+
+    def render(self) -> str:
+        W, H = self.width, self.height
+        ml, mr, mt, mb = 62, 150, 34, 48
+        pw, ph = W - ml - mr, H - mt - mb
+        out = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{W}" '
+            f'height="{H}" viewBox="0 0 {W} {H}" '
+            f'font-family="Helvetica, Arial, sans-serif">',
+            f'<rect width="{W}" height="{H}" fill="white"/>',
+        ]
+        if self.title:
+            out.append(
+                f'<text x="{ml + pw / 2}" y="20" text-anchor="middle" '
+                f'font-size="14" font-weight="bold">{self.title}</text>'
+            )
+
+        # Collect y range.
+        ys = [y for ln in self._lines for y in ln.ys]
+        ys += [y for y, _ in self._hlines]
+        if self._bars:
+            ys += [v for vals in self._bars[1].values() for v in vals]
+        y_lo = self.y_min if self.y_min is not None else min(ys + [0.0])
+        y_hi = self.y_max if self.y_max is not None else max(ys) * 1.05
+        yticks = _nice_ticks(y_lo, y_hi)
+        y_lo, y_hi = yticks[0], yticks[-1]
+
+        def ty(y: float) -> float:
+            return mt + ph - (y - y_lo) / (y_hi - y_lo) * ph
+
+        # Axes + y grid.
+        for yt in yticks:
+            py = ty(yt)
+            out.append(
+                f'<line x1="{ml}" y1="{py}" x2="{ml + pw}" y2="{py}" '
+                f'stroke="#dddddd" stroke-width="1"/>'
+            )
+            out.append(
+                f'<text x="{ml - 6}" y="{py + 4}" text-anchor="end" '
+                f'font-size="11">{_fmt(yt)}</text>'
+            )
+        out.append(
+            f'<rect x="{ml}" y="{mt}" width="{pw}" height="{ph}" '
+            f'fill="none" stroke="#333333"/>'
+        )
+        if self.ylabel:
+            out.append(
+                f'<text x="14" y="{mt + ph / 2}" font-size="12" '
+                f'transform="rotate(-90 14 {mt + ph / 2})" '
+                f'text-anchor="middle">{self.ylabel}</text>'
+            )
+        if self.xlabel:
+            out.append(
+                f'<text x="{ml + pw / 2}" y="{H - 10}" text-anchor="middle" '
+                f'font-size="12">{self.xlabel}</text>'
+            )
+
+        legend_items: list[tuple[str, str, str]] = []
+
+        if self._bars:
+            cats, series = self._bars
+            ngroups, nseries = len(cats), len(series)
+            group_w = pw / max(ngroups, 1)
+            bar_w = group_w * 0.8 / max(nseries, 1)
+            for si, (name, vals) in enumerate(series.items()):
+                color = _PALETTE[si % len(_PALETTE)]
+                legend_items.append((name, color, ""))
+                for gi, v in enumerate(vals):
+                    x = ml + gi * group_w + group_w * 0.1 + si * bar_w
+                    out.append(
+                        f'<rect x="{x:.2f}" y="{ty(v):.2f}" '
+                        f'width="{bar_w:.2f}" '
+                        f'height="{(mt + ph - ty(v)):.2f}" fill="{color}"/>'
+                    )
+            for gi, cat in enumerate(cats):
+                cx = ml + (gi + 0.5) * group_w
+                out.append(
+                    f'<text x="{cx:.2f}" y="{mt + ph + 16}" font-size="10" '
+                    f'text-anchor="middle">{cat}</text>'
+                )
+
+        if self._lines:
+            xs_all = [x for ln in self._lines for x in ln.xs]
+            x_lo, x_hi = min(xs_all), max(xs_all)
+            fx = self._x_transform(x_lo, x_hi, pw)
+            xticks = (
+                [10 ** e for e in range(
+                    math.floor(math.log10(x_lo)),
+                    math.ceil(math.log10(x_hi)) + 1,
+                )]
+                if self.log_x
+                else _nice_ticks(x_lo, x_hi)
+            )
+            for xt in xticks:
+                if xt < x_lo * 0.999 or xt > x_hi * 1.001:
+                    continue
+                px = ml + fx(xt)
+                out.append(
+                    f'<line x1="{px:.2f}" y1="{mt + ph}" x2="{px:.2f}" '
+                    f'y2="{mt + ph + 4}" stroke="#333333"/>'
+                )
+                out.append(
+                    f'<text x="{px:.2f}" y="{mt + ph + 16}" font-size="10" '
+                    f'text-anchor="middle">{_fmt(xt)}</text>'
+                )
+            for ln in self._lines:
+                pts = " ".join(
+                    f"{ml + fx(x):.2f},{ty(y):.2f}"
+                    for x, y in zip(ln.xs, ln.ys)
+                )
+                dash = f' stroke-dasharray="{ln.dash}"' if ln.dash else ""
+                out.append(
+                    f'<polyline points="{pts}" fill="none" '
+                    f'stroke="{ln.color}" stroke-width="1.8"{dash}/>'
+                )
+                for x, y in zip(ln.xs, ln.ys):
+                    out.append(
+                        f'<circle cx="{ml + fx(x):.2f}" cy="{ty(y):.2f}" '
+                        f'r="2.4" fill="{ln.color}"/>'
+                    )
+                if ln.label:
+                    legend_items.append((ln.label, ln.color, ln.dash))
+
+        for y, label in self._hlines:
+            out.append(
+                f'<line x1="{ml}" y1="{ty(y):.2f}" x2="{ml + pw}" '
+                f'y2="{ty(y):.2f}" stroke="#000000" stroke-width="1.2" '
+                f'stroke-dasharray="4,3"/>'
+            )
+            if label:
+                legend_items.append((label, "#000000", "4,3"))
+
+        # Legend in the right margin.
+        for i, (label, color, dash) in enumerate(legend_items):
+            ly = mt + 10 + i * 16
+            dd = f' stroke-dasharray="{dash}"' if dash else ""
+            out.append(
+                f'<line x1="{ml + pw + 8}" y1="{ly}" x2="{ml + pw + 30}" '
+                f'y2="{ly}" stroke="{color}" stroke-width="2.5"{dd}/>'
+            )
+            out.append(
+                f'<text x="{ml + pw + 34}" y="{ly + 4}" '
+                f'font-size="10">{label}</text>'
+            )
+        out.append("</svg>")
+        return "\n".join(out)
+
+    def save(self, path) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.render())

@@ -1,0 +1,60 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sparse.csc import SparseMatrixCSC, coo_to_csc
+from repro.sparse.generators import (
+    grid_laplacian_2d,
+    grid_laplacian_3d,
+    helmholtz_like_2d,
+    random_pattern_spd,
+)
+
+
+def random_spd_dense(n: int, density: float, seed: int) -> np.ndarray:
+    """Dense random SPD matrix with a sparse off-diagonal pattern."""
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n)) * (rng.random((n, n)) < density)
+    a = (a + a.T) / 2
+    np.fill_diagonal(a, np.abs(a).sum(axis=1) + 1.0)
+    return a
+
+
+def random_spd_csc(n: int, density: float, seed: int) -> SparseMatrixCSC:
+    return SparseMatrixCSC.from_dense(random_spd_dense(n, density, seed))
+
+
+def permutation_matrix(perm: np.ndarray) -> np.ndarray:
+    """Dense P with (P A Pᵀ)[perm[i], perm[j]] = A[i, j]."""
+    n = perm.size
+    p = np.zeros((n, n))
+    p[perm, np.arange(n)] = 1.0
+    return p
+
+
+@pytest.fixture(scope="session")
+def grid2d_small() -> SparseMatrixCSC:
+    return grid_laplacian_2d(8, jitter=0.05, seed=3)
+
+
+@pytest.fixture(scope="session")
+def grid2d_medium() -> SparseMatrixCSC:
+    return grid_laplacian_2d(16, jitter=0.05, seed=5)
+
+
+@pytest.fixture(scope="session")
+def grid3d_small() -> SparseMatrixCSC:
+    return grid_laplacian_3d(6, jitter=0.05, seed=7)
+
+
+@pytest.fixture(scope="session")
+def helmholtz_small() -> SparseMatrixCSC:
+    return helmholtz_like_2d(8, seed=11)
+
+
+@pytest.fixture(scope="session")
+def random_spd_small() -> SparseMatrixCSC:
+    return random_pattern_spd(60, 6.0, seed=13, locality=0.5)

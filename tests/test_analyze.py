@@ -1,0 +1,102 @@
+"""Analyze-phase integration tests."""
+
+import numpy as np
+import pytest
+
+from repro.ordering.perm import Permutation
+from repro.symbolic import SymbolicOptions, analyze
+from repro.symbolic.etree import EliminationTree
+
+
+class TestAnalyze:
+    def test_basic(self, grid2d_small):
+        res = analyze(grid2d_small)
+        assert res.n == grid2d_small.n_rows
+        assert res.symbol.n == res.n
+        res.symbol.validate()
+
+    def test_result_is_postordered(self, grid2d_small):
+        res = analyze(grid2d_small)
+        t = EliminationTree(res.parent, np.arange(res.n))
+        assert t.is_postordered()
+
+    def test_nnz_superset_of_exact(self, grid2d_medium):
+        res = analyze(grid2d_medium)
+        assert res.symbol.nnz() >= res.counts.sum()
+        assert res.nnz_factor == res.symbol.nnz()
+
+    def test_amalgamation_budget_end_to_end(self, grid2d_medium):
+        exact = analyze(
+            grid2d_medium,
+            SymbolicOptions(amalgamation_ratio=None, split_max_width=None),
+        ).symbol.nnz()
+        for ratio in (0.05, 0.12):
+            got = analyze(
+                grid2d_medium,
+                SymbolicOptions(amalgamation_ratio=ratio, split_max_width=None),
+            ).symbol.nnz()
+            assert exact <= got <= (1 + ratio) * exact + 1
+
+    def test_natural_ordering(self, grid2d_small):
+        res = analyze(grid2d_small, SymbolicOptions(ordering="natural"))
+        res.symbol.validate()
+
+    def test_explicit_permutation(self, grid2d_small):
+        p = Permutation.random(grid2d_small.n_rows, seed=5)
+        res = analyze(grid2d_small, SymbolicOptions(ordering=p))
+        res.symbol.validate()
+
+    def test_nd_beats_natural_on_grid(self, grid2d_medium):
+        opts = dict(amalgamation_ratio=None, split_max_width=None)
+        nd = analyze(grid2d_medium, SymbolicOptions(ordering="nd", **opts))
+        nat = analyze(grid2d_medium, SymbolicOptions(ordering="natural", **opts))
+        assert nd.symbol.nnz() < nat.symbol.nnz()
+
+    def test_rejects_unknown_ordering(self, grid2d_small):
+        with pytest.raises(ValueError):
+            analyze(grid2d_small, SymbolicOptions(ordering="metis"))
+
+    def test_rejects_rectangular(self):
+        from repro.sparse.csc import coo_to_csc
+
+        with pytest.raises(ValueError):
+            analyze(coo_to_csc(2, 3, [0], [0], [1.0]))
+
+    def test_complex_pattern(self, helmholtz_small):
+        res = analyze(helmholtz_small)
+        res.symbol.validate()
+
+    def test_permutation_is_consistent(self, grid2d_small):
+        """perm maps the original matrix onto the analyzed pattern."""
+        res = analyze(grid2d_small)
+        permuted = grid2d_small.permute(res.perm.perm)
+        a = permuted.symmetrize_pattern().with_full_diagonal()
+        assert a.nnz == res.pattern.nnz
+        assert np.array_equal(a.rowind, res.pattern.rowind)
+        assert np.array_equal(a.colptr, res.pattern.colptr)
+
+
+from hypothesis import given, settings, strategies as st
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(8, 40), seed=st.integers(0, 5000))
+def test_property_symbolic_superset_of_exact_fill(n, seed):
+    """The block symbolic structure always covers the true fill pattern."""
+    from tests.conftest import random_spd_dense, permutation_matrix
+    from repro.sparse.csc import SparseMatrixCSC
+
+    d = random_spd_dense(n, 0.3, seed)
+    m = SparseMatrixCSC.from_dense(d)
+    res = analyze(m)
+    P = permutation_matrix(res.perm.perm)
+    L = np.linalg.cholesky(P @ d @ P.T)
+    actual = set(zip(*np.nonzero(np.abs(L) > 1e-13)))
+    sym = res.symbol
+    covered = set()
+    for k in range(sym.n_cblk):
+        f, l = int(sym.cblk_ptr[k]), int(sym.cblk_ptr[k + 1])
+        for r in sym.cblk_rows(k):
+            for c in range(f, min(l, r + 1)):
+                covered.add((int(r), c))
+    assert actual <= covered

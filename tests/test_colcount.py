@@ -1,0 +1,70 @@
+"""Column-count (Gilbert–Ng–Peyton) tests: always compared against the
+exact factor computed densely."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.sparse.csc import SparseMatrixCSC
+from repro.symbolic.colcount import column_counts
+from repro.symbolic.etree import elimination_tree, postorder
+from tests.conftest import random_spd_dense
+
+
+def exact_counts(dense: np.ndarray) -> np.ndarray:
+    L = np.linalg.cholesky(dense)
+    return (np.abs(L) > 1e-14).sum(axis=0)
+
+
+def gnp_counts(mat: SparseMatrixCSC) -> np.ndarray:
+    parent = elimination_tree(mat)
+    return column_counts(mat, parent, postorder(parent))
+
+
+def test_tridiagonal():
+    import scipy.sparse as sp
+
+    t = sp.diags([np.ones(5) * -0.4, np.full(6, 2.0), np.ones(5) * -0.4],
+                 [-1, 0, 1]).tocsc()
+    m = SparseMatrixCSC.from_scipy(t)
+    assert np.array_equal(gnp_counts(m), [2, 2, 2, 2, 2, 1])
+
+
+def test_dense_matrix():
+    d = random_spd_dense(7, 1.0, 0)
+    m = SparseMatrixCSC.from_dense(d)
+    assert np.array_equal(gnp_counts(m), np.arange(7, 0, -1))
+
+
+def test_diagonal_matrix():
+    m = SparseMatrixCSC.identity(5)
+    assert np.array_equal(gnp_counts(m), np.ones(5))
+
+
+def test_grid(grid2d_small):
+    d = grid2d_small.to_dense()
+    # jittered grids have no exact cancellation
+    assert np.array_equal(gnp_counts(grid2d_small), exact_counts(d))
+
+
+def test_arrow():
+    n = 8
+    d = np.eye(n) * n
+    d[-1, :] = 1
+    d[:, -1] = 1
+    d[-1, -1] = n * n
+    m = SparseMatrixCSC.from_dense(d)
+    assert np.array_equal(gnp_counts(m), exact_counts(d))
+
+
+def test_sum_equals_factor_nnz(grid3d_small):
+    counts = gnp_counts(grid3d_small)
+    L = np.linalg.cholesky(grid3d_small.to_dense())
+    assert counts.sum() == (np.abs(L) > 1e-14).sum()
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(3, 18), seed=st.integers(0, 5000))
+def test_property_counts_exact_on_random_spd(n, seed):
+    d = random_spd_dense(n, 0.3, seed)
+    m = SparseMatrixCSC.from_dense(d)
+    assert np.array_equal(gnp_counts(m), exact_counts(d))

@@ -1,0 +1,89 @@
+"""Table-I matrix collection tests."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.collection import (
+    MATRIX_COLLECTION,
+    collection_names,
+    load_matrix,
+)
+
+
+class TestRegistry:
+    def test_nine_entries_in_paper_order(self):
+        names = collection_names()
+        assert len(names) == 9
+        assert names[0] == "afshell10"
+        assert names[-1] == "Serena"
+
+    def test_paper_stats_recorded(self):
+        info = MATRIX_COLLECTION["Serena"]
+        assert info.paper_tflop == 47.0
+        assert info.paper_size == 1.4e6
+        assert info.method == "LDLT"
+
+    def test_precisions(self):
+        assert MATRIX_COLLECTION["FilterV2"].prec == "Z"
+        assert MATRIX_COLLECTION["pmlDF"].dtype == np.complex128
+        assert MATRIX_COLLECTION["audi"].dtype == np.float64
+
+    def test_methods_match_paper(self):
+        expected = {
+            "afshell10": "LU", "FilterV2": "LU", "Flan": "LLT",
+            "audi": "LLT", "MHD": "LU", "Geo1438": "LLT",
+            "pmlDF": "LDLT", "HOOK": "LU", "Serena": "LDLT",
+        }
+        for name, method in expected.items():
+            assert MATRIX_COLLECTION[name].method == method
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown matrix"):
+            load_matrix("bcsstk01")
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("name", collection_names())
+    def test_builds_small_scale(self, name):
+        m = load_matrix(name, scale=0.25)
+        m.check()
+        assert m.is_square
+        assert m.dtype == MATRIX_COLLECTION[name].dtype
+        # symmetric pattern (required by the analysis)
+        s = m.symmetrize_pattern()
+        assert s.nnz == m.pattern().nnz
+
+    def test_deterministic(self):
+        a = load_matrix("audi", scale=0.3)
+        b = load_matrix("audi", scale=0.3)
+        assert np.array_equal(a.values, b.values)
+
+    def test_seed_changes_values(self):
+        a = load_matrix("audi", scale=0.3, seed=0)
+        b = load_matrix("audi", scale=0.3, seed=1)
+        assert not np.array_equal(a.values, b.values)
+
+    def test_scale_grows_problem(self):
+        small = load_matrix("Geo1438", scale=0.2)
+        large = load_matrix("Geo1438", scale=0.4)
+        assert large.n_rows > 4 * small.n_rows  # 3D: ~scale³
+
+    def test_complex_entries_are_complex_symmetric(self):
+        m = load_matrix("pmlDF", scale=0.2)
+        d = m.to_dense()
+        assert np.allclose(d, d.T)
+        assert np.abs(d.imag).max() > 0
+
+
+class TestSolvability:
+    @pytest.mark.parametrize("name", ["afshell10", "audi", "MHD", "pmlDF"])
+    def test_factorizable_at_tiny_scale(self, name):
+        from repro import SolverOptions, SparseSolver
+
+        info = MATRIX_COLLECTION[name]
+        m = load_matrix(name, scale=0.12)
+        s = SparseSolver(m, SolverOptions(factotype=info.method.lower()))
+        rng = np.random.default_rng(0)
+        b = rng.standard_normal(m.n_rows).astype(info.dtype)
+        x = s.solve(b)
+        assert s.residual_norm(x, b) < 1e-10

@@ -1,0 +1,65 @@
+"""Condition-estimation tests."""
+
+import numpy as np
+import pytest
+
+from repro import SparseSolver
+from repro.core.condest import condest, inverse_norm1_estimate, norm1
+from repro.sparse.csc import SparseMatrixCSC
+from tests.conftest import random_spd_dense
+
+
+class TestNorm1:
+    def test_exact_on_dense(self):
+        d = np.array([[1.0, -4.0], [2.0, 1.0]])
+        m = SparseMatrixCSC.from_dense(d)
+        assert norm1(m) == 5.0
+
+    def test_matches_numpy(self):
+        d = random_spd_dense(20, 0.4, 0)
+        m = SparseMatrixCSC.from_dense(d)
+        assert norm1(m) == pytest.approx(np.linalg.norm(d, 1))
+
+    def test_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            norm1(SparseMatrixCSC.identity(3).pattern())
+
+
+class TestInverseEstimate:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_within_factor_of_truth(self, seed):
+        d = random_spd_dense(25, 0.4, seed)
+        inv = np.linalg.inv(d)
+        true = np.linalg.norm(inv, 1)
+        est = inverse_norm1_estimate(
+            lambda v: np.linalg.solve(d, v),
+            lambda v: np.linalg.solve(d.T, v),
+            25,
+        )
+        assert est <= true * (1 + 1e-10)   # lower bound
+        assert est >= true / 3.0           # close in practice
+
+    def test_identity(self):
+        est = inverse_norm1_estimate(lambda v: v, lambda v: v, 10)
+        assert est == pytest.approx(1.0)
+
+
+class TestCondest:
+    def test_spd_grid(self, grid2d_small):
+        d = grid2d_small.to_dense()
+        true = np.linalg.cond(d, 1)
+        s = SparseSolver(grid2d_small)
+        est = s.condest()
+        assert est <= true * (1 + 1e-8)
+        assert est >= true / 5.0
+
+    def test_ill_conditioned_detected(self):
+        d = np.diag(np.logspace(0, 8, 20))
+        m = SparseMatrixCSC.from_dense(d)
+        est = condest(m, lambda v: np.linalg.solve(d, v))
+        assert est > 1e7
+
+    def test_well_conditioned_small(self):
+        m = SparseMatrixCSC.identity(15)
+        est = condest(m, lambda v: v)
+        assert est == pytest.approx(1.0)

@@ -1,0 +1,148 @@
+"""Distributed-memory simulation tests (mapping + fan-in communication)."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import (
+    ClusterSpec,
+    map_cblks,
+    simulate_distributed,
+    subtree_loads,
+)
+from repro.distributed.mapping import _snode_tree
+from repro.symbolic import analyze
+
+
+@pytest.fixture(scope="module")
+def sym(grid2d_medium):
+    return analyze(grid2d_medium).symbol
+
+
+class TestCluster:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(n_nodes=0)
+        with pytest.raises(ValueError):
+            ClusterSpec(cores_per_node=0)
+
+    def test_transfer_time(self):
+        c = ClusterSpec(net_gbps=1.0, net_latency_s=1e-6)
+        assert c.transfer_time(1e9) == pytest.approx(1.0 + 1e-6)
+        assert c.total_cores == c.n_nodes * c.cores_per_node
+
+
+class TestMapping:
+    def test_snode_tree_is_forest(self, sym):
+        parent = _snode_tree(sym)
+        nonroot = parent >= 0
+        assert np.all(parent[nonroot] > np.flatnonzero(nonroot))
+
+    def test_subtree_loads_accumulate(self, sym):
+        own, subtree, parent = subtree_loads(sym)
+        assert np.all(subtree >= own)
+        roots = np.flatnonzero(parent == -1)
+        assert subtree[roots].sum() == pytest.approx(own.sum())
+
+    @pytest.mark.parametrize("strategy", ["subtree", "block", "cyclic"])
+    def test_all_strategies_valid(self, sym, strategy):
+        for n in (1, 2, 4, 7):
+            owner = map_cblks(sym, n, strategy=strategy)
+            assert owner.shape == (sym.n_cblk,)
+            assert owner.min() >= 0 and owner.max() < n
+            if n > 1 and strategy != "block":
+                assert len(np.unique(owner)) > 1
+
+    def test_subtree_balances_load(self, sym):
+        own, _, _ = subtree_loads(sym)
+        owner = map_cblks(sym, 4)
+        per_node = np.zeros(4)
+        np.add.at(per_node, owner, own)
+        assert per_node.max() <= 3.0 * per_node.mean()
+
+    def test_unknown_strategy(self, sym):
+        with pytest.raises(ValueError):
+            map_cblks(sym, 2, strategy="metis")
+
+    def test_single_node_all_zero(self, sym):
+        assert np.all(map_cblks(sym, 1) == 0)
+
+
+class TestSimulation:
+    def _run(self, sym, nodes, *, fanin=True, strategy="subtree", **kw):
+        owner = map_cblks(sym, nodes, strategy=strategy)
+        cluster = ClusterSpec(n_nodes=nodes, cores_per_node=4, **kw)
+        return simulate_distributed(sym, owner, cluster, fanin=fanin)
+
+    def test_single_node_no_messages(self, sym):
+        r = self._run(sym, 1)
+        assert r.n_messages == 0 and r.bytes_on_wire == 0
+        assert r.makespan > 0
+
+    def test_multi_node_communicates(self, sym):
+        r = self._run(sym, 4)
+        assert r.n_messages > 0
+        assert r.bytes_on_wire > 0
+
+    def test_fanin_reduces_messages_and_bytes(self, sym):
+        fi = self._run(sym, 4, fanin=True)
+        fo = self._run(sym, 4, fanin=False)
+        assert fi.n_messages < fo.n_messages / 3
+        assert fi.bytes_on_wire <= fo.bytes_on_wire
+
+    def test_fanin_wins_on_high_latency(self, sym):
+        """The §VI trade: accumulating pays when messages are expensive."""
+        kw = dict(net_latency_s=200e-6, net_gbps=1.0)
+        fi = self._run(sym, 4, fanin=True, **kw)
+        fo = self._run(sym, 4, fanin=False, **kw)
+        assert fi.makespan < fo.makespan
+
+    def test_deterministic(self, sym):
+        a = self._run(sym, 3)
+        b = self._run(sym, 3)
+        assert a.makespan == b.makespan
+        assert a.n_messages == b.n_messages
+
+    def test_more_nodes_not_slower(self, sym):
+        t1 = self._run(sym, 1).makespan
+        t4 = self._run(sym, 4).makespan
+        assert t4 <= t1 * 1.1
+
+    def test_subtree_beats_cyclic_on_communication(self, sym):
+        sub = self._run(sym, 4, strategy="subtree")
+        cyc = self._run(sym, 4, strategy="cyclic")
+        assert sub.bytes_on_wire < cyc.bytes_on_wire
+
+    def test_trace_collection(self, sym):
+        owner = map_cblks(sym, 2)
+        r = simulate_distributed(
+            sym, owner, ClusterSpec(n_nodes=2, cores_per_node=2),
+            collect_trace=True,
+        )
+        assert r.trace is not None
+        assert len(r.trace.events) > sym.n_cblk  # panels + updates (+acc)
+        resources = r.trace.resources()
+        assert any(res.startswith("n0c") for res in resources)
+        assert any(res.startswith("n1c") for res in resources)
+
+    def test_busy_consistent_with_makespan(self, sym):
+        r = self._run(sym, 2)
+        for busy in r.node_busy:
+            assert busy <= 4 * r.makespan + 1e-9
+        assert r.load_imbalance >= 1.0
+
+    def test_owner_validation(self, sym):
+        cluster = ClusterSpec(n_nodes=2, cores_per_node=2)
+        with pytest.raises(ValueError):
+            simulate_distributed(sym, np.zeros(3, dtype=np.int64), cluster)
+        bad = np.full(sym.n_cblk, 5, dtype=np.int64)
+        with pytest.raises(ValueError):
+            simulate_distributed(sym, bad, cluster)
+
+    def test_complex_dtype_more_bytes(self, sym):
+        owner = map_cblks(sym, 4)
+        cluster = ClusterSpec(n_nodes=4, cores_per_node=2)
+        rd = simulate_distributed(sym, owner, cluster, factotype="ldlt",
+                                  dtype=np.float64)
+        rz = simulate_distributed(sym, owner, cluster, factotype="ldlt",
+                                  dtype=np.complex128)
+        assert rz.bytes_on_wire > rd.bytes_on_wire

@@ -1,0 +1,127 @@
+"""Elimination-tree tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sparse.csc import SparseMatrixCSC
+from repro.symbolic.etree import (
+    EliminationTree,
+    elimination_tree,
+    postorder,
+    tree_depths,
+)
+from tests.conftest import random_spd_dense
+
+
+def reference_etree(dense: np.ndarray) -> np.ndarray:
+    """O(n³) reference: parent[j] = min{i > j : L[i,j] != 0} via dense
+    symbolic factorization."""
+    n = dense.shape[0]
+    pattern = (dense != 0).astype(float)
+    np.fill_diagonal(pattern, 1.0)
+    # Symbolic Cholesky by elimination.
+    struct = pattern.copy()
+    for j in range(n):
+        below = np.flatnonzero(struct[j + 1:, j]) + j + 1
+        for i in below:
+            struct[np.ix_(below[below >= i], [i])] = 1.0
+    parent = np.full(n, -1, dtype=np.int64)
+    for j in range(n):
+        below = np.flatnonzero(struct[j + 1:, j])
+        if below.size:
+            parent[j] = below[0] + j + 1
+    return parent
+
+
+class TestEtree:
+    def test_tridiagonal_chain(self):
+        import scipy.sparse as sp
+
+        t = sp.diags([np.ones(5), np.ones(6), np.ones(5)], [-1, 0, 1]).tocsc()
+        parent = elimination_tree(SparseMatrixCSC.from_scipy(t))
+        assert np.array_equal(parent, [1, 2, 3, 4, 5, -1])
+
+    def test_arrow_matrix(self):
+        # Arrow pointing to the last column: every column's first
+        # below-diagonal nonzero is n-1.
+        n = 6
+        d = np.eye(n)
+        d[-1, :] = 1
+        d[:, -1] = 1
+        parent = elimination_tree(SparseMatrixCSC.from_dense(d))
+        assert np.array_equal(parent[:-1], np.full(n - 1, n - 1))
+        assert parent[-1] == -1
+
+    def test_diagonal_matrix_forest(self):
+        parent = elimination_tree(SparseMatrixCSC.identity(4))
+        assert np.array_equal(parent, [-1, -1, -1, -1])
+
+    def test_matches_reference_on_random(self):
+        for seed in range(5):
+            d = random_spd_dense(14, 0.3, seed)
+            m = SparseMatrixCSC.from_dense(d)
+            assert np.array_equal(elimination_tree(m), reference_etree(d))
+
+    def test_rejects_rectangular(self):
+        from repro.sparse.csc import coo_to_csc
+
+        with pytest.raises(ValueError):
+            elimination_tree(coo_to_csc(2, 3, [0], [0], [1.0]))
+
+
+class TestPostorder:
+    def test_children_before_parents(self):
+        parent = np.array([2, 2, 4, 4, -1], dtype=np.int64)
+        post = postorder(parent)
+        pos = np.empty(5, dtype=np.int64)
+        pos[post] = np.arange(5)
+        for j in range(5):
+            if parent[j] >= 0:
+                assert pos[j] < pos[parent[j]]
+
+    def test_is_permutation(self):
+        parent = np.array([1, 4, 3, 4, -1, -1], dtype=np.int64)
+        assert np.array_equal(np.sort(postorder(parent)), np.arange(6))
+
+    def test_cycle_detection(self):
+        with pytest.raises(ValueError):
+            postorder(np.array([1, 0], dtype=np.int64))
+
+    def test_deterministic(self):
+        parent = np.array([3, 3, 3, -1], dtype=np.int64)
+        assert np.array_equal(postorder(parent), postorder(parent))
+
+
+class TestDepthsAndBundle:
+    def test_depths(self):
+        parent = np.array([1, 2, -1, 2], dtype=np.int64)
+        assert np.array_equal(tree_depths(parent), [2, 1, 0, 1])
+
+    def test_is_postordered(self):
+        chain = EliminationTree(
+            np.array([1, 2, -1], dtype=np.int64), np.arange(3)
+        )
+        assert chain.is_postordered()
+        bad = EliminationTree(
+            np.array([-1, 0, 1], dtype=np.int64), np.array([2, 1, 0])
+        )
+        assert not bad.is_postordered()
+
+    def test_n_roots(self):
+        t = EliminationTree(np.array([-1, -1, 1], dtype=np.int64), np.arange(3))
+        assert t.n_roots == 2
+
+    def test_from_pattern(self, grid2d_small):
+        t = EliminationTree.from_pattern(
+            grid2d_small.symmetrize_pattern().with_full_diagonal()
+        )
+        assert t.n == grid2d_small.n_rows
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(3, 16), seed=st.integers(0, 5000))
+def test_property_etree_matches_reference(n, seed):
+    d = random_spd_dense(n, 0.35, seed)
+    m = SparseMatrixCSC.from_dense(d)
+    assert np.array_equal(elimination_tree(m), reference_etree(d))

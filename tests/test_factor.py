@@ -1,0 +1,100 @@
+"""NumericFactor storage tests (allocation, assembly, export)."""
+
+import numpy as np
+import pytest
+
+from repro.core.factor import NumericFactor
+from repro.symbolic import analyze
+
+
+def scatter_back(factor, sym, *, upper_from_u: bool = False) -> np.ndarray:
+    """Rebuild the dense matrix from the assembled (unfactorized) panels."""
+    n = sym.n
+    out = np.zeros((n, n), dtype=factor.dtype)
+    for k in range(sym.n_cblk):
+        f, l = int(sym.cblk_ptr[k]), int(sym.cblk_ptr[k + 1])
+        rows = factor.rows[k]
+        out[np.ix_(rows, np.arange(f, l))] += factor.L[k]
+        if upper_from_u:
+            w = l - f
+            below = rows[w:]
+            if below.size:
+                out[np.ix_(np.arange(f, l), below)] += factor.U[k][w:, :].T
+    return out
+
+
+class TestAllocate:
+    def test_shapes(self, grid2d_small):
+        res = analyze(grid2d_small)
+        f = NumericFactor.allocate(res.symbol, "llt")
+        for k in range(res.symbol.n_cblk):
+            assert f.L[k].shape == (
+                res.symbol.cblk_height(k),
+                res.symbol.cblk_width(k),
+            )
+        assert f.U is None and f.D is None
+
+    def test_lu_allocates_u(self, grid2d_small):
+        res = analyze(grid2d_small)
+        f = NumericFactor.allocate(res.symbol, "lu")
+        assert f.U is not None
+        assert all(u.shape == l.shape for u, l in zip(f.U, f.L))
+
+    def test_ldlt_allocates_d(self, grid2d_small):
+        res = analyze(grid2d_small)
+        f = NumericFactor.allocate(res.symbol, "ldlt")
+        assert f.D is not None
+        assert sum(d.size for d in f.D) == res.n
+
+    def test_bad_factotype(self, grid2d_small):
+        res = analyze(grid2d_small)
+        with pytest.raises(ValueError):
+            NumericFactor.allocate(res.symbol, "qr")
+
+    def test_nbytes_positive(self, grid2d_small):
+        res = analyze(grid2d_small)
+        f = NumericFactor.allocate(res.symbol, "lu", np.complex128)
+        assert f.nbytes() > 16 * res.symbol.nnz()
+
+
+class TestAssemble:
+    def test_lower_scatter_exact(self, grid2d_small):
+        res = analyze(grid2d_small)
+        permuted = grid2d_small.permute(res.perm.perm)
+        f = NumericFactor.assemble(res.symbol, permuted, "llt")
+        rebuilt = scatter_back(f, res.symbol)
+        dense = permuted.to_dense()
+        assert np.allclose(np.tril(rebuilt), np.tril(dense))
+
+    def test_lu_scatter_exact(self, grid2d_small):
+        res = analyze(grid2d_small)
+        permuted = grid2d_small.permute(res.perm.perm)
+        f = NumericFactor.assemble(res.symbol, permuted, "lu")
+        rebuilt = scatter_back(f, res.symbol, upper_from_u=True)
+        assert np.allclose(rebuilt, permuted.to_dense())
+
+    def test_complex_assembly(self, helmholtz_small):
+        res = analyze(helmholtz_small)
+        permuted = helmholtz_small.permute(res.perm.perm)
+        f = NumericFactor.assemble(res.symbol, permuted, "ldlt")
+        assert f.dtype == np.complex128
+        rebuilt = scatter_back(f, res.symbol)
+        assert np.allclose(np.tril(rebuilt), np.tril(permuted.to_dense()))
+
+    def test_rejects_pattern_matrix(self, grid2d_small):
+        res = analyze(grid2d_small)
+        with pytest.raises(ValueError):
+            NumericFactor.assemble(res.symbol, res.pattern, "llt")
+
+    def test_rejects_size_mismatch(self, grid2d_small, grid3d_small):
+        res = analyze(grid2d_small)
+        with pytest.raises(ValueError):
+            NumericFactor.assemble(res.symbol, grid3d_small, "llt")
+
+    def test_copy_is_deep(self, grid2d_small):
+        res = analyze(grid2d_small)
+        permuted = grid2d_small.permute(res.perm.perm)
+        f = NumericFactor.assemble(res.symbol, permuted, "llt")
+        g = f.copy()
+        g.L[0][0, 0] += 1.0
+        assert f.L[0][0, 0] != g.L[0][0, 0]

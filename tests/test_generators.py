@@ -1,0 +1,127 @@
+"""Tests for the matrix generators."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.generators import (
+    elasticity_like_3d,
+    grid_laplacian_2d,
+    grid_laplacian_3d,
+    helmholtz_like_2d,
+    random_pattern_spd,
+    shell_like_2d,
+)
+
+
+def _is_symmetric(mat) -> bool:
+    d = mat.to_dense()
+    return np.allclose(d, d.T)
+
+
+def _min_eig(mat) -> float:
+    return float(np.linalg.eigvalsh(mat.to_dense()).min())
+
+
+class TestGrid2D:
+    def test_size_and_symmetry(self):
+        m = grid_laplacian_2d(5, 4)
+        assert m.shape == (20, 20)
+        assert _is_symmetric(m)
+        m.check()
+
+    def test_spd(self):
+        assert _min_eig(grid_laplacian_2d(6)) > 0
+
+    def test_spd_with_jitter(self):
+        assert _min_eig(grid_laplacian_2d(6, jitter=0.3, seed=1)) > 0
+
+    def test_nine_point_has_more_nnz(self):
+        m5 = grid_laplacian_2d(6, stencil=5)
+        m9 = grid_laplacian_2d(6, stencil=9)
+        assert m9.nnz > m5.nnz
+
+    def test_bad_stencil(self):
+        with pytest.raises(ValueError):
+            grid_laplacian_2d(4, stencil=7)
+
+    def test_deterministic(self):
+        a = grid_laplacian_2d(5, jitter=0.2, seed=9)
+        b = grid_laplacian_2d(5, jitter=0.2, seed=9)
+        assert np.array_equal(a.values, b.values)
+
+    def test_interior_degree_5pt(self):
+        m = grid_laplacian_2d(5)
+        # interior vertex has 4 neighbours + diagonal = 5 entries
+        counts = np.diff(m.colptr)
+        assert counts.max() == 5
+
+
+class TestGrid3D:
+    def test_size(self):
+        m = grid_laplacian_3d(3, 4, 5)
+        assert m.shape == (60, 60)
+        m.check()
+
+    def test_spd(self):
+        assert _min_eig(grid_laplacian_3d(3)) > 0
+
+    def test_27_point_stencil(self):
+        m7 = grid_laplacian_3d(4, stencil=7)
+        m27 = grid_laplacian_3d(4, stencil=27)
+        assert m27.nnz > 2 * m7.nnz
+        assert _is_symmetric(m27)
+
+    def test_27_point_interior_degree(self):
+        m = grid_laplacian_3d(5, stencil=27)
+        assert np.diff(m.colptr).max() == 27
+
+    def test_bad_stencil(self):
+        with pytest.raises(ValueError):
+            grid_laplacian_3d(3, stencil=9)
+
+    def test_complex_dtype(self):
+        m = grid_laplacian_3d(3, dtype=np.complex128, jitter=0.1, seed=2)
+        assert np.issubdtype(m.dtype, np.complexfloating)
+        assert _is_symmetric(m)  # complex symmetric, not Hermitian
+
+
+class TestOthers:
+    def test_random_pattern_spd(self):
+        m = random_pattern_spd(40, 5.0, seed=1)
+        assert _is_symmetric(m)
+        assert _min_eig(m) > 0
+
+    def test_random_pattern_locality_reduces_bandwidth(self):
+        loc = random_pattern_spd(100, 6.0, seed=2, locality=0.9)
+        uni = random_pattern_spd(100, 6.0, seed=2, locality=0.0)
+        def bw(m):
+            r, c, _ = m.to_coo()
+            return int(np.abs(r - c).max())
+        assert bw(loc) < bw(uni)
+
+    def test_elasticity_blocks(self):
+        m = elasticity_like_3d(2, dofs_per_node=3)
+        assert m.shape == (24, 24)
+        assert _is_symmetric(m)
+        assert _min_eig(m) > 0
+        # Intra-node coupling: dense 3x3 diagonal blocks.
+        d = m.to_dense()
+        assert np.all(d[:3, :3] != 0)
+
+    def test_helmholtz_complex_symmetric(self):
+        m = helmholtz_like_2d(5)
+        d = m.to_dense()
+        assert np.allclose(d, d.T)
+        assert not np.allclose(d, np.conj(d.T))  # NOT Hermitian
+        assert np.all(np.diag(d).imag > 0)
+
+    def test_shell_shape(self):
+        m = shell_like_2d(8, 5)
+        assert m.shape == (40, 40)
+        assert _min_eig(m) > 0
+
+    def test_all_have_full_diagonal(self):
+        for m in (grid_laplacian_2d(4), grid_laplacian_3d(3),
+                  elasticity_like_3d(2), helmholtz_like_2d(4),
+                  shell_like_2d(4, 3), random_pattern_spd(20, 4.0)):
+            assert np.all(m.diagonal() != 0)

@@ -1,0 +1,107 @@
+"""Graph substrate tests (adjacency, BFS, components)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.adjacency import Graph
+from repro.graph.bfs import bfs_levels, connected_components, pseudo_peripheral_vertex
+from repro.sparse.generators import grid_laplacian_2d
+
+
+def path_graph(n: int) -> Graph:
+    u = np.arange(n - 1, dtype=np.int64)
+    return Graph.from_edges(n, u, u + 1)
+
+
+class TestGraph:
+    def test_from_matrix_drops_diagonal(self):
+        m = grid_laplacian_2d(3)
+        g = Graph.from_matrix(m)
+        g.check()
+        src = np.repeat(np.arange(g.n), np.diff(g.xadj))
+        assert not np.any(src == g.adjncy)
+
+    def test_from_matrix_degrees(self):
+        g = Graph.from_matrix(grid_laplacian_2d(3))
+        # 3x3 grid: corner=2, edge=3, center=4
+        assert sorted(g.degrees().tolist()) == [2, 2, 2, 2, 3, 3, 3, 3, 4]
+
+    def test_from_edges_dedupes(self):
+        g = Graph.from_edges(3, [0, 0, 1], [1, 1, 2])
+        assert g.n_edges == 2
+
+    def test_from_edges_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            Graph.from_edges(3, [0], [0])
+
+    def test_networkx_equivalence(self):
+        import networkx as nx
+
+        m = grid_laplacian_2d(4, jitter=0.1, seed=1)
+        g = Graph.from_matrix(m)
+        ref = nx.grid_2d_graph(4, 4)
+        assert g.n_edges == ref.number_of_edges()
+
+    def test_subgraph_structure(self):
+        g = Graph.from_matrix(grid_laplacian_2d(4))
+        # first row of the grid: a path of 4 vertices
+        sub, mapping = g.subgraph(np.array([0, 1, 2, 3]))
+        sub.check()
+        assert sub.n == 4
+        assert sub.n_edges == 3
+        assert np.array_equal(mapping, [0, 1, 2, 3])
+
+    def test_subgraph_empty_adjacency(self):
+        g = Graph.from_matrix(grid_laplacian_2d(4))
+        sub, _ = g.subgraph(np.array([0, 15]))  # opposite corners
+        assert sub.n_edges == 0
+
+    def test_subgraph_preserves_weights(self):
+        g = path_graph(5)
+        g.vwgt = np.array([1, 2, 3, 4, 5], dtype=np.int64)
+        sub, _ = g.subgraph(np.array([1, 3]))
+        assert np.array_equal(sub.vwgt, [2, 4])
+
+
+class TestBFS:
+    def test_levels_path(self):
+        g = path_graph(5)
+        assert np.array_equal(bfs_levels(g, 0), [0, 1, 2, 3, 4])
+        assert np.array_equal(bfs_levels(g, 2), [2, 1, 0, 1, 2])
+
+    def test_levels_multi_source(self):
+        g = path_graph(5)
+        lv = bfs_levels(g, np.array([0, 4]))
+        assert np.array_equal(lv, [0, 1, 2, 1, 0])
+
+    def test_unreachable_is_minus_one(self):
+        g = Graph.from_edges(4, [0], [1])  # vertices 2,3 isolated
+        lv = bfs_levels(g, 0)
+        assert lv[2] == -1 and lv[3] == -1
+
+    def test_pseudo_peripheral_path(self):
+        g = path_graph(9)
+        v, levels = pseudo_peripheral_vertex(g, 4)
+        assert v in (0, 8)
+        assert levels.max() == 8
+
+    def test_pseudo_peripheral_grid_eccentricity(self):
+        import networkx as nx
+
+        g = Graph.from_matrix(grid_laplacian_2d(5))
+        v, levels = pseudo_peripheral_vertex(g, 12)  # start from center
+        ref = nx.grid_2d_graph(5, 5)
+        diameter = nx.diameter(ref)
+        assert levels.max() >= diameter - 1
+
+    def test_components(self):
+        g = Graph.from_edges(6, [0, 1, 3], [1, 2, 4])
+        comp = connected_components(g)
+        assert comp[0] == comp[1] == comp[2]
+        assert comp[3] == comp[4]
+        assert comp[5] not in (comp[0], comp[3])
+        assert len(set(comp.tolist())) == 3
+
+    def test_components_single(self):
+        g = path_graph(7)
+        assert len(set(connected_components(g).tolist())) == 1

@@ -1,0 +1,126 @@
+"""ILU(k) incomplete factorization tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.krylov import bicgstab, conjugate_gradient, gmres
+from repro.ordering import nested_dissection
+from repro.precond import IncompleteLU, ilu_symbolic
+from repro.sparse.csc import SparseMatrixCSC
+from tests.conftest import random_spd_dense
+
+
+class TestSymbolic:
+    def test_ilu0_pattern_equals_a(self, grid2d_small):
+        lower, upper = ilu_symbolic(grid2d_small, 0)
+        csr = grid2d_small.to_scipy().tocsr()
+        for i in range(grid2d_small.n_rows):
+            cols = set(csr.indices[csr.indptr[i]: csr.indptr[i + 1]].tolist())
+            cols.add(i)
+            got = set(lower[i].tolist()) | set(upper[i].tolist())
+            assert got == cols
+
+    def test_levels_grow_pattern(self, grid2d_small):
+        sizes = []
+        for level in (0, 1, 2):
+            lower, upper = ilu_symbolic(grid2d_small, level)
+            sizes.append(sum(l.size + u.size for l, u in zip(lower, upper)))
+        assert sizes[0] < sizes[1] < sizes[2]
+
+    def test_large_level_reaches_exact_fill(self):
+        d = random_spd_dense(12, 0.4, 0)
+        m = SparseMatrixCSC.from_dense(d)
+        lower, upper = ilu_symbolic(m, 50)
+        total = sum(l.size + u.size for l, u in zip(lower, upper))
+        L = np.linalg.cholesky(d)
+        exact = 2 * int((np.abs(L) > 1e-14).sum()) - 12
+        assert total >= exact  # superset of (here: equals) the true fill
+
+    def test_diagonal_always_present(self, grid2d_small):
+        _, upper = ilu_symbolic(grid2d_small, 0)
+        for i, up in enumerate(upper):
+            assert up.size and up[0] == i
+
+    def test_validation(self, grid2d_small):
+        from repro.sparse.csc import coo_to_csc
+
+        with pytest.raises(ValueError):
+            ilu_symbolic(coo_to_csc(2, 3, [0], [0], [1.0]), 0)
+        with pytest.raises(ValueError):
+            ilu_symbolic(grid2d_small, -1)
+
+
+class TestNumeric:
+    def test_high_level_is_nearly_exact(self):
+        d = random_spd_dense(15, 0.4, 1)
+        m = SparseMatrixCSC.from_dense(d)
+        ilu = IncompleteLU(m, level=20)
+        b = np.random.default_rng(0).standard_normal(15)
+        x = ilu.solve(b)
+        assert np.allclose(d @ x, b, atol=1e-8)
+
+    def test_lu_product_matches_on_pattern_ilu0(self, grid2d_small):
+        """ILU(0) property: (L·U) agrees with A exactly on A's pattern."""
+        ilu = IncompleteLU(grid2d_small, level=0)
+        L, U = ilu.factors()
+        n = grid2d_small.n_rows
+        prod = (L.to_scipy() + np.eye(n)) @ U.to_scipy()
+        a = grid2d_small.to_dense()
+        mask = a != 0
+        assert np.allclose(np.asarray(prod)[mask], a[mask], atol=1e-10)
+
+    def test_quality_improves_with_level(self, grid2d_medium):
+        norms = [
+            IncompleteLU(grid2d_medium, level=k).residual_operator_norm()
+            for k in (0, 1, 3)
+        ]
+        assert norms[2] < norms[0]
+
+    def test_complex_support(self, helmholtz_small):
+        ilu = IncompleteLU(helmholtz_small, level=1)
+        b = np.ones(helmholtz_small.n_rows, dtype=np.complex128)
+        x = ilu.solve(b)
+        assert np.iscomplexobj(x)
+        assert np.isfinite(x).all()
+
+    def test_with_ordering(self, grid2d_small):
+        perm = nested_dissection(grid2d_small)
+        ilu = IncompleteLU(grid2d_small, level=1, ordering=perm)
+        b = np.random.default_rng(1).standard_normal(grid2d_small.n_rows)
+        x = ilu.solve(b)
+        # Preconditioner quality: residual much smaller than b.
+        r = b - grid2d_small.matvec(x)
+        assert np.linalg.norm(r) < 0.8 * np.linalg.norm(b)
+
+
+class TestAsPreconditioner:
+    def test_cg_converges_faster(self, grid2d_medium):
+        b = np.random.default_rng(2).standard_normal(grid2d_medium.n_rows)
+        plain = conjugate_gradient(grid2d_medium, b, tol=1e-10, max_iter=400)
+        ilu = IncompleteLU(grid2d_medium, level=1)
+        pre = conjugate_gradient(
+            grid2d_medium, b, precondition=ilu.solve, tol=1e-10, max_iter=400
+        )
+        assert pre.converged
+        assert pre.iterations < plain.iterations
+
+    def test_gmres_with_ilu(self, grid2d_medium):
+        b = np.ones(grid2d_medium.n_rows)
+        ilu = IncompleteLU(grid2d_medium, level=1)
+        r = gmres(grid2d_medium, b, precondition=ilu.solve, tol=1e-9)
+        assert r.converged
+        assert np.allclose(grid2d_medium.matvec(r.x), b, atol=1e-6)
+
+    def test_bicgstab_with_ilu_unsym(self):
+        rng = np.random.default_rng(3)
+        d = rng.standard_normal((60, 60)) * (rng.random((60, 60)) < 0.15)
+        np.fill_diagonal(d, np.abs(d).sum(axis=1) + 1.0)
+        m = SparseMatrixCSC.from_dense(d)
+        b = rng.standard_normal(60)
+        ilu = IncompleteLU(m, level=0)
+        r = bicgstab(m, b, precondition=ilu.solve, tol=1e-10)
+        assert r.converged
+
+    def test_nnz_reported(self, grid2d_small):
+        ilu = IncompleteLU(grid2d_small, level=0)
+        assert ilu.nnz >= grid2d_small.nnz

@@ -1,0 +1,118 @@
+"""Matrix Market I/O tests."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.sparse.csc import SparseMatrixCSC, coo_to_csc
+from repro.sparse.io import read_matrix_market, write_matrix_market
+
+
+def _roundtrip(mat):
+    buf = io.StringIO()
+    write_matrix_market(mat, buf, comment="test")
+    buf.seek(0)
+    return read_matrix_market(buf)
+
+
+class TestRoundtrip:
+    def test_real(self):
+        rng = np.random.default_rng(0)
+        d = rng.standard_normal((6, 5)) * (rng.random((6, 5)) < 0.5)
+        m = SparseMatrixCSC.from_dense(d)
+        assert np.allclose(_roundtrip(m).to_dense(), d)
+
+    def test_complex(self):
+        d = np.array([[1 + 2j, 0], [0, -3j]])
+        m = SparseMatrixCSC.from_dense(d)
+        assert np.allclose(_roundtrip(m).to_dense(), d)
+
+    def test_pattern(self):
+        m = coo_to_csc(3, 3, [0, 2], [1, 2])
+        back = _roundtrip(m)
+        assert back.is_pattern
+        assert np.array_equal(back.rowind, m.rowind)
+
+    def test_empty(self):
+        m = coo_to_csc(3, 3, [], [])
+        assert _roundtrip(m).nnz == 0
+
+
+class TestParsing:
+    def test_symmetric_expansion(self):
+        text = """%%MatrixMarket matrix coordinate real symmetric
+3 3 3
+1 1 2.0
+2 1 1.5
+3 3 4.0
+"""
+        m = read_matrix_market(io.StringIO(text))
+        d = m.to_dense()
+        assert d[1, 0] == d[0, 1] == 1.5
+        assert m.nnz == 4  # diagonal entries not duplicated
+
+    def test_skew_symmetric(self):
+        text = """%%MatrixMarket matrix coordinate real skew-symmetric
+2 2 1
+2 1 3.0
+"""
+        d = read_matrix_market(io.StringIO(text)).to_dense()
+        assert d[1, 0] == 3.0 and d[0, 1] == -3.0
+
+    def test_hermitian(self):
+        text = """%%MatrixMarket matrix coordinate complex hermitian
+2 2 2
+1 1 1.0 0.0
+2 1 2.0 1.0
+"""
+        d = read_matrix_market(io.StringIO(text)).to_dense()
+        assert d[1, 0] == 2 + 1j and d[0, 1] == 2 - 1j
+
+    def test_comments_skipped(self):
+        text = """%%MatrixMarket matrix coordinate real general
+% a comment
+% another
+2 2 1
+1 1 5.0
+"""
+        m = read_matrix_market(io.StringIO(text))
+        assert m.to_dense()[0, 0] == 5.0
+
+    def test_rejects_array_format(self):
+        text = "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n"
+        with pytest.raises(ValueError, match="unsupported"):
+            read_matrix_market(io.StringIO(text))
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError, match="not a MatrixMarket"):
+            read_matrix_market(io.StringIO("hello world\n"))
+
+    def test_rejects_wrong_count(self):
+        text = "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 5.0\n"
+        with pytest.raises(ValueError, match="expected 3"):
+            read_matrix_market(io.StringIO(text))
+
+    def test_file_paths(self, tmp_path):
+        m = SparseMatrixCSC.identity(4)
+        path = tmp_path / "m.mtx"
+        write_matrix_market(m, path)
+        back = read_matrix_market(path)
+        assert np.allclose(back.to_dense(), np.eye(4))
+
+
+class TestPropertyRoundtrip:
+    from hypothesis import given, settings, strategies as st
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(1, 15), seed=st.integers(0, 5000),
+           complex_=st.booleans())
+    def test_random_roundtrip(self, n, seed, complex_):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        d = rng.standard_normal((n, n)) * (rng.random((n, n)) < 0.4)
+        if complex_:
+            d = d + 1j * rng.standard_normal((n, n)) * (d != 0)
+        m = SparseMatrixCSC.from_dense(d)
+        assert np.allclose(_roundtrip(m).to_dense(), d)

@@ -1,0 +1,119 @@
+"""Dense kernel tests."""
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels.dense import (
+    getrf_nopiv,
+    ldlt_nopiv,
+    potrf,
+    trsm_lower_right,
+    trsm_unit_lower_left,
+)
+from tests.conftest import random_spd_dense
+
+
+class TestPotrf:
+    def test_matches_numpy(self):
+        a = random_spd_dense(8, 0.6, 0)
+        assert np.allclose(potrf(a), np.linalg.cholesky(a))
+
+    def test_rejects_complex(self):
+        with pytest.raises(TypeError):
+            potrf(np.eye(3, dtype=np.complex128))
+
+
+class TestLdlt:
+    def test_reconstruction_real(self):
+        a = random_spd_dense(9, 0.5, 1)
+        L, d = ldlt_nopiv(a)
+        assert np.allclose(L @ np.diag(d) @ L.T, a)
+        assert np.allclose(np.diag(L), 1.0)
+        assert np.allclose(np.triu(L, 1), 0.0)
+
+    def test_reconstruction_complex_symmetric(self):
+        rng = np.random.default_rng(2)
+        a = rng.standard_normal((6, 6)) + 1j * rng.standard_normal((6, 6))
+        a = (a + a.T) / 2  # complex symmetric (plain transpose)
+        a += np.diag(np.full(6, 10.0 + 5j))
+        L, d = ldlt_nopiv(a)
+        assert np.allclose(L @ np.diag(d) @ L.T, a)
+
+    def test_zero_pivot_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            ldlt_nopiv(np.zeros((3, 3)))
+
+    def test_input_not_mutated(self):
+        a = random_spd_dense(5, 0.5, 3)
+        a0 = a.copy()
+        ldlt_nopiv(a)
+        assert np.array_equal(a, a0)
+
+
+class TestGetrf:
+    def test_reconstruction(self):
+        a = random_spd_dense(8, 0.5, 4) + np.triu(np.ones((8, 8)), 1) * 0.1
+        lu = getrf_nopiv(a)
+        L = np.tril(lu, -1) + np.eye(8)
+        U = np.triu(lu)
+        assert np.allclose(L @ U, a)
+
+    def test_matches_scipy_on_dominant(self):
+        a = random_spd_dense(7, 0.8, 5)
+        lu = getrf_nopiv(a)
+        # scipy with pivoting on a diagonally dominant SPD matrix picks
+        # the diagonal anyway.
+        p, l, u = sla.lu(a)
+        assert np.allclose(p, np.eye(7))
+        assert np.allclose(np.tril(lu, -1) + np.eye(7), l)
+        assert np.allclose(np.triu(lu), u)
+
+    def test_zero_pivot_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            getrf_nopiv(np.array([[0.0, 1.0], [1.0, 0.0]]))
+
+
+class TestTrsm:
+    def test_lower_right(self):
+        a = random_spd_dense(6, 0.7, 6)
+        L = np.linalg.cholesky(a)
+        rng = np.random.default_rng(7)
+        b = rng.standard_normal((4, 6))
+        x = trsm_lower_right(L, b)
+        assert np.allclose(x @ L.T, b)
+
+    def test_lower_right_unit(self):
+        L = np.tril(np.ones((4, 4)), -1) * 0.3 + np.diag([9, 9, 9, 9.0])
+        rng = np.random.default_rng(8)
+        b = rng.standard_normal((3, 4))
+        x = trsm_lower_right(L, b, unit=True)
+        Lu = np.tril(L, -1) + np.eye(4)
+        assert np.allclose(x @ Lu.T, b)
+
+    def test_unit_lower_left(self):
+        L = np.tril(np.random.default_rng(9).standard_normal((5, 5)), -1)
+        b = np.random.default_rng(10).standard_normal((5, 2))
+        x = trsm_unit_lower_left(L, b)
+        assert np.allclose((L + np.eye(5)) @ x, b)
+
+    def test_complex_plain_transpose(self):
+        rng = np.random.default_rng(11)
+        L = np.tril(rng.standard_normal((4, 4)) + 1j * rng.standard_normal((4, 4)))
+        L += np.diag(np.full(4, 5.0))
+        b = rng.standard_normal((2, 4)) + 1j * rng.standard_normal((2, 4))
+        x = trsm_lower_right(L, b)
+        assert np.allclose(x @ L.T, b)  # .T, never .conj().T
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(1, 12), seed=st.integers(0, 5000))
+def test_property_ldlt_solves(n, seed):
+    a = random_spd_dense(n, 0.4, seed)
+    L, d = ldlt_nopiv(a)
+    rng = np.random.default_rng(seed)
+    b = rng.standard_normal(n)
+    y = sla.solve_triangular(L, b, lower=True, unit_diagonal=True)
+    x = sla.solve_triangular(L, y / d, lower=True, unit_diagonal=True, trans="T")
+    assert np.allclose(a @ x, b, atol=1e-8)

@@ -1,0 +1,146 @@
+"""Panel kernel and sparse-GEMM tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.factor import NumericFactor
+from repro.core.factorization import facing_cblks, factorize_sequential
+from repro.kernels.panel import panel_factorize, panel_update, update_slice
+from repro.kernels.sparse_gemm import row_runs, sparse_gemm_scatter
+from repro.symbolic import analyze
+from tests.conftest import permutation_matrix
+
+
+class TestRowRuns:
+    def test_single_run(self):
+        assert row_runs(np.array([3, 4, 5])) == [(0, 3, 3)]
+
+    def test_multiple_runs(self):
+        assert row_runs(np.array([0, 1, 5, 6, 9])) == [
+            (0, 0, 2), (2, 5, 2), (4, 9, 1),
+        ]
+
+    def test_empty(self):
+        assert row_runs(np.empty(0, dtype=np.int64)) == []
+
+
+class TestSparseGemmScatter:
+    def test_matches_workspace_path(self):
+        rng = np.random.default_rng(0)
+        m, n, w = 9, 4, 3
+        a = rng.standard_normal((m, w))
+        b = rng.standard_normal((n, w))
+        rows = np.array([0, 1, 4, 5, 6, 8, 10, 11, 12])
+        cols = np.array([1, 2, 5, 7])
+        c1 = rng.standard_normal((13, 8))
+        c2 = c1.copy()
+        c1[np.ix_(rows, cols)] -= a @ b.T
+        sparse_gemm_scatter(a, b, c2, rows, cols)
+        assert np.allclose(c1, c2)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            sparse_gemm_scatter(
+                np.ones((3, 2)), np.ones((2, 2)), np.ones((5, 5)),
+                np.array([0, 1]), np.array([0, 1]),
+            )
+
+    def test_empty_noop(self):
+        c = np.ones((3, 3))
+        sparse_gemm_scatter(
+            np.empty((0, 2)), np.empty((0, 2)), c,
+            np.empty(0, np.int64), np.empty(0, np.int64),
+        )
+        assert np.all(c == 1.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 5000))
+    def test_property_equivalence(self, seed):
+        rng = np.random.default_rng(seed)
+        m = rng.integers(1, 12)
+        n = rng.integers(1, 8)
+        w = rng.integers(1, 6)
+        ch, cw = m + 10, n + 10
+        rows = np.sort(rng.choice(ch, size=m, replace=False)).astype(np.int64)
+        cols = np.sort(rng.choice(cw, size=n, replace=False)).astype(np.int64)
+        a = rng.standard_normal((m, w))
+        b = rng.standard_normal((n, w))
+        c1 = rng.standard_normal((ch, cw))
+        c2 = c1.copy()
+        c1[np.ix_(rows, cols)] -= a @ b.T
+        sparse_gemm_scatter(a, b, c2, rows, cols)
+        assert np.allclose(c1, c2)
+
+
+class TestPanelKernels:
+    def _factor_dense(self, mat, factotype):
+        """Run the supernodal factorization and rebuild L densely."""
+        res = analyze(mat)
+        permuted = mat.permute(res.perm.perm)
+        factor = factorize_sequential(res.symbol, permuted, factotype)
+        return res, permuted, factor
+
+    def test_update_slice_locates_rows(self, grid2d_small):
+        res = analyze(grid2d_small)
+        permuted = grid2d_small.permute(res.perm.perm)
+        factor = NumericFactor.assemble(res.symbol, permuted, "llt")
+        sym = res.symbol
+        for k in range(sym.n_cblk):
+            for t in facing_cblks(sym, k):
+                i0, i1, rk = update_slice(factor, k, int(t))
+                assert i0 < i1
+                inside = rk[i0:i1]
+                assert np.all(inside >= sym.cblk_ptr[t])
+                assert np.all(inside < sym.cblk_ptr[t + 1])
+
+    def test_llt_factor_reconstructs(self, grid2d_small):
+        res, permuted, factor = self._factor_dense(grid2d_small, "llt")
+        L = factor.lower_csc().to_dense()
+        assert np.allclose(L @ L.T, permuted.to_dense(), atol=1e-10)
+
+    def test_ldlt_factor_reconstructs(self, grid2d_small):
+        res, permuted, factor = self._factor_dense(grid2d_small, "ldlt")
+        L = factor.lower_csc().to_dense()
+        d = np.concatenate(factor.D)
+        assert np.allclose(L @ np.diag(d) @ L.T, permuted.to_dense(), atol=1e-10)
+
+    def test_lu_panels_consistent(self, grid2d_small):
+        res, permuted, factor = self._factor_dense(grid2d_small, "lu")
+        n = res.n
+        L = factor.lower_csc().to_dense()
+        # Build U from the U panels + packed diagonal blocks.
+        U = np.zeros((n, n))
+        sym = res.symbol
+        for k in range(sym.n_cblk):
+            f, l = int(sym.cblk_ptr[k]), int(sym.cblk_ptr[k + 1])
+            w = l - f
+            U[f:l, f:l] = np.triu(factor.L[k][:w, :w])
+            rows = factor.rows[k][w:]
+            if rows.size:
+                U[f:l, rows] = factor.U[k][w:, :].T
+        assert np.allclose(L @ U, permuted.to_dense(), atol=1e-10)
+
+    def test_unknown_factotype(self, grid2d_small):
+        res = analyze(grid2d_small)
+        permuted = grid2d_small.permute(res.perm.perm)
+        factor = NumericFactor.assemble(res.symbol, permuted, "llt")
+        factor.factotype = "qr"
+        with pytest.raises(ValueError):
+            panel_factorize(factor, 0)
+
+    def test_update_noop_when_not_facing(self, grid2d_small):
+        res = analyze(grid2d_small)
+        permuted = grid2d_small.permute(res.perm.perm)
+        factor = NumericFactor.assemble(res.symbol, permuted, "llt")
+        sym = res.symbol
+        # Find a (k, t) couple that does NOT face each other.
+        faces0 = set(int(x) for x in facing_cblks(sym, 0))
+        non = next(
+            (t for t in range(1, sym.n_cblk) if t not in faces0), None
+        )
+        if non is not None:
+            before = factor.L[non].copy()
+            panel_factorize(factor, 0)
+            panel_update(factor, 0, non)
+            assert np.array_equal(before, factor.L[non])

@@ -1,0 +1,143 @@
+"""Krylov solver tests (GMRES / CG / BiCGstab, with and without the
+direct factorization as preconditioner)."""
+
+import numpy as np
+import pytest
+
+from repro import SolverOptions, SparseSolver
+from repro.core.krylov import bicgstab, conjugate_gradient, gmres
+from repro.sparse.csc import SparseMatrixCSC
+from tests.conftest import random_spd_dense
+
+
+@pytest.fixture(scope="module")
+def spd_system():
+    d = random_spd_dense(50, 0.3, 7)
+    m = SparseMatrixCSC.from_dense(d)
+    b = np.random.default_rng(1).standard_normal(50)
+    return m, b
+
+
+@pytest.fixture(scope="module")
+def unsym_system():
+    rng = np.random.default_rng(2)
+    d = rng.standard_normal((40, 40)) * (rng.random((40, 40)) < 0.3)
+    np.fill_diagonal(d, np.abs(d).sum(axis=1) + 2.0)
+    m = SparseMatrixCSC.from_dense(d)
+    b = rng.standard_normal(40)
+    return m, b
+
+
+class TestUnpreconditioned:
+    def test_gmres_solves_spd(self, spd_system):
+        m, b = spd_system
+        r = gmres(m, b, tol=1e-10, max_iter=300)
+        assert r.converged
+        assert np.allclose(m.matvec(r.x), b, atol=1e-7)
+
+    def test_cg_solves_spd(self, spd_system):
+        m, b = spd_system
+        r = conjugate_gradient(m, b, tol=1e-10)
+        assert r.converged
+        assert np.allclose(m.matvec(r.x), b, atol=1e-7)
+
+    def test_bicgstab_solves_unsym(self, unsym_system):
+        m, b = unsym_system
+        r = bicgstab(m, b, tol=1e-10)
+        assert r.converged
+        assert np.allclose(m.matvec(r.x), b, atol=1e-7)
+
+    def test_gmres_solves_unsym(self, unsym_system):
+        m, b = unsym_system
+        r = gmres(m, b, tol=1e-10)
+        assert r.converged
+
+    def test_gmres_complex(self):
+        rng = np.random.default_rng(3)
+        d = rng.standard_normal((20, 20)) + 1j * rng.standard_normal((20, 20))
+        d += np.diag(np.full(20, 20.0))
+        m = SparseMatrixCSC.from_dense(d)
+        b = rng.standard_normal(20) + 1j * rng.standard_normal(20)
+        r = gmres(m, b, tol=1e-10)
+        assert r.converged
+        assert np.allclose(m.matvec(r.x), b, atol=1e-6)
+
+    def test_bicgstab_complex(self):
+        rng = np.random.default_rng(4)
+        d = rng.standard_normal((20, 20)) + 1j * rng.standard_normal((20, 20))
+        d += np.diag(np.full(20, 20.0))
+        m = SparseMatrixCSC.from_dense(d)
+        b = rng.standard_normal(20) + 0j
+        r = bicgstab(m, b, tol=1e-10)
+        assert r.converged
+
+    def test_zero_rhs(self, spd_system):
+        m, _ = spd_system
+        for solver in (gmres, conjugate_gradient, bicgstab):
+            r = solver(m, np.zeros(50))
+            assert r.converged and np.all(r.x == 0)
+
+    def test_history_decreases_overall(self, spd_system):
+        m, b = spd_system
+        r = conjugate_gradient(m, b, tol=1e-12)
+        assert r.history[-1] < r.history[0]
+
+    def test_max_iter_cap(self, spd_system):
+        m, b = spd_system
+        r = conjugate_gradient(m, b, tol=1e-16, max_iter=2)
+        assert not r.converged
+        assert r.iterations <= 2
+
+    def test_x0_used(self, spd_system):
+        m, b = spd_system
+        exact = np.linalg.solve(m.to_dense(), b)
+        r = gmres(m, b, x0=exact, tol=1e-10)
+        assert r.iterations == 0
+
+
+class TestPreconditioned:
+    def test_gmres_with_exact_preconditioner(self, spd_system):
+        m, b = spd_system
+        inv = np.linalg.inv(m.to_dense())
+        r = gmres(m, b, precondition=lambda v: inv @ v, tol=1e-12)
+        assert r.converged
+        assert r.iterations <= 2  # exact M: one Krylov step suffices
+
+    def test_cg_preconditioned_faster(self, spd_system):
+        m, b = spd_system
+        plain = conjugate_gradient(m, b, tol=1e-10)
+        diag = m.diagonal()
+        jacobi = conjugate_gradient(
+            m, b, precondition=lambda v: v / diag, tol=1e-10
+        )
+        assert jacobi.converged
+        assert jacobi.iterations <= plain.iterations + 2
+
+
+class TestSolverIntegration:
+    @pytest.mark.parametrize("method", ["gmres", "bicgstab", "cg"])
+    def test_solver_methods(self, grid2d_small, method):
+        s = SparseSolver(grid2d_small)
+        b = np.random.default_rng(5).standard_normal(grid2d_small.n_rows)
+        x = s.solve(b, method=method)
+        assert s.residual_norm(x, b) < 1e-9
+        # Direct factorization preconditioner => almost immediate.
+        assert s.last_refinement.iterations <= 3
+
+    def test_solver_method_none(self, grid2d_small):
+        s = SparseSolver(grid2d_small)
+        b = np.ones(grid2d_small.n_rows)
+        x = s.solve(b, method="none")
+        assert s.residual_norm(x, b) < 1e-10
+
+    def test_unknown_method(self, grid2d_small):
+        s = SparseSolver(grid2d_small)
+        with pytest.raises(ValueError):
+            s.solve(np.ones(grid2d_small.n_rows), method="sor")
+
+    def test_gmres_on_complex_system(self, helmholtz_small):
+        s = SparseSolver(helmholtz_small, SolverOptions(factotype="lu"))
+        rng = np.random.default_rng(6)
+        b = rng.standard_normal(helmholtz_small.n_rows) * (1 + 1j)
+        x = s.solve(b, method="gmres")
+        assert s.residual_norm(x, b) < 1e-9

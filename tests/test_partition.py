@@ -1,0 +1,103 @@
+"""Multilevel bisection tests (matching, coarsening, refinement)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.adjacency import Graph
+from repro.graph.coarsen import coarsen_graph, heavy_edge_matching
+from repro.graph.partition import (
+    edge_cut,
+    grow_bisection,
+    multilevel_bisection,
+    refine_bisection,
+)
+from repro.sparse.generators import grid_laplacian_2d
+
+
+class TestMatching:
+    def test_matching_is_symmetric(self):
+        g = Graph.from_matrix(grid_laplacian_2d(6))
+        match = heavy_edge_matching(g, seed=1)
+        for v in range(g.n):
+            assert match[match[v]] == v
+
+    def test_matching_pairs_are_edges(self):
+        g = Graph.from_matrix(grid_laplacian_2d(5))
+        match = heavy_edge_matching(g, seed=2)
+        for v in range(g.n):
+            u = match[v]
+            if u != v:
+                assert u in g.neighbors(v)
+
+    def test_matching_covers_most_vertices(self):
+        g = Graph.from_matrix(grid_laplacian_2d(8))
+        match = heavy_edge_matching(g, seed=3)
+        unmatched = np.count_nonzero(match == np.arange(g.n))
+        assert unmatched <= g.n // 4
+
+
+class TestCoarsen:
+    def test_weights_conserved(self):
+        g = Graph.from_matrix(grid_laplacian_2d(6))
+        match = heavy_edge_matching(g, seed=0)
+        coarse, cmap = coarsen_graph(g, match)
+        coarse.check()
+        assert coarse.total_weight == g.total_weight
+        assert cmap.size == g.n
+
+    def test_coarse_edges_project_back(self):
+        g = Graph.from_matrix(grid_laplacian_2d(5))
+        match = heavy_edge_matching(g, seed=0)
+        coarse, cmap = coarsen_graph(g, match)
+        # Any coarse edge must come from at least one fine edge.
+        src = np.repeat(np.arange(coarse.n), np.diff(coarse.xadj))
+        fine_src = np.repeat(np.arange(g.n), np.diff(g.xadj))
+        fine_pairs = set(zip(cmap[fine_src].tolist(), cmap[g.adjncy].tolist()))
+        for a, b in zip(src.tolist(), coarse.adjncy.tolist()):
+            assert (a, b) in fine_pairs
+
+    def test_matched_pairs_merge(self):
+        g = Graph.from_edges(4, [0, 2], [1, 3])
+        match = np.array([1, 0, 3, 2])
+        coarse, cmap = coarsen_graph(g, match)
+        assert coarse.n == 2
+        assert cmap[0] == cmap[1] and cmap[2] == cmap[3]
+
+
+class TestBisection:
+    def test_partition_is_binary_and_balanced(self):
+        g = Graph.from_matrix(grid_laplacian_2d(10))
+        part = multilevel_bisection(g, seed=0)
+        assert set(np.unique(part)) <= {0, 1}
+        w0 = part.tolist().count(0)
+        assert 0.25 <= w0 / g.n <= 0.75
+
+    def test_cut_quality_on_grid(self):
+        # Optimal bisection of a k x k grid cuts ~k edges; allow 4x.
+        k = 12
+        g = Graph.from_matrix(grid_laplacian_2d(k))
+        part = multilevel_bisection(g, seed=1)
+        assert edge_cut(g, part) <= 4 * k
+
+    def test_refinement_never_worsens(self):
+        g = Graph.from_matrix(grid_laplacian_2d(8))
+        part = grow_bisection(g, seed=5)
+        before = edge_cut(g, part)
+        after = edge_cut(g, refine_bisection(g, part))
+        assert after <= before
+
+    def test_tiny_graphs(self):
+        assert multilevel_bisection(Graph.from_edges(1, [], [])).size == 1
+        p2 = multilevel_bisection(Graph.from_edges(2, [0], [1]))
+        assert set(p2.tolist()) == {0, 1}
+
+    def test_edge_cut_matches_networkx(self):
+        import networkx as nx
+
+        g = Graph.from_matrix(grid_laplacian_2d(6))
+        part = multilevel_bisection(g, seed=2)
+        ref = nx.Graph()
+        src = np.repeat(np.arange(g.n), np.diff(g.xadj))
+        ref.add_edges_from(zip(src.tolist(), g.adjncy.tolist()))
+        ref_cut = nx.cut_size(ref, set(np.flatnonzero(part == 0).tolist()))
+        assert edge_cut(g, part) == ref_cut

@@ -1,0 +1,103 @@
+"""Performance-model tests (CPU and GPU kernel curves)."""
+
+import numpy as np
+import pytest
+
+from repro.machine.perfmodel import (
+    CUBLAS_PEAK_GFLOPS,
+    CpuPerfModel,
+    GpuKernelModel,
+    astra_rate,
+    cublas_rate,
+    gemm_occupancy,
+    sparse_astra_rate,
+)
+
+
+class TestGpuCurves:
+    def test_cublas_monotone_in_m(self):
+        rates = [cublas_rate(m, 128, 128) for m in (100, 500, 2000, 10000)]
+        assert all(b >= a for a, b in zip(rates, rates[1:]))
+
+    def test_cublas_never_exceeds_peak(self):
+        for m in (100, 1000, 10000, 100000):
+            assert cublas_rate(m, 2000, 2000) <= CUBLAS_PEAK_GFLOPS
+
+    def test_peak_not_reached_on_update_shape(self):
+        """Paper: 'This peak is never reached with the particular
+        configuration case studied here' (N = K = 128)."""
+        assert cublas_rate(1e9, 128, 128) < CUBLAS_PEAK_GFLOPS
+
+    def test_astra_fifteen_percent_below(self):
+        c = cublas_rate(5000, 128, 128)
+        a = astra_rate(5000, 128, 128)
+        assert a == pytest.approx(0.85 * c)
+
+    def test_texture_cost(self):
+        with_t = astra_rate(5000, 128, 128, textures=True)
+        without = astra_rate(5000, 128, 128, textures=False)
+        assert without == pytest.approx(0.95 * with_t)
+
+    def test_sparse_below_astra(self):
+        a = astra_rate(5000, 128, 128, textures=False)
+        s = sparse_astra_rate(5000, 128, 128, height_ratio=2.0)
+        assert s < a
+
+    def test_sparse_taller_panel_slower(self):
+        """Paper: 'the taller the panel, the lower the performance'."""
+        rates = [
+            sparse_astra_rate(3000, 128, 128, height_ratio=h)
+            for h in (1.0, 1.5, 2.0, 4.0)
+        ]
+        assert all(b < a for a, b in zip(rates, rates[1:]))
+
+    def test_degenerate_shapes(self):
+        assert cublas_rate(0, 128, 128) == 0.0
+
+    def test_occupancy_bounds_and_monotone(self):
+        occs = [gemm_occupancy(m, 128, 128) for m in (1, 100, 1000, 100000)]
+        assert all(0 < o <= 1 for o in occs)
+        assert all(b >= a for a, b in zip(occs, occs[1:]))
+
+    def test_kernel_model_dispatch(self):
+        for name in ("cublas", "astra", "sparse"):
+            model = GpuKernelModel(name)
+            assert model.rate(1000, 128, 128) > 0
+        with pytest.raises(ValueError):
+            GpuKernelModel("magma").rate(10, 10, 10)
+
+
+class TestCpuModel:
+    def test_gemm_eff_bounds(self):
+        m = CpuPerfModel()
+        for dims in ((8, 8, 8), (100, 100, 100), (5000, 200, 200)):
+            eff = m.gemm_eff(*dims)
+            assert 0 < eff < 1
+
+    def test_gemm_eff_grows_with_size(self):
+        m = CpuPerfModel()
+        assert m.gemm_eff(10, 10, 10) < m.gemm_eff(500, 500, 500)
+
+    def test_large_gemm_near_max(self):
+        m = CpuPerfModel()
+        assert m.gemm_eff(4000, 4000, 4000) > 0.9 * m.gemm_eff_max
+
+    def test_update_eff_scatter_penalty(self):
+        m = CpuPerfModel()
+        assert m.update_eff(100, 100, 100) == pytest.approx(
+            m.gemm_eff(100, 100, 100) * m.scatter_penalty
+        )
+
+    def test_ldlt_recompute_penalty_only_when_asked(self):
+        m = CpuPerfModel()
+        plain = m.update_eff(50, 50, 50, factotype="ldlt", recompute_ld=False)
+        pen = m.update_eff(50, 50, 50, factotype="ldlt", recompute_ld=True)
+        assert pen == pytest.approx(plain * m.ldlt_recompute_penalty)
+        llt = m.update_eff(50, 50, 50, factotype="llt", recompute_ld=True)
+        assert llt == pytest.approx(plain)
+
+    def test_panel_eff_blends_toward_gemm_when_tall(self):
+        m = CpuPerfModel()
+        short = m.panel_eff(64, 0)
+        tall = m.panel_eff(64, 2000)
+        assert tall > short

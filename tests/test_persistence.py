@@ -1,0 +1,60 @@
+"""Analysis save/load tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.factorization import factorize_sequential
+from repro.core.triangular import solve_factored
+from repro.symbolic import analyze, load_analysis, save_analysis
+
+
+@pytest.fixture(scope="module")
+def analysis(grid2d_medium):
+    return analyze(grid2d_medium)
+
+
+def test_roundtrip_structure(analysis, tmp_path):
+    path = tmp_path / "analysis.npz"
+    save_analysis(analysis, path)
+    back = load_analysis(path)
+    assert back.n == analysis.n
+    assert np.array_equal(back.perm.perm, analysis.perm.perm)
+    assert np.array_equal(back.parent, analysis.parent)
+    assert np.array_equal(back.counts, analysis.counts)
+    assert np.array_equal(back.symbol.cblk_ptr, analysis.symbol.cblk_ptr)
+    assert np.array_equal(back.symbol.blok_frow, analysis.symbol.blok_frow)
+    back.symbol.validate()
+
+
+def test_loaded_analysis_factorizes(analysis, grid2d_medium, tmp_path):
+    path = tmp_path / "analysis.npz"
+    save_analysis(analysis, path)
+    back = load_analysis(path)
+    permuted = grid2d_medium.permute(back.perm.perm)
+    factor = factorize_sequential(back.symbol, permuted, "llt")
+    b = np.ones(grid2d_medium.n_rows)
+    x = back.perm.undo_on_vector(
+        solve_factored(factor, back.perm.apply_to_vector(b))
+    )
+    resid = np.linalg.norm(b - grid2d_medium.matvec(x)) / np.linalg.norm(b)
+    assert resid < 1e-10
+
+
+def test_facing_index_rebuilt(analysis, tmp_path):
+    path = tmp_path / "a.npz"
+    save_analysis(analysis, path)
+    back = load_analysis(path)
+    for k in range(min(back.symbol.n_cblk, 20)):
+        assert np.array_equal(
+            back.symbol.facing_bloks(k), analysis.symbol.facing_bloks(k)
+        )
+
+
+def test_version_check(analysis, tmp_path):
+    path = tmp_path / "a.npz"
+    save_analysis(analysis, path)
+    data = dict(np.load(path))
+    data["format_version"] = np.int64(99)
+    np.savez(path, **data)
+    with pytest.raises(ValueError, match="version"):
+        load_analysis(path)

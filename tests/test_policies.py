@@ -1,0 +1,144 @@
+"""Scheduler-policy tests."""
+
+import numpy as np
+import pytest
+
+from repro.dag import build_dag
+from repro.dag.tasks import TaskDAG
+from repro.machine import mirage, simulate
+from repro.runtime import (
+    NativePolicy,
+    ParsecPolicy,
+    StarPUPolicy,
+    bottom_levels,
+    get_policy,
+)
+from repro.symbolic import analyze
+
+
+def chain_dag(weights):
+    n = len(weights)
+    kind = np.zeros(n, dtype=np.int8)
+    idx = np.arange(n, dtype=np.int64)
+    succ_ptr = np.concatenate([np.arange(n, dtype=np.int64), [n - 1]])
+    succ_list = np.arange(1, n, dtype=np.int64)
+    return TaskDAG(kind, idx, idx, np.asarray(weights, dtype=np.float64),
+                   np.zeros(n, np.int64), np.zeros(n, np.int64),
+                   np.zeros(n, np.int64), succ_ptr, succ_list,
+                   np.full(n, -1, dtype=np.int64), "2d")
+
+
+class TestBottomLevels:
+    def test_chain(self):
+        bl = bottom_levels(chain_dag([1.0, 2.0, 4.0]))
+        assert np.array_equal(bl, [7.0, 6.0, 4.0])
+
+    def test_fork(self):
+        # 0 -> 1, 0 -> 2 with weights 1, 5, 3
+        kind = np.zeros(3, dtype=np.int8)
+        idx = np.arange(3, dtype=np.int64)
+        dag = TaskDAG(kind, idx, idx, np.array([1.0, 5.0, 3.0]),
+                      np.zeros(3, np.int64), np.zeros(3, np.int64),
+                      np.zeros(3, np.int64),
+                      np.array([0, 2, 2, 2], dtype=np.int64),
+                      np.array([1, 2], dtype=np.int64),
+                      np.full(3, -1, dtype=np.int64), "2d")
+        assert np.array_equal(bottom_levels(dag), [6.0, 5.0, 3.0])
+
+
+class TestRegistry:
+    def test_get_policy_names(self):
+        assert isinstance(get_policy("native"), NativePolicy)
+        assert isinstance(get_policy("starpu"), StarPUPolicy)
+        assert isinstance(get_policy("parsec"), ParsecPolicy)
+
+    def test_unknown_policy(self):
+        with pytest.raises(KeyError):
+            get_policy("openmp")
+
+    def test_kwargs_forwarded(self):
+        p = get_policy("parsec", gpu_flops_threshold=123.0)
+        assert p.gpu_flops_threshold == 123.0
+
+
+class TestTraits:
+    def test_native_traits(self):
+        t = NativePolicy().traits
+        assert t.cache_reuse and not t.dedicated_gpu_workers
+        assert not t.recompute_ld
+
+    def test_starpu_traits(self):
+        t = StarPUPolicy().traits
+        assert not t.cache_reuse
+        assert t.dedicated_gpu_workers and t.prefetch and t.recompute_ld
+
+    def test_parsec_traits(self):
+        t = ParsecPolicy().traits
+        assert t.cache_reuse and not t.dedicated_gpu_workers
+        assert t.recompute_ld
+
+    def test_overhead_ordering(self):
+        # The paper's ranking: native < parsec < starpu dispatch cost.
+        assert (
+            NativePolicy().traits.task_overhead_s
+            < ParsecPolicy().traits.task_overhead_s
+            < StarPUPolicy().traits.task_overhead_s
+        )
+
+
+class TestBehaviour:
+    @pytest.fixture(scope="class")
+    def dag(self, grid2d_medium):
+        return build_dag(analyze(grid2d_medium).symbol, "llt")
+
+    def test_native_fastest_single_core_llt(self, dag):
+        """Lowest overhead + cache reuse wins at 1 core."""
+        times = {
+            p: simulate(dag, mirage(1), get_policy(p),
+                        collect_trace=False).makespan
+            for p in ("native", "starpu", "parsec")
+        }
+        assert times["native"] <= times["parsec"] <= times["starpu"] * 1.01
+
+    def test_parsec_beats_starpu_multicore(self, dag):
+        """The paper's §V-A observation (cache reuse) at 8 cores."""
+        p = simulate(dag, mirage(8), get_policy("parsec"),
+                     collect_trace=False).makespan
+        s = simulate(dag, mirage(8), get_policy("starpu"),
+                     collect_trace=False).makespan
+        assert p <= s
+
+    def test_ldlt_native_advantage(self, grid2d_medium):
+        """Temp-buffer LDLT updates: native beats the generic runtimes
+        by more on LDLT than on LLT (paper Fig. 2, pmlDF/Serena)."""
+        sym = analyze(grid2d_medium).symbol
+
+        def ratio(ft):
+            dn = build_dag(sym, ft, recompute_ld=False)
+            dg = build_dag(sym, ft, recompute_ld=True)
+            tn = simulate(dn, mirage(4), get_policy("native"),
+                          collect_trace=False).makespan
+            tp = simulate(dg, mirage(4), get_policy("parsec"),
+                          collect_trace=False).makespan
+            return tp / tn
+
+        assert ratio("ldlt") > ratio("llt")
+
+    def test_native_updates_follow_panel_core(self, dag):
+        """1D placement: a panel's updates run on the core that ran the
+        panel (unless stolen)."""
+        r = simulate(dag, mirage(4), get_policy("native"))
+        core_of_panel = {}
+        from repro.dag.tasks import TaskKind
+
+        for e in sorted(r.trace.events, key=lambda e: e.start):
+            if dag.kind[e.task] != TaskKind.UPDATE:
+                core_of_panel[int(dag.cblk[e.task])] = e.resource
+        same = 0
+        total = 0
+        for e in r.trace.events:
+            if dag.kind[e.task] == TaskKind.UPDATE:
+                total += 1
+                if e.resource == core_of_panel[int(dag.cblk[e.task])]:
+                    same += 1
+        assert same / total > 0.5

@@ -1,0 +1,67 @@
+"""Iterative refinement tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.refinement import iterative_refinement
+from repro.sparse.csc import SparseMatrixCSC
+from tests.conftest import random_spd_dense
+
+
+def make_system(n=20, seed=0):
+    d = random_spd_dense(n, 0.4, seed)
+    m = SparseMatrixCSC.from_dense(d)
+    b = np.random.default_rng(seed).standard_normal(n)
+    return d, m, b
+
+
+def test_exact_solver_converges_immediately():
+    d, m, b = make_system()
+    inv = np.linalg.inv(d)
+    result = iterative_refinement(m, lambda r: inv @ r, b, tol=1e-12)
+    assert result.converged
+    assert result.iterations <= 1
+    assert result.residual_norm < 1e-12
+
+
+def test_sloppy_solver_improves():
+    d, m, b = make_system()
+    inv = np.linalg.inv(d)
+    noisy_inv = inv * (1 + 1e-3)  # 0.1% relative error operator
+    result = iterative_refinement(m, lambda r: noisy_inv @ r, b,
+                                  tol=1e-12, max_iter=20)
+    assert result.converged
+    assert result.iterations >= 1
+    # history strictly improves until convergence
+    assert all(b < a for a, b in zip(result.history, result.history[1:]))
+
+
+def test_zero_rhs():
+    _, m, _ = make_system()
+    result = iterative_refinement(m, lambda r: r, np.zeros(20))
+    assert result.converged
+    assert np.all(result.x == 0)
+
+
+def test_stagnation_stops_early():
+    d, m, b = make_system()
+    # A useless solver (identity): residual can't improve much.
+    result = iterative_refinement(m, lambda r: r * 1e-6, b, max_iter=10)
+    assert not result.converged
+    assert result.iterations < 10
+
+
+def test_max_iter_respected():
+    d, m, b = make_system()
+    inv = np.linalg.inv(d)
+    wobbly = inv * (1 + 0.2)
+    result = iterative_refinement(m, lambda r: wobbly @ r, b,
+                                  tol=1e-16, max_iter=3)
+    assert len(result.history) <= 3
+
+
+def test_result_solves_system():
+    d, m, b = make_system(seed=3)
+    inv = np.linalg.inv(d)
+    result = iterative_refinement(m, lambda r: inv @ r, b)
+    assert np.allclose(d @ result.x, b, atol=1e-9)

@@ -1,0 +1,96 @@
+"""Solve-phase DAG tests."""
+
+import numpy as np
+import pytest
+
+from repro.dag import build_dag, build_solve_dag, critical_path, update_couples
+from repro.dag.tasks import TaskKind
+from repro.machine import mirage, simulate
+from repro.runtime import get_policy
+from repro.symbolic import analyze
+
+
+@pytest.fixture(scope="module")
+def sym(grid2d_medium):
+    return analyze(grid2d_medium).symbol
+
+
+@pytest.fixture(scope="module")
+def sdag(sym):
+    return build_solve_dag(sym, "llt")
+
+
+class TestStructure:
+    def test_task_count(self, sym, sdag):
+        n_upd = update_couples(sym)[0].size
+        assert sdag.n_tasks == 2 * (sym.n_cblk + n_upd)
+        assert sdag.phase == "solve"
+
+    def test_acyclic_and_valid(self, sdag):
+        sdag.validate()
+
+    def test_forward_before_backward(self, sym, sdag):
+        """Pf(k) -> Pb(k) edges join the two sweeps."""
+        n_upd = update_couples(sym)[0].size
+        K = sym.n_cblk
+        for k in range(K):
+            assert (K + n_upd + k) in sdag.successors(k)
+
+    def test_backward_edges_reversed(self, sym, sdag):
+        """Backward updates depend on the *target* panel's backward task."""
+        src, tgt, _, _ = update_couples(sym)
+        K = sym.n_cblk
+        n_upd = src.size
+        for i in range(min(n_upd, 50)):
+            ub = 2 * K + n_upd + i
+            pb_tgt = K + n_upd + int(tgt[i])
+            assert ub in sdag.successors(pb_tgt)
+
+    def test_flops_scale_with_nrhs(self, sym):
+        one = build_solve_dag(sym, "llt", nrhs=1)
+        four = build_solve_dag(sym, "llt", nrhs=4)
+        assert four.total_flops() == pytest.approx(4 * one.total_flops())
+
+    def test_complex_multiplier(self, sym):
+        real = build_solve_dag(sym, "ldlt", dtype=np.float64)
+        cplx = build_solve_dag(sym, "ldlt", dtype=np.complex128)
+        assert cplx.total_flops() == pytest.approx(4 * real.total_flops())
+
+    def test_solve_flops_much_smaller_than_facto(self):
+        # On a 3D problem the solve is a small fraction of the
+        # factorization (O(nnz) vs O(n²)-ish).
+        from repro.sparse.generators import grid_laplacian_3d
+
+        sym3 = analyze(grid_laplacian_3d(10, jitter=0.05, seed=2)).symbol
+        facto = build_dag(sym3, "llt")
+        solve = build_solve_dag(sym3, "llt")
+        assert solve.total_flops() < 0.1 * facto.total_flops()
+
+
+class TestSimulation:
+    @pytest.mark.parametrize("policy", ["native", "parsec", "starpu"])
+    def test_schedule_valid(self, sdag, policy):
+        r = simulate(sdag, mirage(n_cores=4), get_policy(policy))
+        r.trace.validate(sdag)
+        assert len(r.trace.events) == sdag.n_tasks
+
+    def test_nothing_runs_on_gpu(self, sdag):
+        r = simulate(sdag, mirage(n_cores=4, n_gpus=2), get_policy("parsec"))
+        assert all(not e.resource.startswith("gpu") for e in r.trace.events)
+
+    def test_solve_throughput_far_below_facto(self, sym, sdag):
+        """The solve phase is bandwidth-bound: its achieved GFlop/s on 12
+        cores must sit far below the factorization's."""
+        fdag = build_dag(sym, "llt")
+        gf_facto = simulate(fdag, mirage(12), get_policy("parsec"),
+                            collect_trace=False).gflops
+        gf_solve = simulate(sdag, mirage(12), get_policy("parsec"),
+                            collect_trace=False).gflops
+        assert gf_solve < 0.4 * gf_facto
+
+    def test_critical_path_two_sweeps(self, sym, sdag):
+        """The solve critical path spans both triangular sweeps: it is at
+        least twice the depth of the supernode tree in panel tasks."""
+        _, path = critical_path(sdag)
+        panel_tasks = [t for t in path if sdag.kind[t] != TaskKind.UPDATE]
+        assert len(panel_tasks) >= 4

@@ -1,0 +1,203 @@
+"""Public SparseSolver API tests."""
+
+import numpy as np
+import pytest
+
+from repro import SolverOptions, SparseSolver
+from repro.symbolic import SymbolicOptions
+
+
+class TestBasics:
+    @pytest.mark.parametrize("factotype", ["llt", "ldlt", "lu"])
+    def test_solve_all_factotypes(self, grid2d_medium, factotype):
+        s = SparseSolver(grid2d_medium, SolverOptions(factotype=factotype))
+        b = np.random.default_rng(0).standard_normal(grid2d_medium.n_rows)
+        x = s.solve(b)
+        assert s.residual_norm(x, b) < 1e-12
+
+    def test_complex(self, helmholtz_small):
+        s = SparseSolver(helmholtz_small, SolverOptions(factotype="ldlt"))
+        rng = np.random.default_rng(1)
+        b = rng.standard_normal(helmholtz_small.n_rows) * (1 + 1j)
+        x = s.solve(b)
+        assert s.residual_norm(x, b) < 1e-12
+
+    def test_factorize_info(self, grid2d_small):
+        s = SparseSolver(grid2d_small)
+        info = s.factorize()
+        assert info.n == grid2d_small.n_rows
+        assert info.flops > 0
+        assert info.elapsed > 0
+        assert info.gflops > 0
+        assert info.nnz_factor == s.analysis.symbol.nnz()
+
+    def test_analysis_cached(self, grid2d_small):
+        s = SparseSolver(grid2d_small)
+        a1 = s.analyze()
+        a2 = s.analyze()
+        assert a1 is a2
+
+    def test_solve_triggers_factorize(self, grid2d_small):
+        s = SparseSolver(grid2d_small)
+        b = np.ones(grid2d_small.n_rows)
+        s.solve(b)
+        assert s.factor is not None
+        assert s.last_info is not None
+
+    def test_multiple_rhs(self, grid2d_small):
+        s = SparseSolver(grid2d_small)
+        rng = np.random.default_rng(2)
+        for _ in range(3):
+            b = rng.standard_normal(grid2d_small.n_rows)
+            x = s.solve(b)
+            assert s.residual_norm(x, b) < 1e-12
+
+    def test_refinement_recorded(self, grid2d_small):
+        s = SparseSolver(grid2d_small)
+        s.solve(np.ones(grid2d_small.n_rows))
+        assert s.last_refinement is not None
+        assert s.last_refinement.converged
+
+    def test_no_refinement(self, grid2d_small):
+        s = SparseSolver(grid2d_small, SolverOptions(refine=False))
+        b = np.ones(grid2d_small.n_rows)
+        x = s.solve(b)
+        assert s.last_refinement is None
+        assert s.residual_norm(x, b) < 1e-10
+
+
+class TestValidation:
+    def test_rejects_rectangular(self):
+        from repro.sparse.csc import coo_to_csc
+
+        with pytest.raises(ValueError):
+            SparseSolver(coo_to_csc(2, 3, [0], [0], [1.0]))
+
+    def test_rejects_pattern_only(self, grid2d_small):
+        with pytest.raises(ValueError):
+            SparseSolver(grid2d_small.pattern())
+
+    def test_rejects_bad_rhs_shape(self, grid2d_small):
+        s = SparseSolver(grid2d_small)
+        with pytest.raises(ValueError):
+            s.solve(np.ones(3))
+
+    def test_options_validation(self):
+        with pytest.raises(ValueError):
+            SolverOptions(factotype="qr")
+        with pytest.raises(ValueError):
+            SolverOptions(runtime="mpi")
+        with pytest.raises(ValueError):
+            SolverOptions(n_workers=0)
+
+
+class TestRuntimes:
+    def test_threaded_runtime_matches(self, grid2d_medium):
+        b = np.random.default_rng(3).standard_normal(grid2d_medium.n_rows)
+        ref = SparseSolver(grid2d_medium).solve(b)
+        thr = SparseSolver(
+            grid2d_medium, SolverOptions(runtime="threaded", n_workers=3)
+        ).solve(b)
+        assert np.allclose(ref, thr, atol=1e-9)
+
+    @pytest.mark.parametrize("runtime", ["native", "starpu", "parsec"])
+    def test_policy_runtimes_solve(self, grid2d_small, runtime):
+        # Policy names select simulated scheduling; numerics are identical.
+        s = SparseSolver(grid2d_small, SolverOptions(runtime=runtime))
+        b = np.ones(grid2d_small.n_rows)
+        x = s.solve(b)
+        assert s.residual_norm(x, b) < 1e-12
+
+    def test_symbolic_options_flow_through(self, grid2d_small):
+        s = SparseSolver(
+            grid2d_small,
+            SolverOptions(symbolic=SymbolicOptions(split_max_width=4)),
+        )
+        s.analyze()
+        assert np.diff(s.analysis.symbol.cblk_ptr).max() <= 4
+
+
+class TestBlockAndReuse:
+    def test_block_rhs(self, grid2d_small):
+        s = SparseSolver(grid2d_small, SolverOptions(factotype="ldlt"))
+        B = np.random.default_rng(7).standard_normal((grid2d_small.n_rows, 5))
+        X = s.solve(B)
+        assert X.shape == B.shape
+        resid = np.linalg.norm(B - grid2d_small.matvec(X))
+        assert resid / np.linalg.norm(B) < 1e-12
+
+    def test_block_rhs_no_refine(self, grid2d_small):
+        s = SparseSolver(grid2d_small, SolverOptions(refine=False))
+        B = np.ones((grid2d_small.n_rows, 3))
+        X = s.solve(B, method="none")
+        resid = np.linalg.norm(B - grid2d_small.matvec(X))
+        assert resid / np.linalg.norm(B) < 1e-10
+
+    def test_block_rhs_rejects_krylov(self, grid2d_small):
+        s = SparseSolver(grid2d_small)
+        with pytest.raises(ValueError, match="block right-hand"):
+            s.solve(np.ones((grid2d_small.n_rows, 2)), method="gmres")
+
+    def test_update_values_reuses_analysis(self, grid2d_small):
+        from repro.sparse.generators import grid_laplacian_2d
+
+        s = SparseSolver(grid2d_small)
+        s.factorize()
+        analysis = s.analysis
+        fresh = grid_laplacian_2d(8, jitter=0.3, seed=99)
+        s.update_values(fresh)
+        assert s.analysis is analysis          # analyze phase kept
+        assert s.factor is None                # numeric factor dropped
+        b = np.ones(fresh.n_rows)
+        x = s.solve(b)
+        assert s.residual_norm(x, b) < 1e-12   # solves the NEW system
+
+    def test_update_values_rejects_new_pattern(self, grid2d_small):
+        from repro.sparse.generators import grid_laplacian_2d
+
+        s = SparseSolver(grid2d_small)
+        with pytest.raises(ValueError, match="pattern"):
+            s.update_values(grid_laplacian_2d(8, stencil=9, seed=1))
+
+    def test_update_values_rejects_wrong_shape(self, grid2d_small, grid3d_small):
+        s = SparseSolver(grid2d_small)
+        with pytest.raises(ValueError, match="shape"):
+            s.update_values(grid3d_small)
+
+    def test_pivot_threshold_option(self, grid2d_small):
+        import numpy as np
+
+        dense = grid2d_small.to_dense().copy()
+        dense[0, 0] = 1e-14
+        from repro.sparse.csc import SparseMatrixCSC
+
+        mat = SparseMatrixCSC.from_dense(dense)
+        s = SparseSolver(
+            mat, SolverOptions(factotype="lu", pivot_threshold=1e-8,
+                               refine_max_iter=30, refine_tol=1e-8),
+        )
+        info = s.factorize()
+        assert info.n_pivots_perturbed >= 1
+        b = np.ones(mat.n_rows)
+        x = s.solve(b)
+        assert s.residual_norm(x, b) < 1e-6
+
+    def test_pivot_threshold_validation(self):
+        with pytest.raises(ValueError):
+            SolverOptions(pivot_threshold=-1.0)
+
+
+class TestErrorPaths:
+    def test_complex_llt_fails_cleanly(self, helmholtz_small):
+        s = SparseSolver(helmholtz_small, SolverOptions(factotype="llt"))
+        with pytest.raises(TypeError, match="potrf"):
+            s.factorize()
+
+    def test_indefinite_llt_fails(self, grid2d_small):
+        import numpy as np
+        from repro.sparse.csc import SparseMatrixCSC
+
+        d = -grid2d_small.to_dense()
+        s = SparseSolver(SparseMatrixCSC.from_dense(d))
+        with pytest.raises(np.linalg.LinAlgError):
+            s.factorize()

@@ -1,0 +1,208 @@
+"""Unit tests for the CSC container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sparse.csc import SparseMatrixCSC, coo_to_csc
+
+
+class TestConstruction:
+    def test_coo_to_csc_basic(self):
+        m = coo_to_csc(3, 3, [0, 2, 1], [0, 1, 2], [1.0, 2.0, 3.0])
+        assert m.shape == (3, 3)
+        assert m.nnz == 3
+        m.check()
+        d = m.to_dense()
+        assert d[0, 0] == 1.0 and d[2, 1] == 2.0 and d[1, 2] == 3.0
+
+    def test_duplicates_summed(self):
+        m = coo_to_csc(2, 2, [0, 0, 1], [0, 0, 1], [1.0, 2.0, 5.0])
+        assert m.nnz == 2
+        assert m.to_dense()[0, 0] == 3.0
+
+    def test_duplicates_rejected_when_disallowed(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            coo_to_csc(2, 2, [0, 0], [0, 0], [1.0, 2.0], sum_duplicates=False)
+
+    def test_out_of_range_row(self):
+        with pytest.raises(ValueError, match="row index"):
+            coo_to_csc(2, 2, [2], [0], [1.0])
+
+    def test_out_of_range_col(self):
+        with pytest.raises(ValueError, match="column index"):
+            coo_to_csc(2, 2, [0], [5], [1.0])
+
+    def test_mismatched_shapes(self):
+        with pytest.raises(ValueError, match="identical shapes"):
+            coo_to_csc(2, 2, [0, 1], [0], None)
+
+    def test_pattern_only(self):
+        m = coo_to_csc(3, 3, [0, 1], [1, 2])
+        assert m.is_pattern
+        assert m.values is None
+        with pytest.raises(ValueError):
+            m.col_values(1)
+
+    def test_empty_matrix(self):
+        m = coo_to_csc(4, 4, [], [])
+        assert m.nnz == 0
+        m.check()
+
+    def test_identity(self):
+        m = SparseMatrixCSC.identity(5)
+        assert np.allclose(m.to_dense(), np.eye(5))
+
+    def test_from_dense_roundtrip(self):
+        rng = np.random.default_rng(0)
+        d = rng.standard_normal((6, 4)) * (rng.random((6, 4)) < 0.4)
+        m = SparseMatrixCSC.from_dense(d)
+        assert np.allclose(m.to_dense(), d)
+
+    def test_from_scipy_roundtrip(self):
+        import scipy.sparse as sp
+
+        s = sp.random(10, 10, 0.3, random_state=1, format="csc")
+        m = SparseMatrixCSC.from_scipy(s)
+        assert np.allclose(m.to_dense(), s.toarray())
+        back = m.to_scipy()
+        assert np.allclose(back.toarray(), s.toarray())
+
+    def test_check_rejects_bad_colptr(self):
+        m = SparseMatrixCSC.identity(3)
+        m.colptr = m.colptr[:-1]
+        with pytest.raises(ValueError):
+            m.check()
+
+
+class TestTransforms:
+    def test_transpose(self):
+        m = coo_to_csc(3, 2, [0, 2, 1], [0, 0, 1], [1.0, 2.0, 3.0])
+        t = m.transpose()
+        assert t.shape == (2, 3)
+        assert np.allclose(t.to_dense(), m.to_dense().T)
+
+    def test_symmetrize_pattern(self):
+        m = coo_to_csc(3, 3, [0, 1], [1, 2], [1.0, 1.0])
+        s = m.symmetrize_pattern()
+        d = s.to_dense()
+        assert d[0, 1] == d[1, 0] == 1.0
+        assert d[1, 2] == d[2, 1] == 1.0
+        assert s.is_pattern
+
+    def test_symmetrize_requires_square(self):
+        m = coo_to_csc(2, 3, [0], [1], [1.0])
+        with pytest.raises(ValueError):
+            m.symmetrize_pattern()
+
+    def test_symmetrize_values(self):
+        m = coo_to_csc(2, 2, [0, 1], [1, 0], [2.0, 4.0])
+        s = m.symmetrize_values()
+        d = s.to_dense()
+        assert d[0, 1] == d[1, 0] == 3.0
+
+    def test_lower_triangle(self):
+        d = np.arange(9, dtype=float).reshape(3, 3) + 1
+        m = SparseMatrixCSC.from_dense(d)
+        low = m.lower_triangle()
+        assert np.allclose(low.to_dense(), np.tril(d))
+        strict = m.lower_triangle(strict=True)
+        assert np.allclose(strict.to_dense(), np.tril(d, -1))
+
+    def test_with_full_diagonal(self):
+        m = coo_to_csc(3, 3, [0, 2], [1, 0], [1.0, 1.0])
+        full = m.with_full_diagonal()
+        rows, cols, _ = full.to_coo()
+        diag = set(zip(rows[rows == cols].tolist(), cols[rows == cols].tolist()))
+        assert diag == {(0, 0), (1, 1), (2, 2)}
+
+    def test_with_full_diagonal_noop(self):
+        m = SparseMatrixCSC.identity(3)
+        assert m.with_full_diagonal() is m
+
+    def test_permute_matches_dense(self):
+        rng = np.random.default_rng(2)
+        d = rng.standard_normal((5, 5))
+        m = SparseMatrixCSC.from_dense(d)
+        perm = np.array([2, 0, 4, 1, 3])
+        p = np.zeros((5, 5))
+        p[perm, np.arange(5)] = 1
+        assert np.allclose(m.permute(perm).to_dense(), p @ d @ p.T)
+
+    def test_permute_rejects_bad_length(self):
+        m = SparseMatrixCSC.identity(3)
+        with pytest.raises(ValueError):
+            m.permute(np.array([0, 1]))
+
+    def test_pattern_drops_values(self):
+        m = SparseMatrixCSC.identity(3)
+        assert m.pattern().is_pattern
+
+
+class TestNumeric:
+    def test_matvec_matches_dense(self):
+        rng = np.random.default_rng(3)
+        d = rng.standard_normal((7, 7)) * (rng.random((7, 7)) < 0.5)
+        m = SparseMatrixCSC.from_dense(d)
+        x = rng.standard_normal(7)
+        assert np.allclose(m.matvec(x), d @ x)
+
+    def test_matvec_complex(self):
+        d = np.array([[1 + 1j, 0], [2j, 3.0]])
+        m = SparseMatrixCSC.from_dense(d)
+        x = np.array([1.0, 1j])
+        assert np.allclose(m.matvec(x), d @ x)
+
+    def test_diagonal(self):
+        d = np.diag([1.0, 2.0, 3.0])
+        d[0, 2] = 5.0
+        m = SparseMatrixCSC.from_dense(d)
+        assert np.allclose(m.diagonal(), [1.0, 2.0, 3.0])
+
+    def test_scale_diagonal_dominant(self):
+        rng = np.random.default_rng(4)
+        d = rng.standard_normal((6, 6))
+        np.fill_diagonal(d, 0.1)
+        m = SparseMatrixCSC.from_dense(d).scale_diagonal_dominant(1.5)
+        dd = m.to_dense()
+        for j in range(6):
+            off = np.abs(dd[:, j]).sum() - abs(dd[j, j])
+            assert abs(dd[j, j]) > off
+
+    def test_matvec_requires_values(self):
+        with pytest.raises(ValueError):
+            SparseMatrixCSC.identity(3).pattern().matvec(np.ones(3))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(2, 12),
+    seed=st.integers(0, 10_000),
+)
+def test_property_transpose_involution(n, seed):
+    rng = np.random.default_rng(seed)
+    d = rng.standard_normal((n, n)) * (rng.random((n, n)) < 0.4)
+    m = SparseMatrixCSC.from_dense(d)
+    assert np.allclose(m.transpose().transpose().to_dense(), d)
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(2, 12), seed=st.integers(0, 10_000))
+def test_property_permute_preserves_nnz_and_values(n, seed):
+    rng = np.random.default_rng(seed)
+    d = rng.standard_normal((n, n)) * (rng.random((n, n)) < 0.5)
+    m = SparseMatrixCSC.from_dense(d)
+    perm = rng.permutation(n)
+    pm = m.permute(perm)
+    assert pm.nnz == m.nnz
+    assert np.allclose(sorted(pm.values), sorted(m.values))
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(2, 10), seed=st.integers(0, 10_000))
+def test_property_symmetrize_is_symmetric(n, seed):
+    rng = np.random.default_rng(seed)
+    d = rng.standard_normal((n, n)) * (rng.random((n, n)) < 0.4)
+    m = SparseMatrixCSC.from_dense(d)
+    s = m.symmetrize_pattern().to_dense()
+    assert np.array_equal(s, s.T)

@@ -1,0 +1,69 @@
+"""Figure-3 stream-burst simulator tests."""
+
+import pytest
+
+from repro.machine.perfmodel import CUBLAS_PEAK_GFLOPS
+from repro.machine.streamsim import simulate_kernel_burst
+
+
+class TestBurst:
+    def test_result_fields(self):
+        r = simulate_kernel_burst("cublas", 1000, streams=2)
+        assert r.kernel == "cublas" and r.streams == 2
+        assert r.gflops > 0 and r.elapsed > 0
+        assert r.n_calls == 100
+
+    def test_unknown_kernel(self):
+        with pytest.raises(ValueError):
+            simulate_kernel_burst("magma", 1000)
+
+    def test_never_exceeds_peak(self):
+        for m in (128, 1000, 10000):
+            for s in (1, 2, 3):
+                r = simulate_kernel_burst("cublas", m, streams=s)
+                assert r.gflops <= CUBLAS_PEAK_GFLOPS
+
+    def test_streams_help_small_kernels(self):
+        """Paper: 'One stream always gives the worst performance. Adding
+        a second stream increases the performance of all implementations
+        and especially for small cases'."""
+        for kern in ("cublas", "astra", "sparse"):
+            r1 = simulate_kernel_burst(kern, 300, streams=1)
+            r2 = simulate_kernel_burst(kern, 300, streams=2)
+            assert r2.gflops > 1.3 * r1.gflops
+
+    def test_third_stream_only_helps_small(self):
+        """Paper: 'The third one is an improvement for matrices with M
+        smaller than 1000, and is similar to two streams over 1000'."""
+        small2 = simulate_kernel_burst("cublas", 400, streams=2)
+        small3 = simulate_kernel_burst("cublas", 400, streams=3)
+        assert small3.gflops > 1.05 * small2.gflops
+        big2 = simulate_kernel_burst("cublas", 4000, streams=2)
+        big3 = simulate_kernel_burst("cublas", 4000, streams=3)
+        assert abs(big3.gflops - big2.gflops) < 0.1 * big2.gflops
+
+    def test_kernel_ordering_everywhere(self):
+        """cublas >= astra >= sparse across the sweep (Fig. 3 line order)."""
+        for m in (128, 1000, 5000):
+            for s in (1, 3):
+                c = simulate_kernel_burst("cublas", m, streams=s).gflops
+                a = simulate_kernel_burst("astra", m, streams=s).gflops
+                sp = simulate_kernel_burst("sparse", m, streams=s).gflops
+                assert c >= a >= sp
+
+    def test_monotone_in_m_single_stream(self):
+        prev = 0.0
+        for m in (128, 500, 1000, 5000, 10000):
+            g = simulate_kernel_burst("astra", m, streams=1).gflops
+            assert g >= prev
+            prev = g
+
+    def test_height_ratio_degrades_sparse(self):
+        flat = simulate_kernel_burst("sparse", 2000, height_ratio=1.0)
+        tall = simulate_kernel_burst("sparse", 2000, height_ratio=3.0)
+        assert tall.gflops < flat.gflops
+
+    def test_work_conservation(self):
+        r = simulate_kernel_burst("cublas", 1000, streams=3, n_calls=30)
+        total = 2.0 * 1000 * 128 * 128 * 30
+        assert r.gflops == pytest.approx(total / r.elapsed / 1e9)

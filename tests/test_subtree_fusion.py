@@ -1,0 +1,97 @@
+"""Tests for leaf-subtree task fusion (the paper's §VI future-work
+granularity coarsening)."""
+
+import numpy as np
+import pytest
+
+from repro.dag import build_dag
+from repro.dag.tasks import TaskKind
+from repro.machine import mirage, simulate
+from repro.runtime import get_policy
+from repro.symbolic import analyze
+
+
+@pytest.fixture(scope="module")
+def sym(grid2d_medium):
+    return analyze(grid2d_medium).symbol
+
+
+class TestStructure:
+    def test_zero_threshold_is_plain_2d(self, sym):
+        plain = build_dag(sym, "llt")
+        fused = build_dag(sym, "llt", fuse_subtree_flops=None)
+        assert fused.n_tasks == plain.n_tasks
+
+    def test_fusion_reduces_tasks(self, sym):
+        plain = build_dag(sym, "llt")
+        fused = build_dag(sym, "llt", fuse_subtree_flops=1e4)
+        assert fused.n_tasks < plain.n_tasks
+        assert np.any(fused.kind == TaskKind.SUBTREE)
+        fused.validate()
+
+    def test_total_flops_preserved(self, sym):
+        plain = build_dag(sym, "llt")
+        for thr in (1e3, 1e5, 1e7):
+            fused = build_dag(sym, "llt", fuse_subtree_flops=thr)
+            assert fused.total_flops() == pytest.approx(plain.total_flops())
+
+    def test_bigger_threshold_fewer_tasks(self, sym):
+        counts = [
+            build_dag(sym, "llt", fuse_subtree_flops=thr).n_tasks
+            for thr in (1e3, 1e4, 1e6)
+        ]
+        assert counts[0] >= counts[1] >= counts[2]
+
+    def test_huge_threshold_single_task(self, sym):
+        fused = build_dag(sym, "llt", fuse_subtree_flops=1e18)
+        # Whole tree fits: one SUBTREE task per root of the supernode
+        # forest, no updates survive.
+        assert np.all(fused.kind == TaskKind.SUBTREE)
+        assert fused.n_edges == 0
+
+    def test_subtree_tasks_have_no_deps(self, sym):
+        fused = build_dag(sym, "llt", fuse_subtree_flops=1e5)
+        subtree = np.flatnonzero(fused.kind == TaskKind.SUBTREE)
+        assert np.all(fused.n_deps[subtree] == 0)
+
+    def test_surviving_updates_target_unfused_panels(self, sym):
+        fused = build_dag(sym, "llt", fuse_subtree_flops=1e5)
+        panel_cblks = set(
+            int(fused.cblk[t])
+            for t in np.flatnonzero(fused.kind == TaskKind.PANEL)
+        )
+        for t in np.flatnonzero(fused.kind == TaskKind.UPDATE):
+            assert int(fused.target[t]) in panel_cblks
+
+    def test_components_recorded(self, sym):
+        fused = build_dag(sym, "llt", fuse_subtree_flops=1e5)
+        subtree = np.flatnonzero(fused.kind == TaskKind.SUBTREE)
+        for t in subtree:
+            comps = fused.fused_components[int(t)]
+            assert any(c[0] == "panel" for c in comps)
+
+
+class TestSimulation:
+    @pytest.mark.parametrize("policy", ["native", "parsec", "starpu"])
+    def test_fused_schedule_valid(self, sym, policy):
+        fused = build_dag(sym, "llt", fuse_subtree_flops=1e5)
+        r = simulate(fused, mirage(n_cores=4), get_policy(policy))
+        r.trace.validate(fused)
+        assert len(r.trace.events) == fused.n_tasks
+
+    def test_fusion_cuts_overhead_on_many_cores(self, sym):
+        """With a high per-task overhead, fusing the flop-poor bottom of
+        the tree must reduce the makespan."""
+        plain = build_dag(sym, "llt")
+        fused = build_dag(sym, "llt", fuse_subtree_flops=2e4)
+        pol = lambda: get_policy("parsec", task_overhead_s=20e-6)
+        t_plain = simulate(plain, mirage(4), pol(), collect_trace=False).makespan
+        t_fused = simulate(fused, mirage(4), pol(), collect_trace=False).makespan
+        assert t_fused < t_plain
+
+    def test_subtrees_stay_on_cpu(self, sym):
+        fused = build_dag(sym, "llt", fuse_subtree_flops=1e5)
+        r = simulate(fused, mirage(4, n_gpus=2), get_policy("parsec"))
+        for e in r.trace.events:
+            if e.resource.startswith("gpu"):
+                assert fused.kind[e.task] == TaskKind.UPDATE

@@ -1,0 +1,131 @@
+"""Threaded runtime tests (real parallel execution)."""
+
+import numpy as np
+import pytest
+
+from repro.core.factorization import factorize_sequential
+from repro.runtime.threaded import factorize_threaded
+from repro.runtime.tracing import ExecutionTrace
+from repro.dag import build_dag
+from repro.symbolic import analyze
+
+
+def _setup(mat, factotype):
+    res = analyze(mat)
+    permuted = mat.permute(res.perm.perm)
+    return res, permuted
+
+
+@pytest.mark.parametrize("factotype", ["llt", "ldlt", "lu"])
+def test_matches_sequential(grid2d_medium, factotype):
+    res, permuted = _setup(grid2d_medium, factotype)
+    ref = factorize_sequential(res.symbol, permuted, factotype)
+    par = factorize_threaded(res.symbol, permuted, factotype, n_workers=4)
+    for a, b in zip(ref.L, par.L):
+        assert np.allclose(a, b, atol=1e-10)
+    if factotype == "ldlt":
+        for a, b in zip(ref.D, par.D):
+            assert np.allclose(a, b, atol=1e-10)
+    if factotype == "lu":
+        for a, b in zip(ref.U, par.U):
+            assert np.allclose(a, b, atol=1e-10)
+
+
+@pytest.mark.parametrize("n_workers", [1, 2, 8])
+def test_worker_counts(grid2d_small, n_workers):
+    res, permuted = _setup(grid2d_small, "llt")
+    ref = factorize_sequential(res.symbol, permuted, "llt")
+    par = factorize_threaded(
+        res.symbol, permuted, "llt", n_workers=n_workers
+    )
+    for a, b in zip(ref.L, par.L):
+        assert np.allclose(a, b, atol=1e-10)
+
+
+def test_complex_threaded(helmholtz_small):
+    res, permuted = _setup(helmholtz_small, "ldlt")
+    ref = factorize_sequential(res.symbol, permuted, "ldlt")
+    par = factorize_threaded(res.symbol, permuted, "ldlt", n_workers=3)
+    for a, b in zip(ref.L, par.L):
+        assert np.allclose(a, b, atol=1e-10)
+
+
+def test_trace_is_valid_schedule(grid2d_small):
+    res, permuted = _setup(grid2d_small, "llt")
+    trace = ExecutionTrace()
+    factorize_threaded(res.symbol, permuted, "llt", n_workers=3, trace=trace)
+    dag = build_dag(res.symbol, "llt", granularity="2d")
+    # Real threads introduce timing noise; dependencies and exactly-once
+    # execution must still hold (small tolerance for clock skew).
+    trace.validate(dag, exclusive_resources=[], check_mutex=False, tol=1e-5)
+
+
+def test_scatter_kernel_path(grid2d_small):
+    res, permuted = _setup(grid2d_small, "llt")
+    ref = factorize_sequential(res.symbol, permuted, "llt")
+    par = factorize_threaded(
+        res.symbol, permuted, "llt", n_workers=2, workspace=False
+    )
+    for a, b in zip(ref.L, par.L):
+        assert np.allclose(a, b, atol=1e-10)
+
+
+def test_failure_propagates(grid2d_small):
+    res, permuted = _setup(grid2d_small, "llt")
+    bad = permuted.to_dense()
+    bad[0, 0] = 0.0  # not SPD any more
+    np.fill_diagonal(bad, -1.0)
+    from repro.sparse.csc import SparseMatrixCSC
+
+    broken = SparseMatrixCSC.from_dense(bad)
+    with pytest.raises(Exception):
+        factorize_threaded(res.symbol, broken, "llt", n_workers=2)
+
+
+class TestThreadedSolve:
+    @pytest.mark.parametrize("factotype", ["llt", "ldlt", "lu"])
+    def test_matches_sequential_solve(self, grid2d_medium, factotype):
+        from repro.core.triangular import solve_factored
+        from repro.runtime.threaded import solve_threaded
+
+        res, permuted = _setup(grid2d_medium, factotype)
+        factor = factorize_sequential(res.symbol, permuted, factotype)
+        b = np.random.default_rng(11).standard_normal(permuted.n_rows)
+        ref = solve_factored(factor, b)
+        par = solve_threaded(factor, b, n_workers=4)
+        assert np.allclose(ref, par, atol=1e-11)
+
+    def test_complex_threaded_solve(self, helmholtz_small):
+        from repro.core.triangular import solve_factored
+        from repro.runtime.threaded import solve_threaded
+
+        res, permuted = _setup(helmholtz_small, "ldlt")
+        factor = factorize_sequential(res.symbol, permuted, "ldlt")
+        rng = np.random.default_rng(12)
+        b = rng.standard_normal(permuted.n_rows) * (1 - 2j)
+        ref = solve_factored(factor, b)
+        par = solve_threaded(factor, b, n_workers=3)
+        assert np.allclose(ref, par, atol=1e-11)
+
+    def test_actually_solves(self, grid2d_small):
+        from repro.runtime.threaded import solve_threaded
+
+        res, permuted = _setup(grid2d_small, "llt")
+        factor = factorize_sequential(res.symbol, permuted, "llt")
+        b = np.ones(permuted.n_rows)
+        x = solve_threaded(factor, b, n_workers=2)
+        assert np.allclose(permuted.matvec(x), b, atol=1e-9)
+
+    @pytest.mark.parametrize("n_workers", [1, 8])
+    def test_worker_counts_solve(self, grid2d_small, n_workers):
+        from repro.core.triangular import solve_factored
+        from repro.runtime.threaded import solve_threaded
+
+        res, permuted = _setup(grid2d_small, "lu")
+        factor = factorize_sequential(res.symbol, permuted, "lu")
+        b = np.random.default_rng(13).standard_normal(permuted.n_rows)
+        assert np.allclose(
+            solve_threaded(factor, b, n_workers=n_workers),
+            solve_factored(factor, b),
+            atol=1e-11,
+        )

@@ -1,0 +1,162 @@
+"""Execution-trace container tests (including violation detection)."""
+
+import numpy as np
+import pytest
+
+from repro.dag.tasks import TaskDAG
+from repro.runtime.tracing import ExecutionTrace, TraceEvent
+
+
+def chain_dag(n=3):
+    kind = np.zeros(n, dtype=np.int8)
+    idx = np.arange(n, dtype=np.int64)
+    succ_ptr = np.concatenate([np.arange(n, dtype=np.int64), [n - 1]])
+    succ_list = np.arange(1, n, dtype=np.int64)
+    mutex = np.full(n, -1, dtype=np.int64)
+    return TaskDAG(kind, idx, idx, np.ones(n),
+                   np.zeros(n, np.int64), np.zeros(n, np.int64),
+                   np.zeros(n, np.int64), succ_ptr, succ_list, mutex, "2d")
+
+
+def test_valid_trace_passes():
+    dag = chain_dag()
+    tr = ExecutionTrace()
+    tr.record(0, "cpu0", 0.0, 1.0)
+    tr.record(1, "cpu0", 1.0, 2.0)
+    tr.record(2, "cpu1", 2.0, 3.0)
+    tr.validate(dag)
+    assert tr.makespan == 3.0
+
+
+def test_missing_task_detected():
+    dag = chain_dag()
+    tr = ExecutionTrace()
+    tr.record(0, "cpu0", 0.0, 1.0)
+    tr.record(1, "cpu0", 1.0, 2.0)
+    with pytest.raises(AssertionError, match="!= once"):
+        tr.validate(dag)
+
+
+def test_double_execution_detected():
+    dag = chain_dag(2)
+    tr = ExecutionTrace()
+    tr.record(0, "cpu0", 0.0, 1.0)
+    tr.record(0, "cpu1", 0.0, 1.0)
+    tr.record(1, "cpu0", 1.0, 2.0)
+    with pytest.raises(AssertionError):
+        tr.validate(dag)
+
+
+def test_dependency_violation_detected():
+    dag = chain_dag()
+    tr = ExecutionTrace()
+    tr.record(0, "cpu0", 0.0, 1.0)
+    tr.record(1, "cpu1", 0.5, 1.5)  # starts before task 0 ends
+    tr.record(2, "cpu1", 2.0, 3.0)
+    with pytest.raises(AssertionError, match="dependency"):
+        tr.validate(dag)
+
+
+def test_overlap_on_cpu_detected():
+    # Two independent tasks overlapping on one core.
+    kind = np.zeros(2, dtype=np.int8)
+    idx = np.arange(2, dtype=np.int64)
+    dag = TaskDAG(kind, idx, idx, np.ones(2),
+                  np.zeros(2, np.int64), np.zeros(2, np.int64),
+                  np.zeros(2, np.int64),
+                  np.array([0, 0, 0], dtype=np.int64),
+                  np.empty(0, dtype=np.int64),
+                  np.full(2, -1, dtype=np.int64), "2d")
+    tr = ExecutionTrace()
+    tr.record(0, "cpu0", 0.0, 1.0)
+    tr.record(1, "cpu0", 0.5, 1.5)
+    with pytest.raises(AssertionError, match="overlap"):
+        tr.validate(dag)
+
+
+def test_gpu_overlap_allowed():
+    kind = np.zeros(2, dtype=np.int8)
+    idx = np.arange(2, dtype=np.int64)
+    dag = TaskDAG(kind, idx, idx, np.ones(2),
+                  np.zeros(2, np.int64), np.zeros(2, np.int64),
+                  np.zeros(2, np.int64),
+                  np.array([0, 0, 0], dtype=np.int64),
+                  np.empty(0, dtype=np.int64),
+                  np.full(2, -1, dtype=np.int64), "2d")
+    tr = ExecutionTrace()
+    tr.record(0, "gpu0", 0.0, 1.0)
+    tr.record(1, "gpu0", 0.5, 1.5)  # concurrent kernels: fine
+    tr.validate(dag)
+
+
+def test_mutex_violation_detected():
+    kind = np.zeros(2, dtype=np.int8)
+    idx = np.arange(2, dtype=np.int64)
+    mutex = np.array([7, 7], dtype=np.int64)
+    target = np.array([7, 7], dtype=np.int64)
+    from repro.dag.tasks import TaskKind
+
+    kind[:] = TaskKind.UPDATE
+    dag = TaskDAG(kind, idx, target, np.ones(2),
+                  np.ones(2, np.int64), np.ones(2, np.int64),
+                  np.ones(2, np.int64),
+                  np.array([0, 0, 0], dtype=np.int64),
+                  np.empty(0, dtype=np.int64), mutex, "2d")
+    tr = ExecutionTrace()
+    tr.record(0, "cpu0", 0.0, 1.0)
+    tr.record(1, "gpu0", 0.5, 1.5)
+    with pytest.raises(AssertionError, match="mutex"):
+        tr.validate(dag)
+
+
+def test_busy_time_and_resources():
+    tr = ExecutionTrace()
+    tr.record(0, "cpu0", 0.0, 1.0)
+    tr.record(1, "cpu1", 0.0, 2.0)
+    assert tr.busy_time() == {"cpu0": 1.0, "cpu1": 2.0}
+    assert tr.resources() == ["cpu0", "cpu1"]
+    assert tr.start_end(1) == (0.0, 2.0)
+    with pytest.raises(KeyError):
+        tr.start_end(99)
+
+
+def test_gantt_renders():
+    tr = ExecutionTrace()
+    tr.record(0, "cpu0", 0.0, 1.0)
+    txt = tr.gantt(width=20)
+    assert "cpu0" in txt and "#" in txt
+
+
+def test_csv_roundtrip(tmp_path):
+    tr = ExecutionTrace()
+    tr.record(0, "cpu0", 0.0, 1.25)
+    path = tmp_path / "trace.csv"
+    tr.to_csv(path)
+    lines = path.read_text().strip().splitlines()
+    assert lines[0] == "task,resource,start,end"
+    assert lines[1].startswith("0,cpu0,0.0,")
+
+
+def test_chrome_trace_export(tmp_path):
+    import json
+
+    from repro.dag import build_dag
+    from repro.machine import mirage, simulate
+    from repro.runtime import get_policy
+    from repro.sparse.generators import grid_laplacian_2d
+    from repro.symbolic import analyze
+
+    sym = analyze(grid_laplacian_2d(8, jitter=0.05, seed=3)).symbol
+    dag = build_dag(sym, "llt")
+    r = simulate(dag, mirage(n_cores=2, n_gpus=1), get_policy("parsec"))
+    path = tmp_path / "trace.json"
+    r.trace.to_chrome_trace(path, dag)
+    data = json.loads(path.read_text())
+    events = data["traceEvents"]
+    tasks = [e for e in events if e.get("cat") == "task"]
+    assert len(tasks) == dag.n_tasks
+    assert any(e["name"].startswith("panel") for e in tasks)
+    assert any(e.get("cat") == "transfer" for e in events) or r.bytes_h2d == 0
+    # metadata rows name each resource
+    names = [e for e in events if e.get("ph") == "M"]
+    assert any("cpu0" in str(e["args"]) for e in names)

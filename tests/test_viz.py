@@ -1,0 +1,132 @@
+"""SVG chart renderer tests."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.viz import SvgChart
+from repro.viz.svgchart import _fmt, _nice_ticks
+
+
+def parse(svg: str):
+    return ET.fromstring(svg)
+
+
+class TestHelpers:
+    def test_nice_ticks_cover_range(self):
+        ticks = _nice_ticks(0.0, 87.0)
+        assert ticks[0] <= 0.0 and ticks[-1] >= 87.0
+        steps = [b - a for a, b in zip(ticks, ticks[1:])]
+        assert all(abs(s - steps[0]) < 1e-9 for s in steps)
+
+    def test_nice_ticks_degenerate(self):
+        assert len(_nice_ticks(5.0, 5.0)) >= 2
+
+    def test_fmt(self):
+        assert _fmt(12.0) == "12"
+        assert _fmt(0.5) == "0.5"
+
+
+class TestLines:
+    def test_renders_valid_xml(self):
+        c = SvgChart(title="t", xlabel="x", ylabel="y")
+        c.add_line([1, 2, 3], [1.0, 4.0, 2.0], "series")
+        root = parse(c.render())
+        assert root.tag.endswith("svg")
+
+    def test_contains_polyline_and_legend(self):
+        c = SvgChart()
+        c.add_line([1, 2], [3.0, 4.0], "abc")
+        svg = c.render()
+        assert "polyline" in svg
+        assert "abc" in svg
+
+    def test_log_x(self):
+        c = SvgChart(log_x=True)
+        c.add_line([10, 100, 1000], [1.0, 2.0, 3.0], "s")
+        svg = c.render()
+        parse(svg)
+        assert "100" in svg  # decade ticks
+
+    def test_hline(self):
+        c = SvgChart()
+        c.add_line([0, 1], [0.0, 1.0], "s")
+        c.add_hline(0.5, "peak")
+        assert "peak" in c.render()
+
+    def test_mismatched_lengths(self):
+        c = SvgChart()
+        with pytest.raises(ValueError):
+            c.add_line([1, 2], [1.0], "s")
+
+    def test_save(self, tmp_path):
+        c = SvgChart()
+        c.add_line([0, 1], [0.0, 1.0], "s")
+        path = tmp_path / "c.svg"
+        c.save(path)
+        parse(path.read_text())
+
+
+class TestBars:
+    def test_grouped_bars(self):
+        c = SvgChart()
+        c.add_bar_groups(["a", "b"], {"s1": [1.0, 2.0], "s2": [2.0, 1.0]})
+        svg = c.render()
+        parse(svg)
+        assert svg.count("<rect") >= 5  # frame + background + 4 bars
+
+    def test_bar_length_mismatch(self):
+        c = SvgChart()
+        with pytest.raises(ValueError):
+            c.add_bar_groups(["a", "b"], {"s": [1.0]})
+
+
+class TestMakeFigures:
+    def test_make_figures_from_results(self, tmp_path, monkeypatch):
+        """End-to-end: synthesize tiny CSVs and render all figures."""
+        import importlib.util
+        import sys
+        from pathlib import Path
+
+        bench_dir = Path(__file__).resolve().parent.parent / "benchmarks"
+        sys.path.insert(0, str(bench_dir))
+        try:
+            import common as bench_common
+
+            monkeypatch.setattr(bench_common, "RESULTS_DIR", tmp_path)
+            spec = importlib.util.spec_from_file_location(
+                "make_figures", bench_dir / "make_figures.py"
+            )
+            mod = importlib.util.module_from_spec(spec)
+            spec.loader.exec_module(mod)
+            monkeypatch.setattr(mod, "RESULTS_DIR", tmp_path)
+
+            (tmp_path / "fig2_cpu_scaling.csv").write_text(
+                "Matrix,Scheduler,1 cores,12 cores\n"
+                + "".join(
+                    f"{m},{s},1.0,10.0\n"
+                    for m in ("audi", "Serena", "pmlDF")
+                    for s in ("native", "starpu", "parsec")
+                )
+            )
+            (tmp_path / "fig3_gemm_streams.csv").write_text(
+                "M,cublas-1s,sparse-3s\n128,50,30\n1000,200,120\n"
+            )
+            (tmp_path / "fig4_gpu_scaling.csv").write_text(
+                "Matrix,Config,0 GPU,1 GPU\n"
+                + "".join(
+                    f"{m},pastix(cpu),20,-\n{m},parsec-1s,20,30\n"
+                    for m in ("Serena", "afshell10", "Geo1438")
+                )
+            )
+            paths = mod.figure2() + mod.figure3() + mod.figure4()
+            for p in paths:
+                ET.fromstring(Path(p).read_text())
+        finally:
+            sys.path.remove(str(bench_dir))
+
+
+def test_log_x_rejects_nonpositive():
+    c = SvgChart(log_x=True)
+    with pytest.raises(ValueError, match="positive"):
+        c.add_line([0, 10], [1.0, 2.0], "s")
