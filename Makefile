@@ -1,0 +1,44 @@
+# Development targets.  Everything runs offline; ruff and mypy are
+# optional (not pinned as dependencies) and are skipped with a notice
+# when the tools are not installed.
+
+PYTHON     ?= python
+PYTHONPATH := src
+export PYTHONPATH
+
+.PHONY: test verify lint hazards typecheck bench figures
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# The full static-analysis gate: project linter + DAG hazard coverage +
+# schedule feasibility (python -m repro verify), plus ruff/mypy when
+# available, plus the test suite.
+verify: lint hazards typecheck test
+
+lint:
+	$(PYTHON) -m repro verify --no-hazards --no-schedule
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples; \
+	else \
+		echo "ruff not installed -- skipped (pip install ruff)"; \
+	fi
+
+hazards:
+	$(PYTHON) -m repro verify --matrix lap2d --size 30 --no-lint
+
+typecheck:
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy src/repro; \
+	else \
+		echo "mypy not installed -- skipped (pip install mypy)"; \
+	fi
+
+bench:
+	$(PYTHON) benchmarks/bench_table1.py
+	$(PYTHON) benchmarks/bench_fig2_cpu_scaling.py
+	$(PYTHON) benchmarks/bench_fig3_gemm_streams.py
+	$(PYTHON) benchmarks/bench_fig4_gpu_scaling.py
+
+figures:
+	$(PYTHON) benchmarks/make_figures.py

@@ -15,6 +15,11 @@ Simulate the factorization on a Mirage-like node::
 
     python -m repro simulate --collection Serena --policy parsec \
         --cores 12 --gpus 3 --streams 3
+
+Run the static-analysis passes (DAG hazard coverage, simulated-schedule
+feasibility, project lint)::
+
+    python -m repro verify --matrix lap2d --size 30
 """
 
 from __future__ import annotations
@@ -145,6 +150,12 @@ def cmd_simulate(args) -> int:
     return 0
 
 
+def cmd_verify(args) -> int:
+    from repro.verify.cli import run_verify
+
+    return run_verify(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
@@ -177,6 +188,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--gantt", action="store_true",
                    help="print an ASCII Gantt chart")
     p.set_defaults(func=cmd_simulate)
+
+    from repro.verify.cli import add_verify_arguments
+
+    p = sub.add_parser(
+        "verify",
+        help="static analysis: DAG hazards, schedule feasibility, lint",
+    )
+    add_verify_arguments(p)
+    p.set_defaults(func=cmd_verify)
     return parser
 
 

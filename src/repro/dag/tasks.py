@@ -134,6 +134,26 @@ class TaskDAG:
     def successors(self, i: int) -> np.ndarray:
         return self.succ_list[self.succ_ptr[i]: self.succ_ptr[i + 1]]
 
+    def _build_preds(self) -> None:
+        heads = np.repeat(
+            np.arange(self.n_tasks, dtype=np.int64), np.diff(self.succ_ptr)
+        )
+        order = np.argsort(self.succ_list, kind="stable")
+        ptr = np.zeros(self.n_tasks + 1, dtype=np.int64)
+        np.add.at(ptr, self.succ_list + 1, 1)
+        np.cumsum(ptr, out=ptr)
+        self._pred_ptr, self._pred_list = ptr, heads[order]
+
+    def predecessors(self, i: int) -> np.ndarray:
+        """Predecessor task ids of ``i`` (reverse CSR, built lazily)."""
+        if not hasattr(self, "_pred_ptr"):
+            self._build_preds()
+        return self._pred_list[self._pred_ptr[i]: self._pred_ptr[i + 1]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Is there a direct dependency edge ``u -> v``?"""
+        return bool(np.any(self.successors(u) == v))
+
     def sources(self) -> np.ndarray:
         """Tasks with no predecessors."""
         return np.flatnonzero(self.n_deps == 0)

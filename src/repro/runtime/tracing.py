@@ -10,8 +10,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
-import numpy as np
-
 from repro.dag.tasks import TaskDAG
 
 __all__ = ["TraceEvent", "ExecutionTrace"]
@@ -65,6 +63,21 @@ class ExecutionTrace:
                 return e.start, e.end
         raise KeyError(f"task {task} not in trace")
 
+    def sorted_events(self) -> list[TraceEvent]:
+        """Events ordered by (start, end, task) — the verifier's view."""
+        return sorted(self.events, key=lambda e: (e.start, e.end, e.task))
+
+    def events_by_resource(self) -> dict[str, list[TraceEvent]]:
+        """Per-resource event lists, each sorted by (start, end, task)."""
+        out: dict[str, list[TraceEvent]] = {}
+        for e in self.sorted_events():
+            out.setdefault(e.resource, []).append(e)
+        return out
+
+    def iter_resource(self, resource: str) -> Iterable[TraceEvent]:
+        """Time-ordered events of one resource."""
+        return iter(self.events_by_resource().get(resource, []))
+
     # ------------------------------------------------------------------
     def validate(
         self,
@@ -72,61 +85,27 @@ class ExecutionTrace:
         *,
         exclusive_resources: Optional[Iterable[str]] = None,
         check_mutex: bool = True,
+        check_gpu_kind: bool = True,
         tol: float = 1e-12,
     ) -> None:
         """Assert the schedule is feasible.
 
-        * every task appears exactly once;
-        * dependencies: no task starts before all predecessors ended;
-        * exclusive resources (CPU workers) never run two tasks at once;
-        * mutex groups (updates to one panel) never overlap.
+        Thin wrapper over :func:`repro.verify.schedule.assert_valid_schedule`
+        (the canonical implementation): every task exactly once,
+        happens-before on every edge, exclusive resources never
+        double-booked, GPU placement restricted to UPDATE tasks, mutex
+        windows disjoint.  Raises ``AssertionError`` on violations.
         """
-        seen = np.zeros(dag.n_tasks, dtype=np.int64)
-        start = np.empty(dag.n_tasks)
-        end = np.empty(dag.n_tasks)
-        for e in self.events:
-            seen[e.task] += 1
-            start[e.task] = e.start
-            end[e.task] = e.end
-            assert e.end >= e.start - tol, f"task {e.task} ends before start"
-        assert np.all(seen == 1), (
-            f"tasks executed != once: {np.flatnonzero(seen != 1)[:10]}"
-        )
-        for t in range(dag.n_tasks):
-            for s in dag.successors(t):
-                assert start[s] >= end[t] - tol, (
-                    f"dependency violated: {t} -> {s}"
-                )
+        from repro.verify.schedule import assert_valid_schedule
 
-        excl = (
-            set(exclusive_resources)
-            if exclusive_resources is not None
-            else {r for r in self.resources() if r.startswith("cpu")}
+        assert_valid_schedule(
+            dag,
+            self,
+            exclusive_resources=exclusive_resources,
+            check_mutex=check_mutex,
+            check_gpu_kind=check_gpu_kind,
+            tol=tol,
         )
-        by_res: dict[str, list[TraceEvent]] = {}
-        for e in self.events:
-            by_res.setdefault(e.resource, []).append(e)
-        for res, evs in by_res.items():
-            if res not in excl:
-                continue
-            evs.sort(key=lambda e: e.start)
-            for a, b in zip(evs, evs[1:]):
-                assert b.start >= a.end - tol, (
-                    f"overlap on {res}: tasks {a.task} and {b.task}"
-                )
-
-        if check_mutex:
-            by_group: dict[int, list[int]] = {}
-            for t in range(dag.n_tasks):
-                g = int(dag.mutex[t])
-                if g >= 0:
-                    by_group.setdefault(g, []).append(t)
-            for g, tasks in by_group.items():
-                tasks.sort(key=lambda t: start[t])
-                for a, b in zip(tasks, tasks[1:]):
-                    assert start[b] >= end[a] - tol, (
-                        f"mutex {g} violated by tasks {a}, {b}"
-                    )
 
     # ------------------------------------------------------------------
     def gantt(self, *, width: int = 100) -> str:

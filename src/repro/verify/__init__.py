@@ -1,0 +1,62 @@
+"""Static-analysis subsystem: hazard coverage, schedule verification, lint.
+
+Three passes, each returning a :class:`repro.verify.report.Report` and
+exposed through ``python -m repro verify``:
+
+* :func:`repro.verify.hazards.analyze_hazards` — re-derives every task's
+  panel read/write sets from the symbolic structure and checks that each
+  RAW/ACCUM hazard pair is covered by a dependency path in the DAG
+  (reachability via topological + interval labeling, not pairwise BFS);
+* :func:`repro.verify.schedule.verify_schedule` — checks an
+  :class:`~repro.runtime.tracing.ExecutionTrace` for happens-before,
+  resource exclusivity, GPU placement, and mutex-window violations;
+* :func:`repro.verify.lint.lint_paths` — an AST linter enforcing the
+  project's simulation invariants (no frozen-dataclass mutation, no
+  float-equality on times, ``traits`` on every policy, no ambiguous
+  NumPy truthiness).
+
+The hazard analyzer and the linter run inside the test suite, so a
+builder change that drops an edge — or a scheduler change that breaks an
+invariant — fails tier-1 rather than silently corrupting a panel.
+"""
+
+from repro.verify.access import ACCUM, READ, WRITE, AccessSets, derive_accesses
+from repro.verify.hazards import (
+    analyze_hazards,
+    drop_edge,
+    find_cycle,
+    find_redundant_edges,
+)
+from repro.verify.lint import LintFinding, lint_paths, lint_report, lint_sources
+from repro.verify.reach import ReachabilityOracle
+from repro.verify.report import ERROR, INFO, WARNING, Finding, Report
+from repro.verify.schedule import (
+    ScheduleError,
+    assert_valid_schedule,
+    verify_schedule,
+)
+
+__all__ = [
+    "AccessSets",
+    "derive_accesses",
+    "READ",
+    "WRITE",
+    "ACCUM",
+    "analyze_hazards",
+    "drop_edge",
+    "find_cycle",
+    "find_redundant_edges",
+    "ReachabilityOracle",
+    "verify_schedule",
+    "assert_valid_schedule",
+    "ScheduleError",
+    "lint_paths",
+    "lint_sources",
+    "lint_report",
+    "LintFinding",
+    "Finding",
+    "Report",
+    "ERROR",
+    "WARNING",
+    "INFO",
+]

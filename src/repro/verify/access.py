@@ -1,0 +1,242 @@
+"""Independent derivation of per-task read/write sets.
+
+The hazard analyzer must not trust the edges the DAG builder emitted, so
+this module re-derives what every task *touches* straight from the
+symbolic structure (:func:`repro.dag.builder.update_couples` enumerates
+the update couples from the block pattern alone, never from
+``succ_list``).  The memory objects are whole panels (cblks) — exactly
+the granularity at which the builder synchronizes.
+
+Access modes
+------------
+``READ``   — the task consumes the final, factorized value of a panel
+             (an update reading its source panel);
+``WRITE``  — the task produces the final value of a panel (the panel
+             factorization, or the fused task containing it);
+``ACCUM``  — the task scatter-adds a contribution into a panel (an
+             update landing in its facing panel).  Accumulations commute
+             with one another but conflict with reads and writes.
+
+Per :class:`~repro.dag.tasks.TaskKind`:
+
+* ``PANEL``   — WRITE its cblk (it also reads the accumulated state,
+  which the WRITE mode subsumes for conflict purposes);
+* ``UPDATE``  — READ its source panel, ACCUM into its facing panel;
+* ``PANEL1D`` — the fusion of a panel with its outgoing (``"1d"``) or
+  incoming (``"1d-left"``) updates: WRITE its cblk plus the union of the
+  fused updates' accesses;
+* ``SUBTREE`` — WRITE every member cblk of the fused subtree; internal
+  updates stay inside the task.
+
+Subtree membership is *re-derived* here rather than read from builder
+metadata: the couples absent from the DAG's ``UPDATE`` tasks must be the
+ones fused away, and union-find over those internal couples reconstructs
+the groups.  Inconsistencies (a panel owned by no task or two tasks, a
+couple with no update task in a plain 2D DAG) are reported as findings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dag.builder import update_couples
+from repro.dag.tasks import TaskDAG, TaskKind
+from repro.verify.report import Report
+
+__all__ = ["READ", "WRITE", "ACCUM", "AccessSets", "derive_accesses"]
+
+READ = "read"
+WRITE = "write"
+ACCUM = "accum"
+
+
+@dataclass
+class AccessSets:
+    """Derived panel-level access sets of a factorization DAG.
+
+    All arrays are indexed per *couple* (one symbolic update couple that
+    crosses task boundaries); panel ownership is per cblk.
+    """
+
+    #: task that WRITEs panel p (produces its final value), length K.
+    writer: np.ndarray
+    #: per cross-task couple: the reading/accumulating task.
+    couple_task: np.ndarray
+    #: per cross-task couple: the panel it READs (source cblk).
+    read_panel: np.ndarray
+    #: per cross-task couple: the panel it ACCUMs into (facing cblk),
+    #: or -1 when the update executes inside the target's own task
+    #: (left-looking 1D fusion: the "accum" is a plain local write).
+    accum_panel: np.ndarray
+    #: problems found while deriving (ownership conflicts &c).
+    problems: list = field(default_factory=list)
+
+    @property
+    def n_panels(self) -> int:
+        return int(self.writer.size)
+
+
+def _couple_keys(src: np.ndarray, tgt: np.ndarray, K: int) -> np.ndarray:
+    return src.astype(np.int64) * np.int64(K) + tgt.astype(np.int64)
+
+
+class _UnionFind:
+    def __init__(self, n: int) -> None:
+        self.parent = np.arange(n, dtype=np.int64)
+
+    def find(self, x: int) -> int:
+        root = x
+        while self.parent[root] != root:
+            root = int(self.parent[root])
+        while self.parent[x] != root:  # path compression
+            self.parent[x], x = root, int(self.parent[x])
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[ra] = rb
+
+
+def derive_accesses(dag: TaskDAG, report: Report | None = None) -> AccessSets:
+    """Derive :class:`AccessSets` for a factorization-phase ``dag``.
+
+    ``report`` (optional) collects structural findings — ownership
+    conflicts, couples with no matching update task — under ``H105`` /
+    ``H106`` codes.  The returned access sets are still usable for the
+    panels that *are* consistently owned.
+    """
+    if getattr(dag, "phase", "facto") != "facto":
+        raise NotImplementedError(
+            "hazard access derivation supports factorization DAGs only "
+            "(solve-phase DAGs carry vector accesses, not panel accesses)"
+        )
+    if dag.symbol is None:
+        raise ValueError("dag.symbol is required to derive access sets")
+
+    sym = dag.symbol
+    K = sym.n_cblk
+    src, tgt, _, _ = update_couples(sym)
+    kind = dag.kind
+    problems: list = []
+
+    def note(code: str, message: str, tasks: tuple[int, ...] = ()) -> None:
+        problems.append((code, message, tasks))
+        if report is not None:
+            report.add(code, message, tasks=tasks)
+
+    writer = np.full(K, -1, dtype=np.int64)
+
+    if dag.granularity in ("1d", "1d-left"):
+        # One PANEL1D task per cblk, task index == cblk by construction;
+        # verify rather than assume.
+        if dag.n_tasks != K or not np.all(kind == TaskKind.PANEL1D):
+            note("H105", "1D DAG does not have exactly one PANEL1D task per cblk")
+        order = np.argsort(dag.cblk, kind="stable")
+        if not np.array_equal(dag.cblk[order], np.arange(K)):
+            note("H105", "1D DAG panels are not a permutation of the cblks")
+            return AccessSets(writer, np.empty(0, np.int64),
+                              np.empty(0, np.int64), np.empty(0, np.int64),
+                              problems)
+        writer[dag.cblk] = np.arange(dag.n_tasks, dtype=np.int64)
+        if dag.granularity == "1d":
+            # Right-looking: task(src) scatter-adds into panel tgt.
+            couple_task = writer[src]
+            read_panel = src
+            accum_panel = tgt.copy()
+        else:
+            # Left-looking: task(tgt) reads panel src; no cross-task accum.
+            couple_task = writer[tgt]
+            read_panel = src
+            accum_panel = np.full(src.size, -1, dtype=np.int64)
+        return AccessSets(writer, couple_task, read_panel, accum_panel, problems)
+
+    # ------------------------------------------------------------------
+    # 2D (possibly with fused SUBTREE tasks).
+    # ------------------------------------------------------------------
+    is_update = kind == TaskKind.UPDATE
+    upd_ids = np.flatnonzero(is_update)
+    unit_ids = np.flatnonzero(~is_update)
+
+    # Match DAG update tasks against the symbolically derived couples.
+    keys_all = _couple_keys(src, tgt, K)
+    order = np.argsort(keys_all, kind="stable")
+    keys_sorted = keys_all[order]
+    upd_keys = _couple_keys(dag.cblk[upd_ids], dag.target[upd_ids], K)
+    pos = np.searchsorted(keys_sorted, upd_keys)
+    if keys_sorted.size:
+        pos_ok = (pos < keys_sorted.size) & (
+            keys_sorted[np.minimum(pos, keys_sorted.size - 1)] == upd_keys
+        )
+    else:
+        pos_ok = np.zeros(upd_keys.size, dtype=bool)
+    for t in upd_ids[~pos_ok]:
+        note(
+            "H106",
+            f"update task {int(t)} ({int(dag.cblk[t])}->{int(dag.target[t])}) "
+            "matches no couple of the symbolic structure",
+            (int(t),),
+        )
+    covered = np.zeros(src.size, dtype=bool)
+    covered[order[pos[pos_ok]]] = True
+
+    # Direct panel ownership from unit tasks.
+    subtree_units = unit_ids[kind[unit_ids] == TaskKind.SUBTREE]
+    for t in unit_ids:
+        k = int(dag.cblk[t])
+        if writer[k] != -1:
+            note(
+                "H105",
+                f"panel {k} owned by two tasks ({int(writer[k])} and {int(t)})",
+                (int(writer[k]), int(t)),
+            )
+        writer[k] = t
+
+    internal = np.flatnonzero(~covered)
+    if internal.size and subtree_units.size == 0:
+        for i in internal[:50]:
+            note(
+                "H106",
+                f"couple {int(src[i])}->{int(tgt[i])} has no UPDATE task "
+                "(and the DAG has no SUBTREE tasks to absorb it)",
+                (),
+            )
+    elif internal.size:
+        # Reconstruct fused groups from the internal couples.
+        uf = _UnionFind(K)
+        for i in internal:
+            uf.union(int(src[i]), int(tgt[i]))
+        root_owner: dict[int, int] = {}
+        for t in subtree_units:
+            root_owner[uf.find(int(dag.cblk[t]))] = int(t)
+        for k in range(K):
+            if writer[k] != -1:
+                continue
+            owner = root_owner.get(uf.find(k))
+            if owner is None:
+                note("H105", f"panel {k} is owned by no task", ())
+            else:
+                writer[k] = owner
+        # An internal couple must really be internal to one fused task.
+        for i in internal:
+            s, t = int(src[i]), int(tgt[i])
+            if writer[s] != writer[t] or writer[s] < 0:
+                note(
+                    "H106",
+                    f"couple {s}->{t} has no UPDATE task yet spans two "
+                    f"tasks ({int(writer[s])} and {int(writer[t])})",
+                    (int(writer[s]), int(writer[t])),
+                )
+
+    unowned = np.flatnonzero(writer < 0)
+    for k in unowned[:50]:
+        if not any(p[0] == "H105" and f"panel {int(k)} " in p[1] for p in problems):
+            note("H105", f"panel {int(k)} is owned by no task", ())
+
+    # Cross-task couples: the surviving update tasks.
+    couple_task = upd_ids[pos_ok]
+    read_panel = dag.cblk[couple_task].astype(np.int64)
+    accum_panel = dag.target[couple_task].astype(np.int64)
+    return AccessSets(writer, couple_task, read_panel, accum_panel, problems)

@@ -1,0 +1,227 @@
+"""Driver behind ``python -m repro verify``.
+
+Runs the three static-analysis passes — DAG hazard coverage, simulated
+schedule feasibility, and the project linter — on a chosen matrix and
+prints one report per pass.  Exit status is 0 iff every pass is clean,
+which is what the ``make verify`` gate and CI consume.
+
+``--inject`` deliberately corrupts the artifact under test (drops a DAG
+edge, overlaps two trace events, breaks a mutex window) to demonstrate
+that the passes actually catch what they claim to catch; an injected run
+is *expected* to exit non-zero.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.verify.report import Report
+
+__all__ = ["run_verify", "add_verify_arguments"]
+
+_GENERATORS = {
+    "lap2d": ("grid_laplacian_2d", {"jitter": 0.05}),
+    "lap3d": ("grid_laplacian_3d", {"jitter": 0.05}),
+    "random": ("random_pattern_spd", {"locality": 0.4}),
+    "elasticity": ("elasticity_like_3d", {}),
+    "helmholtz": ("helmholtz_like_2d", {}),
+    "shell": ("shell_like_2d", {}),
+}
+
+GRANULARITIES = ("2d", "1d", "1d-left", "subtree")
+
+
+def add_verify_arguments(p: argparse.ArgumentParser) -> None:
+    """Attach the ``verify`` subcommand's arguments to parser ``p``."""
+    p.add_argument(
+        "--matrix", default="lap2d",
+        help="generator name (%s) or a MatrixMarket file path"
+             % "/".join(sorted(_GENERATORS)),
+    )
+    p.add_argument("--size", type=int, default=20,
+                   help="generator size parameter (default 20)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--factotype", default="llt",
+                   choices=["llt", "ldlt", "lu"])
+    p.add_argument("--split", type=int, default=32,
+                   help="panel split width for the symbolic step")
+    p.add_argument("--granularity", default="all",
+                   choices=("all",) + GRANULARITIES,
+                   help="which DAG granularities the hazard pass covers")
+    p.add_argument("--policy", default="parsec",
+                   choices=["native", "starpu", "parsec", "all"],
+                   help="scheduler policy for the schedule pass")
+    p.add_argument("--cores", type=int, default=4)
+    p.add_argument("--gpus", type=int, default=1)
+    p.add_argument("--streams", type=int, default=2)
+    p.add_argument("--no-hazards", action="store_true")
+    p.add_argument("--no-schedule", action="store_true")
+    p.add_argument("--no-lint", action="store_true")
+    p.add_argument("--redundant", action="store_true",
+                   help="also report transitive (redundant) DAG edges")
+    p.add_argument("--lint-path", default=None,
+                   help="directory to lint (default: the repro package)")
+    p.add_argument(
+        "--inject", default="none",
+        choices=["none", "drop-edge", "overlap-trace", "break-mutex"],
+        help="fault injection self-test (expected to FAIL the run)",
+    )
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="also print info-severity findings")
+
+
+def _load(args: argparse.Namespace) -> Any:
+    from repro.sparse import generators
+    from repro.sparse.io import read_matrix_market
+
+    if args.matrix in _GENERATORS:
+        fn_name, kw = _GENERATORS[args.matrix]
+        fn = getattr(generators, fn_name)
+        kw = dict(kw)
+        if "seed" in fn.__code__.co_varnames:
+            kw["seed"] = args.seed
+        if args.matrix == "random":
+            return fn(args.size, 6.0, **kw)
+        return fn(args.size, **kw)
+    if not Path(args.matrix).exists():
+        raise SystemExit(
+            f"--matrix {args.matrix!r} is neither a generator name "
+            f"({'/'.join(sorted(_GENERATORS))}) nor an existing file"
+        )
+    return read_matrix_market(args.matrix)
+
+
+def _hazard_pass(args: argparse.Namespace, symbol: Any,
+                 reports: list[Report]) -> None:
+    from repro.dag import build_dag
+    from repro.verify.hazards import analyze_hazards, drop_edge
+
+    grans = GRANULARITIES if args.granularity == "all" else (args.granularity,)
+    injected = args.inject == "drop-edge"
+    for gran in grans:
+        if gran == "subtree":
+            dag = build_dag(symbol, args.factotype,
+                            fuse_subtree_flops=1e5)
+        else:
+            dag = build_dag(symbol, args.factotype, granularity=gran)
+        label = gran
+        if injected and dag.n_edges:
+            rng = np.random.default_rng(args.seed)
+            dag = drop_edge(dag, int(rng.integers(dag.n_edges)))
+            label += "+drop-edge"
+        t0 = time.perf_counter()
+        rep = analyze_hazards(dag, find_redundant=args.redundant)
+        rep.name = f"hazards[{label}]"
+        rep.stats["seconds"] = time.perf_counter() - t0
+        reports.append(rep)
+
+
+def _schedule_pass(args: argparse.Namespace, symbol: Any,
+                   reports: list[Report]) -> None:
+    from repro.dag import build_dag
+    from repro.machine import mirage, simulate
+    from repro.runtime import get_policy
+    from repro.runtime.tracing import ExecutionTrace, TraceEvent
+    from repro.verify.schedule import verify_schedule
+
+    policies = (
+        ["native", "starpu", "parsec"] if args.policy == "all"
+        else [args.policy]
+    )
+    machine = mirage(
+        n_cores=args.cores, n_gpus=args.gpus,
+        streams_per_gpu=args.streams if args.gpus else 1,
+    )
+    for name in policies:
+        pol = get_policy(name)
+        dag = build_dag(
+            symbol, args.factotype,
+            granularity=pol.traits.granularity,
+            recompute_ld=pol.traits.recompute_ld,
+        )
+        r = simulate(dag, machine, pol)
+        trace = r.trace
+        label = name
+        if args.inject == "overlap-trace" and len(trace.events) >= 2:
+            # Shift the second event of the busiest CPU back onto the
+            # first — a textbook double-booking of one worker.
+            by_res = trace.events_by_resource()
+            cpu = max(
+                (res for res in by_res if res.startswith("cpu")),
+                key=lambda res: len(by_res[res]), default=None,
+            )
+            if cpu and len(by_res[cpu]) >= 2:
+                a, b = by_res[cpu][0], by_res[cpu][1]
+                moved = TraceEvent(b.task, b.resource,
+                                   a.start + 0.25 * a.duration,
+                                   a.start + 0.25 * a.duration + b.duration)
+                trace = ExecutionTrace(
+                    events=[moved if e is b else e for e in trace.events],
+                    transfers=trace.transfers,
+                )
+                label += "+overlap-trace"
+        elif args.inject == "break-mutex":
+            # Start every update of one mutex group at the same instant.
+            groups = {}
+            for e in trace.events:
+                g = int(dag.mutex[e.task])
+                if g >= 0:
+                    groups.setdefault(g, []).append(e)
+            big = max(groups.values(), key=len, default=[])
+            if len(big) >= 2:
+                t0 = min(e.start for e in big)
+                clones = {e.task: TraceEvent(e.task, e.resource, t0,
+                                             t0 + e.duration)
+                          for e in big}
+                trace = ExecutionTrace(
+                    events=[clones.get(e.task, e) for e in trace.events],
+                    transfers=trace.transfers,
+                )
+                label += "+break-mutex"
+        rep = verify_schedule(dag, trace)
+        rep.name = f"schedule[{label}]"
+        rep.stats["makespan_ms"] = r.makespan * 1e3
+        reports.append(rep)
+
+
+def _lint_pass(args: argparse.Namespace,
+               reports: list[Report]) -> None:
+    import repro
+    from repro.verify.lint import lint_report
+
+    root = Path(args.lint_path) if args.lint_path else Path(repro.__file__).parent
+    rep = lint_report([root])
+    rep.name = f"lint[{root}]"
+    reports.append(rep)
+
+
+def run_verify(args: argparse.Namespace) -> int:
+    """Entry point for the ``verify`` subcommand; returns the exit code."""
+    from repro.symbolic import SymbolicOptions, analyze
+
+    reports: list[Report] = []
+    needs_matrix = not (args.no_hazards and args.no_schedule)
+    if needs_matrix:
+        matrix = _load(args)
+        res = analyze(matrix, SymbolicOptions(split_max_width=args.split))
+        symbol = res.symbol
+        if not args.no_hazards:
+            _hazard_pass(args, symbol, reports)
+        if not args.no_schedule:
+            _schedule_pass(args, symbol, reports)
+    if not args.no_lint:
+        _lint_pass(args, reports)
+
+    for rep in reports:
+        print(rep.format(verbose=args.verbose))
+        print()
+    n_err = sum(rep.count() for rep in reports)
+    n_pass = sum(rep.ok for rep in reports)
+    print(f"verify: {n_pass}/{len(reports)} pass(es) clean, "
+          f"{n_err} error finding(s)")
+    return 0 if n_err == 0 else 1

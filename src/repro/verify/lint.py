@@ -1,0 +1,364 @@
+"""Project-invariant linter for ``src/repro`` (AST-based, stdlib only).
+
+Four rules encode invariants the simulation stack depends on; each has a
+stable code so findings can be suppressed inline with ``# noqa: RV3xx``
+(or a bare ``# noqa``) on the offending line.
+
+* **RV301 frozen-mutation** — no attribute assignment on instances of
+  the project's frozen dataclasses (``PolicyTraits``, ``Task``,
+  ``TraceEvent``, ...).  ``object.__setattr__(self, ...)`` inside the
+  class's own methods is the sanctioned ``__post_init__`` idiom and is
+  allowed; any other ``object.__setattr__`` is flagged.
+* **RV302 float-equality** — no ``==``/``!=`` between two time-like
+  expressions (``time``, ``start``, ``end``, ``makespan``, ...) or
+  between a time-like expression and a float literal.  Simulated times
+  are accumulated floats; use a tolerance comparison.
+* **RV303 policy-traits** — every concrete ``SchedulerPolicy`` subclass
+  must define ``traits`` (class attribute or ``self.traits = ...``).
+* **RV304 numpy-truthiness** — no boolean test directly on a call known
+  to return an array (``np.flatnonzero(x)`` &c.): ambiguous for size
+  != 1; test ``.size`` instead.
+
+The discovery pre-pass collects every ``@dataclass(frozen=True)`` class
+in the linted tree, so new frozen types are covered automatically.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.verify.report import Report
+
+__all__ = ["LintFinding", "lint_paths", "lint_sources", "lint_report"]
+
+_TIME_NAMES = {
+    "time", "start", "end", "makespan", "elapsed", "deadline",
+    "start_time", "end_time", "last_time", "link_free", "data_ready",
+    "t0", "t1", "when",
+}
+_TIME_RE = re.compile(r"(^|_)(time|makespan)(_|$)")
+
+_ARRAY_RETURNING = {
+    "array", "arange", "zeros", "ones", "empty", "full", "concatenate",
+    "flatnonzero", "nonzero", "where", "unique", "diff", "intersect1d",
+    "setdiff1d", "union1d", "argsort", "sort", "repeat", "cumsum",
+    "asarray", "searchsorted", "minimum", "maximum", "isin",
+}
+
+_NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9, ]+))?", re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One lint diagnostic."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+
+def _is_time_like(node: ast.expr) -> bool:
+    """Heuristic: does this expression name a simulation time?"""
+    terminal: str | None = None
+    if isinstance(node, ast.Name):
+        terminal = node.id
+    elif isinstance(node, ast.Attribute):
+        terminal = node.attr
+    elif isinstance(node, ast.Subscript):
+        return _is_time_like(node.value)
+    elif isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            terminal = func.attr
+    if terminal is None:
+        return False
+    low = terminal.lower()
+    return low in _TIME_NAMES or bool(_TIME_RE.search(low))
+
+
+def _is_float_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_float_literal(node.operand)
+    return False
+
+
+def _frozen_dataclasses(trees: Iterable[ast.Module]) -> set[str]:
+    """Names of every ``@dataclass(frozen=True)`` class in the trees."""
+    out: set[str] = set()
+    for tree in trees:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for dec in node.decorator_list:
+                if (
+                    isinstance(dec, ast.Call)
+                    and isinstance(dec.func, ast.Name)
+                    and dec.func.id == "dataclass"
+                ):
+                    for kw in dec.keywords:
+                        if (
+                            kw.arg == "frozen"
+                            and isinstance(kw.value, ast.Constant)
+                            and kw.value.value is True
+                        ):
+                            out.add(node.name)
+    return out
+
+
+class _FileLinter(ast.NodeVisitor):
+    def __init__(self, path: str, source: str, frozen: set[str]) -> None:
+        self.path = path
+        self.lines = source.splitlines()
+        self.frozen = frozen
+        self.findings: list[LintFinding] = []
+        #: var name -> frozen class name, per enclosing function scope.
+        self._scopes: list[dict[str, str]] = []
+        self._class_stack: list[ast.ClassDef] = []
+
+    # -- plumbing ------------------------------------------------------
+    def _suppressed(self, line: int, code: str) -> bool:
+        if not 1 <= line <= len(self.lines):
+            return False
+        m = _NOQA_RE.search(self.lines[line - 1])
+        if not m:
+            return False
+        codes = m.group("codes")
+        if codes is None:
+            return True
+        return code in {c.strip().upper() for c in codes.split(",")}
+
+    def _emit(self, node: ast.AST, code: str, message: str) -> None:
+        line = getattr(node, "lineno", 0)
+        if self._suppressed(line, code):
+            return
+        self.findings.append(
+            LintFinding(self.path, line, getattr(node, "col_offset", 0),
+                        code, message)
+        )
+
+    # -- scope tracking ------------------------------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def _visit_function(self, node) -> None:
+        scope: dict[str, str] = {}
+        # Parameters annotated with a frozen dataclass type participate.
+        args = node.args
+        for a in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs):
+            ann = a.annotation
+            if isinstance(ann, ast.Name) and ann.id in self.frozen:
+                scope[a.arg] = ann.id
+            elif isinstance(ann, ast.Constant) and isinstance(ann.value, str) \
+                    and ann.value in self.frozen:
+                scope[a.arg] = ann.value
+        self._scopes.append(scope)
+        self.generic_visit(node)
+        self._scopes.pop()
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_stack.append(node)
+        self._check_policy_traits(node)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    # -- RV301 frozen mutation ----------------------------------------
+    def visit_Assign(self, node: ast.Assign) -> None:
+        # Track `x = FrozenClass(...)` constructions.
+        if (
+            self._scopes
+            and isinstance(node.value, ast.Call)
+            and isinstance(node.value.func, ast.Name)
+            and node.value.func.id in self.frozen
+        ):
+            for tgt in node.targets:
+                if isinstance(tgt, ast.Name):
+                    self._scopes[-1][tgt.id] = node.value.func.id
+        for tgt in node.targets:
+            self._check_frozen_target(tgt)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_frozen_target(node.target)
+        self.generic_visit(node)
+
+    def _check_frozen_target(self, tgt: ast.expr) -> None:
+        if not isinstance(tgt, ast.Attribute):
+            return
+        base = tgt.value
+        if isinstance(base, ast.Name) and self._scopes:
+            cls = self._scopes[-1].get(base.id)
+            if cls is not None:
+                self._emit(
+                    tgt, "RV301",
+                    f"attribute assignment on frozen dataclass {cls} "
+                    f"instance `{base.id}` (dataclasses.replace() instead)",
+                )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "__setattr__"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "object"
+        ):
+            first = node.args[0] if node.args else None
+            is_self = isinstance(first, ast.Name) and first.id == "self"
+            if not (is_self and self._class_stack):
+                self._emit(
+                    node, "RV301",
+                    "object.__setattr__ outside a frozen class's own "
+                    "methods bypasses immutability",
+                )
+        self.generic_visit(node)
+
+    # -- RV302 float equality -----------------------------------------
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left] + list(node.comparators)
+        for op, (lhs, rhs) in zip(node.ops, zip(operands, operands[1:])):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            lt, rt = _is_time_like(lhs), _is_time_like(rhs)
+            if (lt and rt) or (lt and _is_float_literal(rhs)) \
+                    or (rt and _is_float_literal(lhs)):
+                self._emit(
+                    node, "RV302",
+                    "==/!= between floating-point simulation times; "
+                    "compare with a tolerance (abs(a - b) <= tol)",
+                )
+        self.generic_visit(node)
+
+    # -- RV303 policy traits ------------------------------------------
+    def _check_policy_traits(self, node: ast.ClassDef) -> None:
+        base_names = {
+            b.id if isinstance(b, ast.Name) else getattr(b, "attr", "")
+            for b in node.bases
+        }
+        if "SchedulerPolicy" not in base_names:
+            return
+        if "ABC" in base_names:
+            return
+        for stmt in ast.walk(node):
+            if isinstance(stmt, ast.Assign):
+                for tgt in stmt.targets:
+                    if isinstance(tgt, ast.Name) and tgt.id == "traits":
+                        return
+                    if (
+                        isinstance(tgt, ast.Attribute)
+                        and tgt.attr == "traits"
+                        and isinstance(tgt.value, ast.Name)
+                        and tgt.value.id == "self"
+                    ):
+                        return
+            if isinstance(stmt, ast.AnnAssign):
+                tgt = stmt.target
+                if stmt.value is not None and (
+                    (isinstance(tgt, ast.Name) and tgt.id == "traits")
+                    or (isinstance(tgt, ast.Attribute) and tgt.attr == "traits")
+                ):
+                    return
+        self._emit(
+            node, "RV303",
+            f"SchedulerPolicy subclass {node.name} never defines `traits`",
+        )
+
+    # -- RV304 numpy truthiness ---------------------------------------
+    def _check_bool_context(self, expr: ast.expr) -> None:
+        if not isinstance(expr, ast.Call):
+            return
+        func = expr.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in ("np", "numpy")
+            and func.attr in _ARRAY_RETURNING
+        ):
+            self._emit(
+                expr, "RV304",
+                f"truth value of np.{func.attr}(...) is ambiguous for "
+                "arrays; test `.size` explicitly",
+            )
+
+    def visit_If(self, node: ast.If) -> None:
+        self._check_bool_context(node.test)
+        self.generic_visit(node)
+
+    def visit_While(self, node: ast.While) -> None:
+        self._check_bool_context(node.test)
+        self.generic_visit(node)
+
+    def visit_Assert(self, node: ast.Assert) -> None:
+        self._check_bool_context(node.test)
+        self.generic_visit(node)
+
+    def visit_IfExp(self, node: ast.IfExp) -> None:
+        self._check_bool_context(node.test)
+        self.generic_visit(node)
+
+    def visit_BoolOp(self, node: ast.BoolOp) -> None:
+        for value in node.values:
+            self._check_bool_context(value)
+        self.generic_visit(node)
+
+    def visit_UnaryOp(self, node: ast.UnaryOp) -> None:
+        if isinstance(node.op, ast.Not):
+            self._check_bool_context(node.operand)
+        self.generic_visit(node)
+
+
+def lint_sources(sources: dict[str, str]) -> list[LintFinding]:
+    """Lint a ``{path: source}`` mapping; returns sorted findings."""
+    trees: dict[str, ast.Module] = {}
+    for path, src in sources.items():
+        try:
+            trees[path] = ast.parse(src, filename=path)
+        except SyntaxError as exc:
+            return [LintFinding(path, exc.lineno or 0, exc.offset or 0,
+                                "RV300", f"syntax error: {exc.msg}")]
+    frozen = _frozen_dataclasses(trees.values())
+    findings: list[LintFinding] = []
+    for path, tree in trees.items():
+        linter = _FileLinter(path, sources[path], frozen)
+        linter.visit(tree)
+        findings.extend(linter.findings)
+    findings.sort(key=lambda f: (f.path, f.line, f.col))
+    return findings
+
+
+def lint_paths(paths: Sequence[str | Path]) -> list[LintFinding]:
+    """Lint every ``*.py`` file under the given files/directories."""
+    files: list[Path] = []
+    for p in paths:
+        p = Path(p)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        else:
+            files.append(p)
+    sources = {str(f): f.read_text() for f in files}
+    return lint_sources(sources)
+
+
+def lint_report(paths: Sequence[str | Path]) -> Report:
+    """Run the linter and wrap findings in a :class:`Report`."""
+    findings = lint_paths(paths)
+    report = Report("lint")
+    report.stats["files"] = len({f.path for f in findings}) if findings else 0
+    report.stats["findings"] = len(findings)
+    for f in findings:
+        report.add(f.code, f.message, location=f.location)
+    return report

@@ -1,10 +1,16 @@
-"""Execution-trace container tests (including violation detection)."""
+"""Execution-trace container tests (including violation detection).
+
+Schedule feasibility itself is checked by :mod:`repro.verify.schedule`;
+these tests exercise both the ``ExecutionTrace.validate`` wrapper (the
+historical entry point) and the report-producing ``verify_schedule``.
+"""
 
 import numpy as np
 import pytest
 
-from repro.dag.tasks import TaskDAG
+from repro.dag.tasks import TaskDAG, TaskKind
 from repro.runtime.tracing import ExecutionTrace, TraceEvent
+from repro.verify import ScheduleError, assert_valid_schedule, verify_schedule
 
 
 def chain_dag(n=3):
@@ -18,6 +24,17 @@ def chain_dag(n=3):
                    np.zeros(n, np.int64), succ_ptr, succ_list, mutex, "2d")
 
 
+def independent_dag(n=2, kind_value=TaskKind.PANEL, mutex_value=-1):
+    kind = np.full(n, int(kind_value), dtype=np.int8)
+    idx = np.arange(n, dtype=np.int64)
+    return TaskDAG(kind, idx, idx, np.ones(n),
+                   np.zeros(n, np.int64), np.zeros(n, np.int64),
+                   np.zeros(n, np.int64),
+                   np.zeros(n + 1, dtype=np.int64),
+                   np.empty(0, dtype=np.int64),
+                   np.full(n, mutex_value, dtype=np.int64), "2d")
+
+
 def test_valid_trace_passes():
     dag = chain_dag()
     tr = ExecutionTrace()
@@ -25,7 +42,8 @@ def test_valid_trace_passes():
     tr.record(1, "cpu0", 1.0, 2.0)
     tr.record(2, "cpu1", 2.0, 3.0)
     tr.validate(dag)
-    assert tr.makespan == 3.0
+    assert verify_schedule(dag, tr).ok
+    assert tr.makespan == 3.0  # noqa: RV302 -- exact literals above
 
 
 def test_missing_task_detected():
@@ -35,6 +53,9 @@ def test_missing_task_detected():
     tr.record(1, "cpu0", 1.0, 2.0)
     with pytest.raises(AssertionError, match="!= once"):
         tr.validate(dag)
+    rep = verify_schedule(dag, tr)
+    assert [f.code for f in rep.errors()] == ["S201"]
+    assert 2 in rep.errors()[0].tasks
 
 
 def test_double_execution_detected():
@@ -45,6 +66,7 @@ def test_double_execution_detected():
     tr.record(1, "cpu0", 1.0, 2.0)
     with pytest.raises(AssertionError):
         tr.validate(dag)
+    assert any(f.code == "S201" for f in verify_schedule(dag, tr).errors())
 
 
 def test_dependency_violation_detected():
@@ -55,58 +77,102 @@ def test_dependency_violation_detected():
     tr.record(2, "cpu1", 2.0, 3.0)
     with pytest.raises(AssertionError, match="dependency"):
         tr.validate(dag)
+    rep = verify_schedule(dag, tr)
+    assert any(f.code == "S203" and f.tasks == (0, 1) for f in rep.errors())
 
 
 def test_overlap_on_cpu_detected():
     # Two independent tasks overlapping on one core.
-    kind = np.zeros(2, dtype=np.int8)
-    idx = np.arange(2, dtype=np.int64)
-    dag = TaskDAG(kind, idx, idx, np.ones(2),
-                  np.zeros(2, np.int64), np.zeros(2, np.int64),
-                  np.zeros(2, np.int64),
-                  np.array([0, 0, 0], dtype=np.int64),
-                  np.empty(0, dtype=np.int64),
-                  np.full(2, -1, dtype=np.int64), "2d")
+    dag = independent_dag(2)
     tr = ExecutionTrace()
     tr.record(0, "cpu0", 0.0, 1.0)
     tr.record(1, "cpu0", 0.5, 1.5)
     with pytest.raises(AssertionError, match="overlap"):
         tr.validate(dag)
+    rep = verify_schedule(dag, tr)
+    assert any(f.code == "S204" and f.tasks == (0, 1) for f in rep.errors())
+    # Exclusivity can be waived explicitly (wall-clock traces).
+    assert verify_schedule(dag, tr, exclusive_resources=()).ok
 
 
 def test_gpu_overlap_allowed():
-    kind = np.zeros(2, dtype=np.int8)
-    idx = np.arange(2, dtype=np.int64)
-    dag = TaskDAG(kind, idx, idx, np.ones(2),
-                  np.zeros(2, np.int64), np.zeros(2, np.int64),
-                  np.zeros(2, np.int64),
-                  np.array([0, 0, 0], dtype=np.int64),
-                  np.empty(0, dtype=np.int64),
-                  np.full(2, -1, dtype=np.int64), "2d")
+    # Concurrent UPDATE kernels on one GPU's streams are fine; mutexes
+    # differ so the scatter-add windows are into distinct panels.
+    dag = independent_dag(2, kind_value=TaskKind.UPDATE)
+    dag.mutex[:] = dag.target
     tr = ExecutionTrace()
     tr.record(0, "gpu0", 0.0, 1.0)
     tr.record(1, "gpu0", 0.5, 1.5)  # concurrent kernels: fine
     tr.validate(dag)
+    assert verify_schedule(dag, tr).ok
+
+
+def test_gpu_wrong_kind_detected():
+    # A PANEL factorization must never be offloaded (paper §V-B).
+    dag = chain_dag(2)
+    tr = ExecutionTrace()
+    tr.record(0, "gpu0", 0.0, 1.0)
+    tr.record(1, "cpu0", 1.0, 2.0)
+    with pytest.raises(AssertionError, match="GPU"):
+        tr.validate(dag)
+    rep = verify_schedule(dag, tr)
+    assert any(f.code == "S206" and f.tasks == (0,) for f in rep.errors())
+    assert verify_schedule(dag, tr, check_gpu_kind=False).ok
 
 
 def test_mutex_violation_detected():
-    kind = np.zeros(2, dtype=np.int8)
-    idx = np.arange(2, dtype=np.int64)
-    mutex = np.array([7, 7], dtype=np.int64)
-    target = np.array([7, 7], dtype=np.int64)
-    from repro.dag.tasks import TaskKind
-
-    kind[:] = TaskKind.UPDATE
-    dag = TaskDAG(kind, idx, target, np.ones(2),
-                  np.ones(2, np.int64), np.ones(2, np.int64),
-                  np.ones(2, np.int64),
-                  np.array([0, 0, 0], dtype=np.int64),
-                  np.empty(0, dtype=np.int64), mutex, "2d")
+    dag = independent_dag(2, kind_value=TaskKind.UPDATE, mutex_value=7)
+    dag.target[:] = 7
     tr = ExecutionTrace()
     tr.record(0, "cpu0", 0.0, 1.0)
     tr.record(1, "gpu0", 0.5, 1.5)
     with pytest.raises(AssertionError, match="mutex"):
         tr.validate(dag)
+    rep = verify_schedule(dag, tr)
+    assert any(f.code == "S205" and f.tasks == (0, 1) for f in rep.errors())
+    assert verify_schedule(dag, tr, check_mutex=False).ok
+
+
+def test_negative_duration_and_unknown_task_detected():
+    dag = independent_dag(2, kind_value=TaskKind.UPDATE)
+    dag.mutex[:] = dag.target
+    tr = ExecutionTrace()
+    tr.record(0, "cpu0", 1.0, 0.5)  # ends before it starts
+    tr.record(1, "cpu1", 0.0, 1.0)
+    tr.record(9, "cpu2", 0.0, 1.0)  # no such task
+    rep = verify_schedule(dag, tr)
+    codes = {f.code for f in rep.errors()}
+    assert "S202" in codes and "S207" in codes
+
+
+def test_schedule_error_carries_report():
+    dag = chain_dag(2)
+    tr = ExecutionTrace()
+    tr.record(0, "cpu0", 0.0, 1.0)
+    with pytest.raises(ScheduleError) as exc:
+        assert_valid_schedule(dag, tr)
+    assert not exc.value.report.ok
+    assert any(f.code == "S201" for f in exc.value.report.errors())
+
+
+def test_sorted_events_and_resource_iteration():
+    tr = ExecutionTrace()
+    tr.record(2, "cpu1", 2.0, 3.0)
+    tr.record(0, "cpu0", 0.0, 1.0)
+    tr.record(1, "cpu0", 1.0, 2.0)
+    assert [e.task for e in tr.sorted_events()] == [0, 1, 2]
+    by_res = tr.events_by_resource()
+    assert sorted(by_res) == ["cpu0", "cpu1"]
+    assert [e.task for e in by_res["cpu0"]] == [0, 1]
+    assert [e.task for e in tr.iter_resource("cpu1")] == [2]
+    assert list(tr.iter_resource("gpu9")) == []
+    # Ties on start break by (end, task) so ordering is deterministic.
+    tie = ExecutionTrace(events=[
+        TraceEvent(5, "gpu0", 0.0, 2.0),
+        TraceEvent(3, "gpu0", 0.0, 1.0),
+        TraceEvent(4, "gpu0", 0.0, 1.0),
+    ])
+    assert [e.task for e in tie.sorted_events()] == [3, 4, 5]
 
 
 def test_busy_time_and_resources():

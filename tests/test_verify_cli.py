@@ -1,0 +1,97 @@
+"""End-to-end tests of ``python -m repro verify`` (in-process)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def run(argv, capsys):
+    code = main(argv)
+    return code, capsys.readouterr().out
+
+
+def test_clean_run_exits_zero(capsys):
+    code, out = run(["verify", "--matrix", "lap2d", "--size", "10",
+                     "--cores", "2", "--gpus", "1"], capsys)
+    assert code == 0
+    assert "hazards[2d]" in out
+    assert "hazards[1d]" in out
+    assert "hazards[subtree]" in out
+    assert "schedule[parsec]" in out
+    assert "lint[" in out
+    assert "0 error finding(s)" in out
+
+
+def test_single_granularity_and_policy(capsys):
+    code, out = run(["verify", "--matrix", "lap2d", "--size", "8",
+                     "--granularity", "2d", "--policy", "native",
+                     "--no-lint", "--cores", "2", "--gpus", "0"], capsys)
+    assert code == 0
+    assert "hazards[2d]" in out and "hazards[1d]" not in out
+    assert "schedule[native]" in out
+
+
+def test_inject_drop_edge_fails_and_names_pair(capsys):
+    code, out = run(["verify", "--matrix", "lap2d", "--size", "10",
+                     "--granularity", "2d", "--no-schedule", "--no-lint",
+                     "--inject", "drop-edge"], capsys)
+    assert code == 1
+    assert "drop-edge" in out
+    assert "missing dependency path" in out
+    # The offending pair is named: "missing dependency path U -> V".
+    import re
+
+    assert re.search(r"missing dependency path \d+ -> \d+", out)
+
+
+def test_inject_overlap_trace_fails(capsys):
+    code, out = run(["verify", "--matrix", "lap2d", "--size", "10",
+                     "--no-hazards", "--no-lint", "--cores", "2",
+                     "--gpus", "0", "--inject", "overlap-trace"], capsys)
+    assert code == 1
+    assert "overlap on cpu" in out
+    import re
+
+    assert re.search(r"tasks \d+ and \d+", out)
+
+
+def test_inject_break_mutex_fails(capsys):
+    code, out = run(["verify", "--matrix", "lap2d", "--size", "10",
+                     "--no-hazards", "--no-lint", "--cores", "2",
+                     "--gpus", "1", "--inject", "break-mutex"], capsys)
+    assert code == 1
+    assert "violated" in out
+
+
+def test_lint_only_flags_bad_tree(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "from dataclasses import dataclass\n"
+        "@dataclass(frozen=True)\n"
+        "class F:\n"
+        "    x: int\n"
+        "def f():\n"
+        "    t = F(1)\n"
+        "    t.x = 2\n"
+    )
+    code, out = run(["verify", "--no-hazards", "--no-schedule",
+                     "--lint-path", str(tmp_path)], capsys)
+    assert code == 1
+    assert "RV301" in out
+
+
+def test_verbose_shows_info_findings(capsys):
+    # 1D accum groups surface as info (H109) only with --verbose.
+    code, out = run(["verify", "--matrix", "lap2d", "--size", "10",
+                     "--granularity", "1d", "--no-schedule", "--no-lint",
+                     "-v"], capsys)
+    assert code == 0
+    assert "H109" in out
+
+
+def test_unknown_matrix_name_exits_with_message():
+    with pytest.raises(SystemExit, match="neither a generator name"):
+        main(["verify", "--matrix", "/nonexistent/mat.mtx",
+              "--no-lint", "--no-schedule"])
+    with pytest.raises(SystemExit, match="lap2d"):
+        main(["verify", "--matrix", "lapd2", "--no-lint", "--no-schedule"])

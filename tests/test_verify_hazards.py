@@ -1,0 +1,343 @@
+"""Hazard-analyzer tests: coverage on clean DAGs, detection on mutants.
+
+The analyzer must (a) pass every DAG the builder produces, at every
+granularity, and (b) reliably flag a DAG whose edge set no longer covers
+some RAW/ACCUM hazard — that is the whole point of the pass.  NetworkX
+serves as the independent reachability oracle where one is needed.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.dag import build_dag
+from repro.dag.builder import update_couples
+from repro.dag.tasks import TaskDAG, TaskKind
+from repro.sparse.generators import grid_laplacian_2d, random_pattern_spd
+from repro.symbolic import SymbolicOptions, analyze
+from repro.symbolic.structures import build_symbol
+from repro.verify import (
+    ReachabilityOracle,
+    analyze_hazards,
+    drop_edge,
+    find_cycle,
+    find_redundant_edges,
+)
+
+
+@pytest.fixture(scope="module")
+def symbol():
+    return analyze(grid_laplacian_2d(10, jitter=0.05, seed=1),
+                   SymbolicOptions(split_max_width=16)).symbol
+
+
+def edge_endpoints(dag):
+    heads = np.repeat(np.arange(dag.n_tasks, dtype=np.int64),
+                      np.diff(dag.succ_ptr))
+    return heads, dag.succ_list
+
+
+def nx_digraph(dag):
+    import networkx as nx
+
+    g = nx.DiGraph()
+    g.add_nodes_from(range(dag.n_tasks))
+    heads, tails = edge_endpoints(dag)
+    g.add_edges_from(zip(heads.tolist(), tails.tolist()))
+    return g
+
+
+# ----------------------------------------------------------------------
+# Clean DAGs must pass.
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("granularity", ["2d", "1d", "1d-left"])
+def test_clean_dag_passes(symbol, granularity):
+    dag = build_dag(symbol, "llt", granularity=granularity)
+    rep = analyze_hazards(dag)
+    assert rep.ok, rep.format()
+    assert rep.stats["uncovered_pairs"] == 0
+    assert rep.stats["hazard_pairs"] > 0
+
+
+@pytest.mark.parametrize("threshold", [1e4, 1e6, 1e12])
+def test_clean_subtree_dag_passes(symbol, threshold):
+    dag = build_dag(symbol, "llt", fuse_subtree_flops=threshold)
+    rep = analyze_hazards(dag)
+    assert rep.ok, rep.format()
+    assert rep.stats["uncovered_pairs"] == 0
+
+
+def test_clean_dag_other_factotypes(symbol):
+    for factotype in ("ldlt", "lu"):
+        rep = analyze_hazards(build_dag(symbol, factotype))
+        assert rep.ok, rep.format()
+
+
+# ----------------------------------------------------------------------
+# Mutation: a dropped edge must be detected (or provably redundant).
+# ----------------------------------------------------------------------
+def test_every_dropped_edge_detected_2d(symbol):
+    dag = build_dag(symbol, "llt")
+    heads, tails = edge_endpoints(dag)
+    for e in range(dag.n_edges):
+        mutant = drop_edge(dag, e)
+        rep = analyze_hazards(mutant)
+        u, v = int(heads[e]), int(tails[e])
+        assert not rep.ok, f"dropping edge {u}->{v} went unnoticed"
+        assert any(f.tasks == (u, v) for f in rep.errors()), (
+            f"edge {u}->{v}: offending pair not named\n" + rep.format()
+        )
+
+
+def test_dropped_subtree_edge_detected(symbol):
+    dag = build_dag(symbol, "llt", fuse_subtree_flops=1e6)
+    assert np.any(dag.kind == TaskKind.SUBTREE)
+    heads, tails = edge_endpoints(dag)
+    rng = np.random.default_rng(0)
+    for e in rng.choice(dag.n_edges, size=min(25, dag.n_edges), replace=False):
+        mutant = drop_edge(dag, int(e))
+        rep = analyze_hazards(mutant)
+        u, v = int(heads[e]), int(tails[e])
+        assert not rep.ok, f"dropping edge {u}->{v} went unnoticed"
+        assert any((u, v) == f.tasks for f in rep.errors())
+
+
+def test_dropped_1d_edge_detected_unless_transitive(symbol):
+    # 1D DAGs carry transitive edges; deleting one of those leaves the
+    # hazard pair covered by the remaining path (correctly no finding).
+    import networkx as nx
+
+    dag = build_dag(symbol, "llt", granularity="1d")
+    heads, tails = edge_endpoints(dag)
+    n_detected = 0
+    for e in range(dag.n_edges):
+        u, v = int(heads[e]), int(tails[e])
+        mutant = drop_edge(dag, e)
+        rep = analyze_hazards(mutant)
+        still_covered = nx.has_path(nx_digraph(mutant), u, v)
+        assert rep.ok == still_covered, (
+            f"edge {u}->{v}: detected={not rep.ok}, "
+            f"covered elsewhere={still_covered}"
+        )
+        if not rep.ok:
+            n_detected += 1
+            assert any(f.tasks == (u, v) for f in rep.errors())
+    assert n_detected > 0  # at least the critical edges must trip
+
+
+def test_drop_edge_container_semantics(symbol):
+    dag = build_dag(symbol, "llt")
+    heads, tails = edge_endpoints(dag)
+    e = dag.n_edges // 2
+    mutant = drop_edge(dag, e)
+    assert mutant.n_edges == dag.n_edges - 1
+    assert mutant.n_tasks == dag.n_tasks
+    u, v = int(heads[e]), int(tails[e])
+    assert dag.has_edge(u, v)
+    # The (u, v) multiplicity drops by exactly one.
+    assert np.count_nonzero(mutant.successors(u) == v) \
+        == np.count_nonzero(dag.successors(u) == v) - 1
+    with pytest.raises(IndexError):
+        drop_edge(dag, dag.n_edges)
+    with pytest.raises(IndexError):
+        drop_edge(dag, -1)
+
+
+# ----------------------------------------------------------------------
+# Structural defects: cycles, reversed edges, broken mutexes.
+# ----------------------------------------------------------------------
+def two_cycle_dag():
+    n = 2
+    kind = np.zeros(n, dtype=np.int8)
+    idx = np.arange(n, dtype=np.int64)
+    return TaskDAG(kind, idx, idx, np.ones(n),
+                   np.zeros(n, np.int64), np.zeros(n, np.int64),
+                   np.zeros(n, np.int64),
+                   np.array([0, 1, 2], dtype=np.int64),
+                   np.array([1, 0], dtype=np.int64),
+                   np.full(n, -1, dtype=np.int64), "2d")
+
+
+def test_cycle_detected():
+    dag = two_cycle_dag()
+    assert sorted(find_cycle(dag)) == [0, 1]
+    rep = analyze_hazards(dag)
+    assert [f.code for f in rep.errors()] == ["H104"]
+
+
+def test_acyclic_has_no_cycle(symbol):
+    assert find_cycle(build_dag(symbol, "llt")) == []
+
+
+def with_edges(dag, edges):
+    """Rebuild ``dag`` with an explicit edge list (test mutations)."""
+    n = dag.n_tasks
+    edges = sorted(edges)
+    heads = np.array([u for u, _ in edges], dtype=np.int64)
+    tails = np.array([v for _, v in edges], dtype=np.int64)
+    ptr = np.zeros(n + 1, dtype=np.int64)
+    np.add.at(ptr, heads + 1, 1)
+    np.cumsum(ptr, out=ptr)
+    out = TaskDAG(dag.kind, dag.cblk, dag.target, dag.flops,
+                  dag.gemm_m, dag.gemm_n, dag.gemm_k,
+                  ptr, tails, dag.mutex, dag.granularity,
+                  symbol=dag.symbol, factotype=dag.factotype)
+    out.phase = dag.phase
+    return out
+
+
+def test_reversed_edge_reported_as_wrong_direction(symbol):
+    dag = build_dag(symbol, "llt")
+    # Pick an UPDATE task and reverse its panel(src) -> update edge.
+    upd = int(np.flatnonzero(dag.kind == TaskKind.UPDATE)[0])
+    pred = int(dag.predecessors(upd)[0])
+    assert dag.kind[pred] == TaskKind.PANEL
+    heads, tails = edge_endpoints(dag)
+    edges = list(zip(heads.tolist(), tails.tolist()))
+    edges.remove((pred, upd))
+    edges.append((upd, pred))
+    rep = analyze_hazards(with_edges(dag, edges))
+    assert any(f.code == "H103" and set(f.tasks) == {pred, upd}
+               for f in rep.errors()), rep.format()
+
+
+def test_mutex_mismatch_detected(symbol):
+    dag = build_dag(symbol, "llt")
+    # Find a facing panel hit by at least two updates and detach one
+    # update from the shared mutex group.
+    upd = np.flatnonzero(dag.kind == TaskKind.UPDATE)
+    tgt = dag.target[upd]
+    vals, counts = np.unique(tgt, return_counts=True)
+    panel = int(vals[np.argmax(counts)])
+    assert counts.max() >= 2
+    victim = int(upd[tgt == panel][0])
+    mutex = dag.mutex.copy()
+    mutex[victim] = -1
+    mutant = TaskDAG(dag.kind, dag.cblk, dag.target, dag.flops,
+                     dag.gemm_m, dag.gemm_n, dag.gemm_k,
+                     dag.succ_ptr, dag.succ_list, mutex, dag.granularity,
+                     symbol=dag.symbol, factotype=dag.factotype)
+    rep = analyze_hazards(mutant)
+    assert any(f.code == "H107" and victim in f.tasks for f in rep.errors()), \
+        rep.format()
+
+
+def test_unmatched_update_task_reported(symbol):
+    dag = build_dag(symbol, "llt")
+    upd = int(np.flatnonzero(dag.kind == TaskKind.UPDATE)[0])
+    target = dag.target.copy()
+    target[upd] = int(dag.cblk[upd])  # self-couple: symbolically absent
+    mutant = TaskDAG(dag.kind, dag.cblk, target, dag.flops,
+                     dag.gemm_m, dag.gemm_n, dag.gemm_k,
+                     dag.succ_ptr, dag.succ_list, dag.mutex,
+                     dag.granularity, symbol=dag.symbol,
+                     factotype=dag.factotype)
+    rep = analyze_hazards(mutant)
+    assert any(f.code == "H106" for f in rep.errors()), rep.format()
+
+
+def test_solve_phase_rejected(symbol):
+    from repro.dag.solve_builder import build_solve_dag
+
+    sdag = build_solve_dag(symbol)
+    with pytest.raises(NotImplementedError):
+        analyze_hazards(sdag)
+
+
+def test_missing_symbol_rejected(symbol):
+    dag = build_dag(symbol, "llt")
+    dag.symbol = None
+    with pytest.raises(ValueError):
+        analyze_hazards(dag)
+
+
+# ----------------------------------------------------------------------
+# Redundant (transitive) edges.
+# ----------------------------------------------------------------------
+def test_2d_dag_has_no_redundant_edges(symbol):
+    dag = build_dag(symbol, "llt")
+    assert find_redundant_edges(dag) == []
+    rep = analyze_hazards(dag, find_redundant=True)
+    assert rep.stats["redundant_edges"] == 0
+
+
+def test_1d_redundant_edges_are_really_transitive(symbol):
+    import networkx as nx
+
+    dag = build_dag(symbol, "llt", granularity="1d")
+    redundant = find_redundant_edges(dag)
+    g = nx_digraph(dag)
+    for u, v in redundant[:20]:
+        assert g.has_edge(u, v)
+        g.remove_edge(u, v)
+        assert nx.has_path(g, u, v), f"{u}->{v} reported but critical"
+        g.add_edge(u, v)
+    if redundant:
+        rep = analyze_hazards(dag, find_redundant=True)
+        assert rep.ok  # transitive edges are info, not errors
+        assert rep.stats["redundant_edges"] == len(redundant)
+
+
+# ----------------------------------------------------------------------
+# Reachability oracle against networkx, including non-builder shapes.
+# ----------------------------------------------------------------------
+def test_oracle_matches_networkx_on_random_dags():
+    import networkx as nx
+
+    rng = np.random.default_rng(7)
+    for trial in range(8):
+        n = int(rng.integers(10, 45))
+        p = rng.uniform(0.02, 0.25)
+        edges = [(u, v) for u in range(n) for v in range(u + 1, n)
+                 if rng.random() < p]
+        kind = np.zeros(n, dtype=np.int8)
+        idx = np.arange(n, dtype=np.int64)
+        proto = TaskDAG(kind, idx, idx, np.ones(n),
+                        np.zeros(n, np.int64), np.zeros(n, np.int64),
+                        np.zeros(n, np.int64),
+                        np.zeros(n + 1, dtype=np.int64),
+                        np.empty(0, dtype=np.int64),
+                        np.full(n, -1, dtype=np.int64), "2d")
+        dag = with_edges(proto, edges)
+        g = nx_digraph(dag)
+        oracle = ReachabilityOracle(dag)
+        us, vs = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+        us, vs = us.ravel(), vs.ravel()
+        got = oracle.reachable_many(us, vs)
+        for u, v, r in zip(us, vs, got):
+            expect = u != v and nx.has_path(g, int(u), int(v))
+            assert bool(r) == expect, f"trial {trial}: {u}->{v}"
+
+
+# ----------------------------------------------------------------------
+# Scale: >= 50k tasks analyzed in under 10 seconds.
+# ----------------------------------------------------------------------
+def banded_symbol(n_cblk, width=8, band=3):
+    """Synthetic banded block structure: cblk k couples to k+1..k+band.
+
+    Satisfies the facing-subset property by construction, so it behaves
+    exactly like a (huge) analyzed matrix without the symbolic pipeline.
+    """
+    snptr = np.arange(n_cblk + 1, dtype=np.int64) * width
+    n = int(snptr[-1])
+    rowsets = [
+        np.arange(snptr[k + 1], snptr[min(k + 1 + band, n_cblk)],
+                  dtype=np.int64)
+        for k in range(n_cblk)
+    ]
+    return build_symbol(n, snptr, rowsets)
+
+
+def test_hazard_analyzer_scales_to_50k_tasks():
+    sym = banded_symbol(17_000)
+    src, tgt, _, _ = update_couples(sym)
+    assert src.size + sym.n_cblk >= 50_000
+    dag = build_dag(sym, "llt")
+    assert dag.n_tasks >= 50_000
+    t0 = time.perf_counter()
+    rep = analyze_hazards(dag)
+    elapsed = time.perf_counter() - t0
+    assert rep.ok, rep.format()
+    assert rep.stats["hazard_pairs"] >= src.size
+    assert elapsed < 10.0, f"hazard analysis took {elapsed:.2f}s"
