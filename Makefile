@@ -6,15 +6,44 @@ PYTHON     ?= python
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test verify lint hazards typecheck bench figures
+.PHONY: test verify lint hazards typecheck bench figures selftest ci
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 # The full static-analysis gate: project linter + DAG hazard coverage +
-# schedule feasibility (python -m repro verify), plus ruff/mypy when
-# available, plus the test suite.
+# schedule feasibility + memory/symbolic audits (python -m repro
+# verify), plus ruff/mypy when available, plus the test suite.
 verify: lint hazards typecheck test
+
+# Fault-injection self-tests: every corruption must make the verifier
+# exit non-zero.  A mode that slips through means an analyzer has been
+# lobotomized, so the target fails loudly on the first silent pass.
+# The memory injections need a problem large enough that the scheduler
+# actually offloads (hence --size 32).
+selftest:
+	@for inj in drop-edge overlap-trace break-mutex skew-flops; do \
+		if $(PYTHON) -m repro verify --matrix lap2d --size 20 \
+			--no-lint --inject $$inj >/dev/null 2>&1; then \
+			echo "inject $$inj: NOT caught"; exit 1; \
+		else \
+			echo "inject $$inj: caught"; \
+		fi; \
+	done
+	@for inj in drop-transfer overflow-residency; do \
+		if $(PYTHON) -m repro verify --matrix lap2d --size 32 \
+			--no-lint --no-hazards --no-symbolic \
+			--inject $$inj >/dev/null 2>&1; then \
+			echo "inject $$inj: NOT caught"; exit 1; \
+		else \
+			echo "inject $$inj: caught"; \
+		fi; \
+	done
+
+# Everything CI runs: tier-1 tests, the static-analysis gate
+# (lint/hazards/schedule/memory/symbolic + ruff/mypy when installed),
+# and the fault-injection self-tests.
+ci: verify selftest
 
 lint:
 	$(PYTHON) -m repro verify --no-hazards --no-schedule

@@ -29,8 +29,10 @@ import pytest
 from common import (
     StageTimer,
     format_table,
+    simulate_cell,
     simulate_config,
     standard_parser,
+    write_bench_json,
     write_csv,
 )
 from repro.sparse.collection import collection_names
@@ -39,20 +41,24 @@ CORE_COUNTS = (1, 3, 6, 9, 12)
 POLICIES = ("native", "starpu", "parsec")
 
 
-def figure2_rows(scale: float = 1.0, names=None) -> list[list]:
+def figure2_rows(scale: float = 1.0, names=None, *,
+                 verify: bool = False) -> tuple[list[list], list[dict]]:
     timer = StageTimer()
     rows = []
+    cells = []
     for name in names or collection_names():
         for policy in POLICIES:
             row = [name, policy]
             for cores in CORE_COUNTS:
-                g = simulate_config(
-                    name, policy, scale=scale, n_cores=cores
+                cell = simulate_cell(
+                    name, policy, scale=scale, n_cores=cores,
+                    verify=verify,
                 )
-                row.append(f"{g:.2f}")
+                cells.append(cell)
+                row.append(f"{cell['gflops']:.2f}")
             rows.append(row)
             timer.note(f"fig2 {name}/{policy}: " + " ".join(row[2:]))
-    return rows
+    return rows, cells
 
 
 HEADERS = ["Matrix", "Scheduler"] + [f"{c} cores" for c in CORE_COUNTS]
@@ -60,10 +66,18 @@ HEADERS = ["Matrix", "Scheduler"] + [f"{c} cores" for c in CORE_COUNTS]
 
 def main(argv=None) -> None:
     args = standard_parser(__doc__).parse_args(argv)
-    rows = figure2_rows(args.scale, args.matrices)
+    rows, cells = figure2_rows(args.scale, args.matrices,
+                               verify=args.verify)
     print(format_table(HEADERS, rows))
     path = write_csv("fig2_cpu_scaling.csv", HEADERS, rows)
     print(f"\nwritten: {path}")
+    path = write_bench_json("fig2_cpu_scaling", {
+        "figure": "fig2_cpu_scaling",
+        "scale": args.scale,
+        "verified": args.verify,
+        "cells": cells,
+    })
+    print(f"written: {path}")
 
 
 # ----------------------------------------------------------------------

@@ -29,7 +29,9 @@ import argparse
 
 import pytest
 
-from common import format_table, write_csv
+from dataclasses import asdict
+
+from common import format_table, write_bench_json, write_csv
 from repro.machine.perfmodel import CUBLAS_PEAK_GFLOPS
 from repro.machine.streamsim import simulate_kernel_burst
 
@@ -38,8 +40,9 @@ KERNELS = ("cublas", "astra", "sparse")
 STREAMS = (1, 2, 3)
 
 
-def figure3_rows(m_sweep=M_SWEEP) -> list[list]:
+def figure3_rows(m_sweep=M_SWEEP) -> tuple[list[list], list[dict]]:
     rows = []
+    cells = []
     for m in m_sweep:
         row = [m]
         for kernel in KERNELS:
@@ -47,9 +50,10 @@ def figure3_rows(m_sweep=M_SWEEP) -> list[list]:
                 r = simulate_kernel_burst(
                     kernel, m, streams=streams, height_ratio=2.0
                 )
+                cells.append(asdict(r))
                 row.append(f"{r.gflops:.1f}")
         rows.append(row)
-    return rows
+    return rows, cells
 
 
 HEADERS = ["M"] + [f"{k}-{s}s" for k in KERNELS for s in STREAMS]
@@ -58,10 +62,16 @@ HEADERS = ["M"] + [f"{k}-{s}s" for k in KERNELS for s in STREAMS]
 def main(argv=None) -> None:
     argparse.ArgumentParser(description=__doc__).parse_args(argv)
     print(f"cuBLAS square-matrix peak: {CUBLAS_PEAK_GFLOPS} GFlop/s\n")
-    rows = figure3_rows()
+    rows, cells = figure3_rows()
     print(format_table(HEADERS, rows))
     path = write_csv("fig3_gemm_streams.csv", HEADERS, rows)
     print(f"\nwritten: {path}")
+    path = write_bench_json("fig3_gemm_streams", {
+        "figure": "fig3_gemm_streams",
+        "cublas_peak_gflops": CUBLAS_PEAK_GFLOPS,
+        "cells": cells,
+    })
+    print(f"written: {path}")
 
 
 # ----------------------------------------------------------------------

@@ -28,8 +28,10 @@ import pytest
 from common import (
     StageTimer,
     format_table,
+    simulate_cell,
     simulate_config,
     standard_parser,
+    write_bench_json,
     write_csv,
 )
 from repro.sparse.collection import collection_names
@@ -43,9 +45,11 @@ CONFIGS = (
 )
 
 
-def figure4_rows(scale: float = 1.0, names=None) -> list[list]:
+def figure4_rows(scale: float = 1.0, names=None, *,
+                 verify: bool = False) -> tuple[list[list], list[dict]]:
     timer = StageTimer()
     rows = []
+    cells = []
     for name in names or collection_names():
         for policy, streams, label in CONFIGS:
             row = [name, label]
@@ -54,14 +58,16 @@ def figure4_rows(scale: float = 1.0, names=None) -> list[list]:
                 if g not in counts:
                     row.append("-")
                     continue
-                gf = simulate_config(
+                cell = simulate_cell(
                     name, policy, scale=scale, n_cores=12,
-                    n_gpus=g, streams=streams,
+                    n_gpus=g, streams=streams, verify=verify,
                 )
-                row.append(f"{gf:.2f}")
+                cell["label"] = label
+                cells.append(cell)
+                row.append(f"{cell['gflops']:.2f}")
             rows.append(row)
             timer.note(f"fig4 {name}/{label}: " + " ".join(row[2:]))
-    return rows
+    return rows, cells
 
 
 HEADERS = ["Matrix", "Config"] + [f"{g} GPU" for g in GPU_COUNTS]
@@ -69,10 +75,18 @@ HEADERS = ["Matrix", "Config"] + [f"{g} GPU" for g in GPU_COUNTS]
 
 def main(argv=None) -> None:
     args = standard_parser(__doc__).parse_args(argv)
-    rows = figure4_rows(args.scale, args.matrices)
+    rows, cells = figure4_rows(args.scale, args.matrices,
+                               verify=args.verify)
     print(format_table(HEADERS, rows))
     path = write_csv("fig4_gpu_scaling.csv", HEADERS, rows)
     print(f"\nwritten: {path}")
+    path = write_bench_json("fig4_gpu_scaling", {
+        "figure": "fig4_gpu_scaling",
+        "scale": args.scale,
+        "verified": args.verify,
+        "cells": cells,
+    })
+    print(f"written: {path}")
 
 
 # ----------------------------------------------------------------------

@@ -27,18 +27,33 @@ from common import (
     matrix_factotype,
     paper_flops,
     standard_parser,
+    write_bench_json,
     write_csv,
 )
 from repro.sparse.collection import MATRIX_COLLECTION, collection_names, load_matrix
 
 
-def table1_rows(scale: float = 1.0, names=None) -> list[list]:
+def table1_rows(scale: float = 1.0, names=None, *,
+                verify: bool = False) -> tuple[list[list], list[dict]]:
     rows = []
+    cells = []
     for name in names or collection_names():
         info = MATRIX_COLLECTION[name]
         matrix = load_matrix(name, scale=scale)
         res = analyzed(name, scale)
         flops = paper_flops(name, scale)
+        if verify:
+            # N5xx cross-check: the stored symbolic structure must
+            # dominate the column-count recomputation (amalgamation
+            # only *adds* fill, never loses entries).
+            from repro.verify import verify_symbolic
+
+            rep = verify_symbolic(matrix, res, exact=False,
+                                  name=f"symbolic[{name}]")
+            if not rep.ok:
+                raise RuntimeError(
+                    f"{name} failed the symbolic audit:\n" + rep.format()
+                )
         rows.append([
             name,
             info.prec,
@@ -51,7 +66,17 @@ def table1_rows(scale: float = 1.0, names=None) -> list[list]:
             f"{info.paper_nnz_l:.0e}",
             f"{info.paper_tflop:g}",
         ])
-    return rows
+        cells.append({
+            "matrix": name,
+            "scale": scale,
+            "n": int(matrix.n_rows),
+            "nnz_a": int(matrix.nnz),
+            "nnz_l": int(res.symbol.nnz()),
+            "flops": float(flops),
+            "gflop": flops / 1e9,
+            "verified": verify,
+        })
+    return rows, cells
 
 
 HEADERS = [
@@ -62,10 +87,18 @@ HEADERS = [
 
 def main(argv=None) -> None:
     args = standard_parser(__doc__).parse_args(argv)
-    rows = table1_rows(args.scale, args.matrices)
+    rows, cells = table1_rows(args.scale, args.matrices,
+                              verify=args.verify)
     print(format_table(HEADERS, rows))
     path = write_csv("table1.csv", HEADERS, rows)
     print(f"\nwritten: {path}")
+    path = write_bench_json("table1", {
+        "figure": "table1",
+        "scale": args.scale,
+        "verified": args.verify,
+        "cells": cells,
+    })
+    print(f"written: {path}")
 
 
 # ----------------------------------------------------------------------
@@ -85,8 +118,8 @@ def test_analyze_phase(benchmark, name):
 
 def test_table_row_generation(benchmark):
     """Time one full Table-I row (generation + analysis + stats)."""
-    rows = benchmark(table1_rows, 0.3, ["Geo1438"])
-    assert len(rows) == 1
+    rows, cells = benchmark(table1_rows, 0.3, ["Geo1438"])
+    assert len(rows) == 1 and len(cells) == 1
 
 
 if __name__ == "__main__":

@@ -67,7 +67,7 @@ def matrix_dtype(name: str):
     return MATRIX_COLLECTION[name].dtype
 
 
-def simulate_config(
+def simulate_cell(
     name: str,
     policy_name: str,
     *,
@@ -76,8 +76,17 @@ def simulate_config(
     n_gpus: int = 0,
     streams: int = 1,
     split_width: int = SPLIT_WIDTH,
-):
-    """Simulate one (matrix, policy, machine) cell; returns GFlop/s."""
+    verify: bool = False,
+) -> dict:
+    """Simulate one (matrix, policy, machine) cell.
+
+    Returns a flat dict of the cell's configuration and measurements —
+    the rows of the ``results/BENCH_*.json`` reports.  With
+    ``verify=True`` the produced trace is additionally run through the
+    S2xx schedule verifier and the M4xx memory auditor; a dirty trace
+    raises ``RuntimeError`` with the offending report, so a benchmark
+    sweep cannot quietly publish numbers from an infeasible schedule.
+    """
     res = analyzed(name, scale, split_width=split_width)
     policy = get_policy(policy_name)
     ft = matrix_factotype(name)
@@ -94,8 +103,52 @@ def simulate_config(
         n_gpus=n_gpus,
         streams_per_gpu=streams if n_gpus else 1,
     )
-    sim = simulate(dag, machine, policy, dtype=dt, collect_trace=False)
-    return sim.gflops
+    sim = simulate(dag, machine, policy, dtype=dt, collect_trace=verify)
+    cell = {
+        "matrix": name,
+        "policy": policy_name,
+        "scale": scale,
+        "n_cores": n_cores,
+        "n_gpus": n_gpus,
+        "streams": streams,
+        "gflops": sim.gflops,
+        "makespan_s": sim.makespan,
+        "bytes_h2d": sim.bytes_h2d,
+        "bytes_d2h": sim.bytes_d2h,
+        "peak_gpu_bytes": sim.peak_gpu_bytes,
+    }
+    if verify:
+        from repro.verify import verify_memory, verify_schedule
+
+        for rep in (
+            verify_schedule(dag, sim.trace),
+            verify_memory(dag, sim.trace, machine, dtype=dt),
+        ):
+            if not rep.ok:
+                raise RuntimeError(
+                    f"{name}/{policy_name} produced a dirty trace:\n"
+                    + rep.format()
+                )
+        cell["verified"] = True
+    return cell
+
+
+def simulate_config(
+    name: str,
+    policy_name: str,
+    *,
+    scale: float = 1.0,
+    n_cores: int = 12,
+    n_gpus: int = 0,
+    streams: int = 1,
+    split_width: int = SPLIT_WIDTH,
+    verify: bool = False,
+):
+    """Simulate one (matrix, policy, machine) cell; returns GFlop/s."""
+    return simulate_cell(
+        name, policy_name, scale=scale, n_cores=n_cores, n_gpus=n_gpus,
+        streams=streams, split_width=split_width, verify=verify,
+    )["gflops"]
 
 
 def paper_flops(name: str, scale: float = 1.0) -> float:
@@ -128,6 +181,24 @@ def write_csv(filename: str, headers: list[str], rows: list[list]) -> Path:
     return path
 
 
+def write_bench_json(name: str, payload: dict) -> Path:
+    """Write one machine-readable benchmark report.
+
+    Every ``bench_*`` script dumps its measurements (GFlop/s, bytes
+    moved over PCIe, peak device-memory footprint, ...) as
+    ``results/BENCH_<name>.json`` next to the human-readable CSV, so
+    downstream tooling can diff runs without re-parsing tables.
+    """
+    import json
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
 def standard_parser(description: str) -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(description=description)
     p.add_argument(
@@ -137,6 +208,11 @@ def standard_parser(description: str) -> argparse.ArgumentParser:
     p.add_argument(
         "--matrices", nargs="*", default=None,
         help="subset of collection names (default: all nine)",
+    )
+    p.add_argument(
+        "--verify", action="store_true",
+        help="run the S2xx schedule verifier and M4xx memory auditor "
+             "on every produced trace (fails fast on a dirty trace)",
     )
     return p
 

@@ -131,7 +131,7 @@ class Graph:
         if np.any(src == self.adjncy):
             raise ValueError("self-loop present")
         fwd = set(zip(src.tolist(), self.adjncy.tolist()))
-        for a, b in fwd:
+        for a, b in fwd:  # noqa: RV306 - order-insensitive validation
             if (b, a) not in fwd:
                 raise ValueError(f"edge ({a},{b}) missing its reverse")
 

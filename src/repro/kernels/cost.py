@@ -23,12 +23,29 @@ __all__ = [
     "flops_panel",
     "flops_update",
     "flops_total",
+    "panel_bytes",
 ]
 
 
 def complex_multiplier(dtype) -> int:
     """4 for complex dtypes, 1 for real."""
     return 4 if np.issubdtype(np.dtype(dtype), np.complexfloating) else 1
+
+
+def panel_bytes(symbol, dtype=np.float64, factotype: str = "llt") -> np.ndarray:
+    """Per-panel storage in bytes (length ``n_cblk``, float64 array).
+
+    LU panels carry both the L and U sides, so they cost twice the
+    entries of a Cholesky/LDLᵀ panel.  This is the unit of host↔device
+    traffic: a panel always crosses the PCIe link whole (the simulator
+    and the M4xx memory auditor must agree on it).
+    """
+    widths = np.diff(symbol.cblk_ptr).astype(np.int64)
+    heights = np.array(
+        [symbol.cblk_height(k) for k in range(symbol.n_cblk)], dtype=np.int64
+    )
+    per_entry = np.dtype(dtype).itemsize * (2 if factotype == "lu" else 1)
+    return (heights * widths * per_entry).astype(np.float64)
 
 
 def flops_potrf(w: int) -> float:

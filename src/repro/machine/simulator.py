@@ -53,6 +53,8 @@ class SimulationResult:
     bytes_h2d: float
     bytes_d2h: float
     busy: dict
+    #: Largest device-memory footprint reached on any single GPU.
+    peak_gpu_bytes: float = 0.0
 
     @property
     def gflops(self) -> float:
@@ -80,7 +82,8 @@ class _GpuState:
     __slots__ = (
         "index", "streams", "staging", "ready_queue", "active_rem",
         "active_rate", "active_base", "active_occ", "last_time", "version",
-        "link_free", "resident", "resident_bytes", "pinned",
+        "link_free", "resident", "resident_bytes", "peak_bytes", "pinned",
+        "arrival",
     )
 
     def __init__(self, index: int, streams: int) -> None:
@@ -97,7 +100,9 @@ class _GpuState:
         self.link_free = 0.0
         self.resident: "OrderedDict[int, int]" = OrderedDict()  # cblk -> bytes
         self.resident_bytes = 0
+        self.peak_bytes = 0
         self.pinned: dict[int, int] = {}  # cblk -> pin count
+        self.arrival: dict[int, float] = {}  # cblk -> transfer completion
 
     @property
     def free_streams(self) -> int:
@@ -176,12 +181,13 @@ class _Simulator:
     # static models
     # ------------------------------------------------------------------
     def _precompute(self) -> None:
+        from repro.kernels.cost import panel_bytes
+
         dag, sym = self.dag, self.dag.symbol
         K = sym.n_cblk
         widths = np.diff(sym.cblk_ptr).astype(np.int64)
         heights = np.array([sym.cblk_height(k) for k in range(K)], dtype=np.int64)
-        per_entry = self.dtype.itemsize * (2 if dag.factotype == "lu" else 1)
-        self.panel_bytes = (heights * widths * per_entry).astype(np.float64)
+        self.panel_bytes = panel_bytes(sym, self.dtype, dag.factotype)
         self.cblk_height = heights
 
         peak = self.machine.cpu.peak_gflops * 1e9
@@ -317,6 +323,9 @@ class _Simulator:
             bytes_h2d=self.bytes_h2d,
             bytes_d2h=self.bytes_d2h,
             busy=busy,
+            peak_gpu_bytes=float(
+                max((g.peak_bytes for g in self.gpus), default=0)
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -393,12 +402,16 @@ class _Simulator:
         self._valid[cblk] = {loc}
         if loc == self.HOST:
             for g in self.gpus:
-                g.resident.pop(cblk, None)
+                nb = g.resident.pop(cblk, None)
+                if nb is not None:
+                    g.resident_bytes -= nb
 
     def _mark_copy(self, cblk: int, loc: int) -> None:
         self._valid.setdefault(cblk, {self.HOST}).add(loc)
 
-    def _link_transfer(self, g: _GpuState, nbytes: float, kind: str) -> float:
+    def _link_transfer(
+        self, g: _GpuState, cblk: int, nbytes: float, kind: str, reason: str
+    ) -> float:
         """Occupy GPU ``g``'s PCIe link; returns completion time."""
         spec = self.machine.gpu
         start = max(self.time, g.link_free)
@@ -409,7 +422,9 @@ class _Simulator:
         else:
             self.bytes_d2h += nbytes
         if self.trace is not None:
-            self.trace.record_transfer(-1, f"link{g.index}:{kind}", start, start + dur)
+            self.trace.record_data(
+                kind, cblk, g.index, nbytes, start, start + dur, reason
+            )
         return g.link_free
 
     def _fetch_to_host(self, cblk: int) -> float:
@@ -418,15 +433,19 @@ class _Simulator:
         if loc == self.HOST or self._loc_valid(cblk, self.HOST):
             return self.time
         g = self.gpus[loc]
-        done = self._link_transfer(g, self.panel_bytes[cblk], "d2h")
+        done = self._link_transfer(
+            g, cblk, self.panel_bytes[cblk], "d2h", "writeback"
+        )
         self._mark_copy(cblk, self.HOST)
         return done
 
-    def _fetch_to_gpu(self, cblk: int, g: _GpuState) -> float:
+    def _fetch_to_gpu(self, cblk: int, g: _GpuState, reason: str = "demand") -> float:
         """Ensure the newest copy of ``cblk`` is on GPU ``g``."""
         if self._loc_valid(cblk, g.index):
             g.resident.move_to_end(cblk, last=True)
-            return self.time
+            # The copy may still be in flight (a fetch another task
+            # initiated): data is usable only once the link delivers it.
+            return max(self.time, g.arrival.get(cblk, self.time))
         ready = self.time
         loc = self._newest_loc(cblk)
         if loc != self.HOST and not self._loc_valid(cblk, self.HOST):
@@ -435,9 +454,12 @@ class _Simulator:
         # d2h completed; the link-FIFO ordering already enforces that
         # when both use the same link, and cross-GPU routes are rare
         # enough that the optimistic overlap is acceptable.
-        done = self._link_transfer(g, self.panel_bytes[cblk], "h2d")
+        done = self._link_transfer(
+            g, cblk, self.panel_bytes[cblk], "h2d", reason
+        )
         self._register_resident(cblk, g)
         self._mark_copy(cblk, g.index)
+        g.arrival[cblk] = max(ready, done)
         return max(ready, done)
 
     def _register_resident(self, cblk: int, g: _GpuState) -> None:
@@ -455,10 +477,18 @@ class _Simulator:
                     break
             if victim is None:
                 break  # everything pinned/dirty: over-subscribe gracefully
-            g.resident_bytes -= g.resident.pop(victim)
+            vbytes = g.resident.pop(victim)
+            g.resident_bytes -= vbytes
             self._valid.get(victim, set()).discard(g.index)
+            if self.trace is not None:
+                self.trace.record_data(
+                    "evict", victim, g.index, vbytes,
+                    self.time, self.time, "capacity",
+                )
         g.resident[cblk] = nbytes
         g.resident_bytes += nbytes
+        if g.resident_bytes > g.peak_bytes:
+            g.peak_bytes = g.resident_bytes
 
     def transfer_estimate(self, gpu: int, task: int) -> float:
         """Seconds of PCIe traffic task ``task`` would need on GPU ``gpu``
@@ -477,7 +507,7 @@ class _Simulator:
         """Start an input transfer early (StarPU's prefetch)."""
         g = self.gpus[gpu]
         if not self._loc_valid(cblk, g.index):
-            self._fetch_to_gpu(cblk, g)
+            self._fetch_to_gpu(cblk, g, reason="prefetch")
 
     def last_writer_core(self, cblk: int) -> int:
         return self._last_writer_core.get(cblk, -1)
@@ -490,7 +520,7 @@ class _Simulator:
         data_ready = self.time
         # Reads and writes must see the newest copy in host memory.
         needed = {int(dag.cblk[t]), int(dag.target[t])}
-        for cblk in needed:
+        for cblk in sorted(needed):
             data_ready = max(data_ready, self._fetch_to_host(cblk))
 
         dur = self.cpu_duration[t] + self.policy.traits.task_overhead_s

@@ -38,6 +38,11 @@ class BurstResult:
     n_calls: int
     elapsed: float
     gflops: float
+    #: Device bytes read+written across the burst: the A (m×k), B (n×k)
+    #: and C (m×n) operands per call, with C inflated by the destination
+    #: ``height_ratio`` for the sparse-scatter kernel (it walks the full
+    #: gappy panel).  Feeds the BENCH_* arithmetic-intensity reports.
+    bytes_touched: float = 0.0
 
 
 def _solo_rate(kernel: str, m: int, n: int, k: int, streams: int,
@@ -115,6 +120,8 @@ def simulate_kernel_burst(
                 remaining[s] -= 1
 
     total_flops = flops * n_calls
+    c_ratio = height_ratio if kernel == "sparse" else 1.0
+    bytes_per_call = 8.0 * (m * k + n * k + c_ratio * m * n)
     return BurstResult(
         kernel=kernel,
         m=m,
@@ -124,4 +131,5 @@ def simulate_kernel_burst(
         n_calls=n_calls,
         elapsed=time,
         gflops=total_flops / time / 1e9,
+        bytes_touched=bytes_per_call * n_calls,
     )

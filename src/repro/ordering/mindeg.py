@@ -69,7 +69,7 @@ def minimum_degree(graph: Graph, *, tie_break: str = "index") -> Permutation:
         elem_vars[v] = r
         for e in absorbed:
             del elem_vars[e]
-        for u in r:
+        for u in sorted(r):
             nbr[u].discard(v)
             # u's plain neighbours inside the new element become redundant.
             nbr[u] -= r

@@ -12,7 +12,12 @@ from typing import Iterable, Optional
 
 from repro.dag.tasks import TaskDAG
 
-__all__ = ["TraceEvent", "ExecutionTrace"]
+__all__ = ["TraceEvent", "DataEvent", "ExecutionTrace"]
+
+#: DataEvent kinds.
+H2D = "h2d"
+D2H = "d2h"
+EVICT = "evict"
 
 
 @dataclass(frozen=True)
@@ -29,18 +34,77 @@ class TraceEvent:
         return self.end - self.start
 
 
+@dataclass(frozen=True)
+class DataEvent:
+    """One data-movement event of the simulated memory system.
+
+    ``kind`` is ``"h2d"``/``"d2h"`` for a PCIe transfer of panel ``cblk``
+    over GPU ``gpu``'s link, or ``"evict"`` when the LRU device memory
+    drops the panel (instantaneous: ``start == end``).  ``reason``
+    records *why* the bytes moved — ``"demand"`` (a task needed them),
+    ``"prefetch"`` (StarPU-style early fetch), ``"writeback"`` (newest
+    copy pulled back to the host), or ``"capacity"`` (LRU eviction).
+    The M4xx memory auditor replays these events against the task
+    events, so the simulator must emit every residency change.
+    """
+
+    kind: str
+    cblk: int
+    gpu: int
+    nbytes: float
+    start: float
+    end: float
+    reason: str = "demand"
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
 @dataclass
 class ExecutionTrace:
     """A complete schedule: task executions plus optional transfers."""
 
     events: list[TraceEvent] = field(default_factory=list)
     transfers: list[TraceEvent] = field(default_factory=list)
+    data_events: list[DataEvent] = field(default_factory=list)
 
     def record(self, task: int, resource: str, start: float, end: float) -> None:
         self.events.append(TraceEvent(task, resource, start, end))
 
     def record_transfer(self, tag: int, resource: str, start: float, end: float) -> None:
         self.transfers.append(TraceEvent(tag, resource, start, end))
+
+    def record_data(
+        self,
+        kind: str,
+        cblk: int,
+        gpu: int,
+        nbytes: float,
+        start: float,
+        end: float,
+        reason: str = "demand",
+    ) -> None:
+        """Record one data-movement event (see :class:`DataEvent`).
+
+        Transfers additionally keep the legacy ``transfers`` row (one
+        ``link{gpu}:{kind}`` lane) so the Gantt/Chrome renderers keep
+        working unchanged; evictions only appear in ``data_events``.
+        """
+        self.data_events.append(
+            DataEvent(kind, cblk, gpu, nbytes, start, end, reason)
+        )
+        if kind in (H2D, D2H):
+            self.record_transfer(cblk, f"link{gpu}:{kind}", start, end)
+
+    def sorted_data_events(self) -> list[DataEvent]:
+        """Data events ordered by (end, start, cblk) — the auditor's view."""
+        return sorted(self.data_events,
+                      key=lambda e: (e.end, e.start, e.cblk))
+
+    def bytes_moved(self, kind: str) -> float:
+        """Total transferred bytes of one kind (``"h2d"`` or ``"d2h"``)."""
+        return sum(e.nbytes for e in self.data_events if e.kind == kind)
 
     # ------------------------------------------------------------------
     @property

@@ -10,10 +10,20 @@ exposed through ``python -m repro verify``:
 * :func:`repro.verify.schedule.verify_schedule` — checks an
   :class:`~repro.runtime.tracing.ExecutionTrace` for happens-before,
   resource exclusivity, GPU placement, and mutex-window violations;
+* :func:`repro.verify.memory.verify_memory` — replays the simulator's
+  :class:`~repro.runtime.tracing.DataEvent` stream against the task
+  events and checks residency-before-use, device-memory capacity,
+  redundant transfers, and a static lower bound on h2d traffic (M4xx);
+* :func:`repro.verify.symbols.verify_symbolic` /
+  :func:`repro.verify.symbols.verify_dag_costs` — re-derive nnz(L),
+  per-supernode column counts, and per-task flop counts from the
+  elimination tree without trusting the stored ``SymbolMatrix`` or
+  ``TaskDAG`` annotations (N5xx);
 * :func:`repro.verify.lint.lint_paths` — an AST linter enforcing the
   project's simulation invariants (no frozen-dataclass mutation, no
   float-equality on times, ``traits`` on every policy, no ambiguous
-  NumPy truthiness).
+  NumPy truthiness, no shared mutable dataclass defaults, no iteration
+  over unordered sets in scheduling code).
 
 The hazard analyzer and the linter run inside the test suite, so a
 builder change that drops an edge — or a scheduler change that breaks an
@@ -28,12 +38,19 @@ from repro.verify.hazards import (
     find_redundant_edges,
 )
 from repro.verify.lint import LintFinding, lint_paths, lint_report, lint_sources
+from repro.verify.memory import drop_transfer, overflow_residency, verify_memory
 from repro.verify.reach import ReachabilityOracle
 from repro.verify.report import ERROR, INFO, WARNING, Finding, Report
 from repro.verify.schedule import (
     ScheduleError,
     assert_valid_schedule,
     verify_schedule,
+)
+from repro.verify.symbols import (
+    derive_couples_by_target,
+    skew_flops,
+    verify_dag_costs,
+    verify_symbolic,
 )
 
 __all__ = [
@@ -50,6 +67,13 @@ __all__ = [
     "verify_schedule",
     "assert_valid_schedule",
     "ScheduleError",
+    "verify_memory",
+    "drop_transfer",
+    "overflow_residency",
+    "verify_symbolic",
+    "verify_dag_costs",
+    "derive_couples_by_target",
+    "skew_flops",
     "lint_paths",
     "lint_sources",
     "lint_report",

@@ -1,14 +1,16 @@
 """Driver behind ``python -m repro verify``.
 
-Runs the three static-analysis passes — DAG hazard coverage, simulated
-schedule feasibility, and the project linter — on a chosen matrix and
-prints one report per pass.  Exit status is 0 iff every pass is clean,
-which is what the ``make verify`` gate and CI consume.
+Runs the five static-analysis passes — DAG hazard coverage, simulated
+schedule feasibility, the M4xx memory/data-movement audit, the N5xx
+symbolic-structure audit, and the project linter — on a chosen matrix
+and prints one report per pass.  Exit status is 0 iff every pass is
+clean, which is what the ``make verify`` gate and CI consume.
 
 ``--inject`` deliberately corrupts the artifact under test (drops a DAG
-edge, overlaps two trace events, breaks a mutex window) to demonstrate
-that the passes actually catch what they claim to catch; an injected run
-is *expected* to exit non-zero.
+edge or an h2d transfer, overlaps two trace events, breaks a mutex
+window, overflows device residency, skews a task's flop count) to
+demonstrate that the passes actually catch what they claim to catch; an
+injected run is *expected* to exit non-zero.
 """
 
 from __future__ import annotations
@@ -61,6 +63,10 @@ def add_verify_arguments(p: argparse.ArgumentParser) -> None:
     p.add_argument("--streams", type=int, default=2)
     p.add_argument("--no-hazards", action="store_true")
     p.add_argument("--no-schedule", action="store_true")
+    p.add_argument("--no-memory", action="store_true",
+                   help="skip the M4xx data-movement audit")
+    p.add_argument("--no-symbolic", action="store_true",
+                   help="skip the N5xx symbolic-structure audit")
     p.add_argument("--no-lint", action="store_true")
     p.add_argument("--redundant", action="store_true",
                    help="also report transitive (redundant) DAG edges")
@@ -68,7 +74,8 @@ def add_verify_arguments(p: argparse.ArgumentParser) -> None:
                    help="directory to lint (default: the repro package)")
     p.add_argument(
         "--inject", default="none",
-        choices=["none", "drop-edge", "overlap-trace", "break-mutex"],
+        choices=["none", "drop-edge", "overlap-trace", "break-mutex",
+                 "drop-transfer", "overflow-residency", "skew-flops"],
         help="fault injection self-test (expected to FAIL the run)",
     )
     p.add_argument("-v", "--verbose", action="store_true",
@@ -127,6 +134,11 @@ def _schedule_pass(args: argparse.Namespace, symbol: Any,
     from repro.machine import mirage, simulate
     from repro.runtime import get_policy
     from repro.runtime.tracing import ExecutionTrace, TraceEvent
+    from repro.verify.memory import (
+        drop_transfer,
+        overflow_residency,
+        verify_memory,
+    )
     from repro.verify.schedule import verify_schedule
 
     policies = (
@@ -137,8 +149,16 @@ def _schedule_pass(args: argparse.Namespace, symbol: Any,
         n_cores=args.cores, n_gpus=args.gpus,
         streams_per_gpu=args.streams if args.gpus else 1,
     )
+    memory_inject = args.inject in ("drop-transfer", "overflow-residency")
+    if memory_inject and args.gpus < 1:
+        raise SystemExit(f"--inject {args.inject} needs at least one GPU")
     for name in policies:
-        pol = get_policy(name)
+        if memory_inject:
+            # Force GPU offload so the trace has transfers to corrupt —
+            # the default thresholds keep small test problems CPU-only.
+            pol = get_policy(name, gpu_flops_threshold=1e3)
+        else:
+            pol = get_policy(name)
         dag = build_dag(
             symbol, args.factotype,
             granularity=pol.traits.granularity,
@@ -188,6 +208,73 @@ def _schedule_pass(args: argparse.Namespace, symbol: Any,
         rep.stats["makespan_ms"] = r.makespan * 1e3
         reports.append(rep)
 
+        if args.no_memory:
+            continue
+        mem_label = name
+        mem_trace = trace
+        if args.inject == "drop-transfer":
+            try:
+                mem_trace = drop_transfer(trace, dag)
+                mem_label += "+drop-transfer"
+            except ValueError as exc:
+                raise SystemExit(
+                    f"--inject drop-transfer: {exc} (policy {name}; "
+                    "a larger --size makes the scheduler offload)"
+                ) from exc
+        elif args.inject == "overflow-residency":
+            try:
+                mem_trace = overflow_residency(trace, machine)
+                mem_label += "+overflow-residency"
+            except ValueError as exc:
+                raise SystemExit(
+                    f"--inject overflow-residency: {exc} (policy {name}; "
+                    "a larger --size makes the scheduler offload)"
+                ) from exc
+        t0 = time.perf_counter()
+        mrep = verify_memory(dag, mem_trace, machine)
+        mrep.name = f"memory[{mem_label}]"
+        mrep.stats["seconds"] = time.perf_counter() - t0
+        reports.append(mrep)
+
+
+def _symbolic_pass(args: argparse.Namespace, matrix: Any, res: Any,
+                   reports: list[Report]) -> None:
+    from repro.dag import build_dag
+    from repro.symbolic import SymbolicOptions, analyze
+    from repro.verify.symbols import (
+        skew_flops,
+        verify_dag_costs,
+        verify_symbolic,
+    )
+
+    # Exact audit: with amalgamation disabled the stored structure must
+    # agree with the column-count recomputation entry for entry.
+    t0 = time.perf_counter()
+    exact_res = analyze(matrix, SymbolicOptions(
+        split_max_width=args.split, amalgamation_ratio=None))
+    rep = verify_symbolic(matrix, exact_res, exact=True,
+                          name="symbolic[exact]")
+    rep.stats["seconds"] = time.perf_counter() - t0
+    reports.append(rep)
+
+    # Amalgamated audit: the production structure may only *add* fill.
+    t0 = time.perf_counter()
+    rep = verify_symbolic(matrix, res, exact=False,
+                          name="symbolic[amalgamated]")
+    rep.stats["seconds"] = time.perf_counter() - t0
+    reports.append(rep)
+
+    # DAG cost audit on the production symbol.
+    dag = build_dag(res.symbol, args.factotype, granularity="2d")
+    label = "2d"
+    if args.inject == "skew-flops":
+        dag, task = skew_flops(dag)
+        label += f"+skew-flops(task {task})"
+    t0 = time.perf_counter()
+    rep = verify_dag_costs(dag, name=f"dag-costs[{label}]")
+    rep.stats["seconds"] = time.perf_counter() - t0
+    reports.append(rep)
+
 
 def _lint_pass(args: argparse.Namespace,
                reports: list[Report]) -> None:
@@ -205,7 +292,8 @@ def run_verify(args: argparse.Namespace) -> int:
     from repro.symbolic import SymbolicOptions, analyze
 
     reports: list[Report] = []
-    needs_matrix = not (args.no_hazards and args.no_schedule)
+    needs_matrix = not (args.no_hazards and args.no_schedule
+                        and args.no_symbolic)
     if needs_matrix:
         matrix = _load(args)
         res = analyze(matrix, SymbolicOptions(split_max_width=args.split))
@@ -214,6 +302,8 @@ def run_verify(args: argparse.Namespace) -> int:
             _hazard_pass(args, symbol, reports)
         if not args.no_schedule:
             _schedule_pass(args, symbol, reports)
+        if not args.no_symbolic:
+            _symbolic_pass(args, matrix, res, reports)
     if not args.no_lint:
         _lint_pass(args, reports)
 

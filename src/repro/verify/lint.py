@@ -1,6 +1,6 @@
 """Project-invariant linter for ``src/repro`` (AST-based, stdlib only).
 
-Four rules encode invariants the simulation stack depends on; each has a
+Six rules encode invariants the simulation stack depends on; each has a
 stable code so findings can be suppressed inline with ``# noqa: RV3xx``
 (or a bare ``# noqa``) on the offending line.
 
@@ -18,9 +18,20 @@ stable code so findings can be suppressed inline with ``# noqa: RV3xx``
 * **RV304 numpy-truthiness** — no boolean test directly on a call known
   to return an array (``np.flatnonzero(x)`` &c.): ambiguous for size
   != 1; test ``.size`` instead.
+* **RV305 mutable-default** — no dataclass field defaulting to a shared
+  mutable (``[]``, ``{}``, ``set()``, ``np.zeros(...)``, ...); use
+  ``field(default_factory=...)``.  The stdlib only rejects the literal
+  ``list``/``dict``/``set`` cases at runtime — an ``np.ndarray`` or
+  ``OrderedDict`` default silently aliases across instances.
+* **RV306 unordered-iteration** — no bare ``for``/comprehension over a
+  ``set``-typed collection: set order varies across processes (hash
+  randomization), so any schedule decision derived from it is
+  nondeterministic.  Wrap the iterable in ``sorted(...)``.
 
 The discovery pre-pass collects every ``@dataclass(frozen=True)`` class
-in the linted tree, so new frozen types are covered automatically.
+in the linted tree, so new frozen types are covered automatically;
+set-typed names are collected from annotations and ``set()``-valued
+assignments per file.
 """
 
 from __future__ import annotations
@@ -50,6 +61,17 @@ _ARRAY_RETURNING = {
 }
 
 _NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9, ]+))?", re.IGNORECASE)
+
+#: Constructors whose result is a shared mutable when used as a
+#: dataclass default (RV305).
+_MUTABLE_CALLS = {
+    "list", "dict", "set", "bytearray", "OrderedDict", "defaultdict",
+    "deque", "Counter",
+}
+
+#: Names that declare a set when they appear as an annotation base
+#: (RV306): ``x: set[int]``, ``x: frozenset``, ``x: Set[str]``.
+_SET_ANNOTATIONS = {"set", "frozenset", "Set", "FrozenSet", "MutableSet"}
 
 
 @dataclass(frozen=True)
@@ -94,6 +116,63 @@ def _is_float_literal(node: ast.expr) -> bool:
     return False
 
 
+def _is_mutable_default(node: ast.expr) -> bool:
+    """Would this dataclass-field default alias across instances?"""
+    if isinstance(node, (ast.List, ast.Dict, ast.Set,
+                         ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        f = node.func
+        if isinstance(f, ast.Name) and f.id in _MUTABLE_CALLS:
+            return True
+        if (
+            isinstance(f, ast.Attribute)
+            and isinstance(f.value, ast.Name)
+            and f.value.id in ("np", "numpy")
+            and f.attr in _ARRAY_RETURNING
+        ):
+            return True
+    return False
+
+
+def _annotation_is_set(ann: ast.expr | None) -> bool:
+    if ann is None:
+        return False
+    if isinstance(ann, ast.Subscript):
+        return _annotation_is_set(ann.value)
+    if isinstance(ann, ast.Name):
+        return ann.id in _SET_ANNOTATIONS
+    if isinstance(ann, ast.Attribute):
+        return ann.attr in _SET_ANNOTATIONS
+    if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+        return ann.value.split("[", 1)[0].strip() in _SET_ANNOTATIONS
+    return False
+
+
+def _set_typed_names(tree: ast.Module) -> set[str]:
+    """Variable/attribute names declared or assigned as sets (RV306)."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.AnnAssign):
+            if _annotation_is_set(node.annotation):
+                targets = [node.target]
+        elif isinstance(node, ast.Assign):
+            v = node.value
+            if isinstance(v, (ast.Set, ast.SetComp)) or (
+                isinstance(v, ast.Call)
+                and isinstance(v.func, ast.Name)
+                and v.func.id in ("set", "frozenset")
+            ):
+                targets = list(node.targets)
+        for t in targets:
+            if isinstance(t, ast.Name):
+                names.add(t.id)
+            elif isinstance(t, ast.Attribute):
+                names.add(t.attr)
+    return names
+
+
 def _frozen_dataclasses(trees: Iterable[ast.Module]) -> set[str]:
     """Names of every ``@dataclass(frozen=True)`` class in the trees."""
     out: set[str] = set()
@@ -118,10 +197,17 @@ def _frozen_dataclasses(trees: Iterable[ast.Module]) -> set[str]:
 
 
 class _FileLinter(ast.NodeVisitor):
-    def __init__(self, path: str, source: str, frozen: set[str]) -> None:
+    def __init__(
+        self,
+        path: str,
+        source: str,
+        frozen: set[str],
+        set_names: set[str] | None = None,
+    ) -> None:
         self.path = path
         self.lines = source.splitlines()
         self.frozen = frozen
+        self.set_names = set_names or set()
         self.findings: list[LintFinding] = []
         #: var name -> frozen class name, per enclosing function scope.
         self._scopes: list[dict[str, str]] = []
@@ -173,6 +259,7 @@ class _FileLinter(ast.NodeVisitor):
     def visit_ClassDef(self, node: ast.ClassDef) -> None:
         self._class_stack.append(node)
         self._check_policy_traits(node)
+        self._check_mutable_defaults(node)
         self.generic_visit(node)
         self._class_stack.pop()
 
@@ -277,6 +364,85 @@ class _FileLinter(ast.NodeVisitor):
             f"SchedulerPolicy subclass {node.name} never defines `traits`",
         )
 
+    # -- RV305 mutable dataclass defaults -----------------------------
+    def _check_mutable_defaults(self, node: ast.ClassDef) -> None:
+        if not any(
+            (isinstance(dec, ast.Name) and dec.id == "dataclass")
+            or (
+                isinstance(dec, ast.Call)
+                and isinstance(dec.func, ast.Name)
+                and dec.func.id == "dataclass"
+            )
+            for dec in node.decorator_list
+        ):
+            return
+        for stmt in node.body:
+            value = None
+            fname = "?"
+            if isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                value, fname = stmt.value, stmt.target.id
+            elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                    and isinstance(stmt.targets[0], ast.Name):
+                value, fname = stmt.value, stmt.targets[0].id
+            if value is not None and _is_mutable_default(value):
+                self._emit(
+                    stmt, "RV305",
+                    f"dataclass field `{fname}` defaults to a shared "
+                    "mutable; use field(default_factory=...)",
+                )
+
+    # -- RV306 unordered set iteration --------------------------------
+    def _check_iteration_order(self, itr: ast.expr) -> None:
+        if isinstance(itr, (ast.Set, ast.SetComp)):
+            self._emit(
+                itr, "RV306",
+                "iteration over a set literal is hash-ordered; wrap in "
+                "sorted(...) before deriving schedule decisions",
+            )
+            return
+        if (
+            isinstance(itr, ast.Call)
+            and isinstance(itr.func, ast.Name)
+            and itr.func.id in ("set", "frozenset")
+        ):
+            self._emit(
+                itr, "RV306",
+                f"iteration over {itr.func.id}(...) is hash-ordered; "
+                "wrap in sorted(...)",
+            )
+            return
+        name = None
+        if isinstance(itr, ast.Name):
+            name = itr.id
+        elif isinstance(itr, ast.Attribute):
+            name = itr.attr
+        if name is not None and name in self.set_names:
+            self._emit(
+                itr, "RV306",
+                f"iteration over set `{name}` is hash-ordered; wrap in "
+                "sorted(...) before deriving schedule decisions",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iteration_order(node.iter)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_iteration_order(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node) -> None:
+        for gen in node.generators:
+            self._check_iteration_order(gen.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+
     # -- RV304 numpy truthiness ---------------------------------------
     def _check_bool_context(self, expr: ast.expr) -> None:
         if not isinstance(expr, ast.Call):
@@ -333,7 +499,8 @@ def lint_sources(sources: dict[str, str]) -> list[LintFinding]:
     frozen = _frozen_dataclasses(trees.values())
     findings: list[LintFinding] = []
     for path, tree in trees.items():
-        linter = _FileLinter(path, sources[path], frozen)
+        linter = _FileLinter(path, sources[path], frozen,
+                             _set_typed_names(tree))
         linter.visit(tree)
         findings.extend(linter.findings)
     findings.sort(key=lambda f: (f.path, f.line, f.col))

@@ -110,3 +110,79 @@ def test_common_analysis_cache(bench_env):
     common._memory_cache.clear()
     c = common.analyzed("afshell10", 0.2)  # disk cache
     assert c.symbol.nnz() == a.symbol.nnz()
+
+
+# ----------------------------------------------------------------------
+# Machine-readable BENCH_*.json payloads and the --verify gate.
+# ----------------------------------------------------------------------
+def test_table1_writes_bench_json(bench_env, capsys):
+    import json
+
+    load, tmp = bench_env
+    mod = load("bench_table1")
+    mod.main(["--scale", "0.25", "--matrices", "MHD", "--verify"])
+    data = json.loads((tmp / "BENCH_table1.json").read_text())
+    assert data["figure"] == "table1" and data["verified"] is True
+    (cell,) = data["cells"]
+    assert cell["matrix"] == "MHD"
+    assert cell["nnz_l"] >= cell["nnz_a"] > 0
+    assert cell["flops"] > 0
+
+
+def test_fig2_bench_json_and_verify(bench_env, capsys):
+    import json
+
+    load, tmp = bench_env
+    mod = load("bench_fig2_cpu_scaling")
+    mod.main(["--scale", "0.3", "--matrices", "audi", "--verify"])
+    data = json.loads((tmp / "BENCH_fig2_cpu_scaling.json").read_text())
+    cells = data["cells"]
+    assert {c["policy"] for c in cells} == {"native", "starpu", "parsec"}
+    for c in cells:
+        assert c["gflops"] > 0 and c["makespan_s"] > 0
+        assert c["verified"] is True
+        assert c["n_gpus"] == 0 and c["bytes_h2d"] == 0.0
+
+
+def test_fig3_bench_json(bench_env, capsys):
+    import json
+
+    load, tmp = bench_env
+    mod = load("bench_fig3_gemm_streams")
+    mod.main([])
+    data = json.loads((tmp / "BENCH_fig3_gemm_streams.json").read_text())
+    assert data["cublas_peak_gflops"] > 0
+    assert all(c["bytes_touched"] > 0 for c in data["cells"])
+
+
+def test_fig4_bench_json_reports_traffic(bench_env, capsys):
+    import json
+
+    load, tmp = bench_env
+    mod = load("bench_fig4_gpu_scaling")
+    # MHD offloads from scale 0.5 up; smaller problems stay CPU-only
+    # under the scheduler's opportunistic offload heuristic.
+    mod.main(["--scale", "0.5", "--matrices", "MHD", "--verify"])
+    data = json.loads((tmp / "BENCH_fig4_gpu_scaling.json").read_text())
+    cells = data["cells"]
+    # 1 CPU-only reference + 3 hybrid configs x 4 GPU counts.
+    assert len(cells) == 13
+    assert {c["label"] for c in cells} == {
+        "pastix(cpu)", "starpu", "parsec-1s", "parsec-3s",
+    }
+    gpu_cells = [c for c in cells if c["n_gpus"] > 0]
+    assert gpu_cells
+    # GPU configurations move bytes and occupy device memory.
+    assert any(c["bytes_h2d"] > 0 for c in gpu_cells)
+    assert any(c["peak_gpu_bytes"] > 0 for c in gpu_cells)
+    assert all(c["verified"] is True for c in cells)
+
+
+def test_simulate_cell_verify_gate(bench_env):
+    load, _ = bench_env
+    import common
+
+    cell = common.simulate_cell("MHD", "parsec", scale=0.3, n_cores=4,
+                                n_gpus=1, streams=2, verify=True)
+    assert cell["verified"] is True
+    assert cell["gflops"] > 0

@@ -67,3 +67,18 @@ class TestBurst:
         r = simulate_kernel_burst("cublas", 1000, streams=3, n_calls=30)
         total = 2.0 * 1000 * 128 * 128 * 30
         assert r.gflops == pytest.approx(total / r.elapsed / 1e9)
+
+    def test_bytes_touched_accounting(self):
+        r = simulate_kernel_burst("cublas", 1000, n_calls=10)
+        # Dense GEMM: A(m×k) + B(n×k) + C(m×n) doubles, per call.
+        m, n, k = 1000, 128, 128
+        per_call = 8.0 * (m * k + n * k + m * n)
+        assert r.bytes_touched == pytest.approx(per_call * 10)
+
+    def test_sparse_kernel_touches_fewer_c_bytes(self):
+        dense = simulate_kernel_burst("cublas", 2000, n_calls=10)
+        sparse = simulate_kernel_burst("sparse", 2000, n_calls=10,
+                                       height_ratio=0.5)
+        # The sparse kernel only scatters into the compacted rows, so
+        # its C traffic shrinks with the height ratio.
+        assert sparse.bytes_touched < dense.bytes_touched

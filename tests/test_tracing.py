@@ -226,3 +226,38 @@ def test_chrome_trace_export(tmp_path):
     # metadata rows name each resource
     names = [e for e in events if e.get("ph") == "M"]
     assert any("cpu0" in str(e["args"]) for e in names)
+
+
+# ----------------------------------------------------------------------
+# Data-movement events (the M4xx auditor's input stream).
+# ----------------------------------------------------------------------
+def test_record_data_mirrors_transfers():
+    tr = ExecutionTrace()
+    tr.record_data("h2d", 3, 0, 1024.0, 0.0, 1.0)
+    tr.record_data("d2h", 3, 0, 1024.0, 2.0, 3.0, reason="writeback")
+    tr.record_data("evict", 3, 0, 1024.0, 4.0, 4.0, reason="capacity")
+    assert len(tr.data_events) == 3
+    # Transfers keep the legacy lane rows; evictions do not.
+    assert [t.resource for t in tr.transfers] == ["link0:h2d", "link0:d2h"]
+    ev = tr.data_events[0]
+    assert (ev.kind, ev.cblk, ev.gpu, ev.reason) == ("h2d", 3, 0, "demand")
+
+
+def test_bytes_moved_filters_by_kind():
+    tr = ExecutionTrace()
+    tr.record_data("h2d", 0, 0, 100.0, 0.0, 1.0)
+    tr.record_data("h2d", 1, 1, 50.0, 0.0, 1.0)
+    tr.record_data("d2h", 0, 0, 25.0, 1.0, 2.0)
+    tr.record_data("evict", 1, 1, 50.0, 2.0, 2.0)
+    assert tr.bytes_moved("h2d") == 150.0  # noqa: RV302 -- exact literals
+    assert tr.bytes_moved("d2h") == 25.0   # noqa: RV302 -- exact literals
+    assert tr.bytes_moved("evict") == 50.0  # noqa: RV302 -- exact literals
+
+
+def test_sorted_data_events_order():
+    tr = ExecutionTrace()
+    tr.record_data("h2d", 5, 0, 1.0, 1.0, 2.0)
+    tr.record_data("h2d", 2, 0, 1.0, 0.0, 2.0)
+    tr.record_data("h2d", 9, 0, 1.0, 0.0, 1.0)
+    # Ordered by (end, start, cblk): ties on end break by start.
+    assert [e.cblk for e in tr.sorted_data_events()] == [9, 2, 5]

@@ -95,3 +95,69 @@ def test_unknown_matrix_name_exits_with_message():
               "--no-lint", "--no-schedule"])
     with pytest.raises(SystemExit, match="lap2d"):
         main(["verify", "--matrix", "lapd2", "--no-lint", "--no-schedule"])
+
+
+def test_clean_run_includes_memory_and_symbolic_passes(capsys):
+    code, out = run(["verify", "--matrix", "lap2d", "--size", "10",
+                     "--no-lint", "--cores", "2", "--gpus", "1"], capsys)
+    assert code == 0
+    assert "memory[parsec]" in out
+    assert "symbolic[exact]" in out
+    assert "symbolic[amalgamated]" in out
+    assert "dag-costs[2d]" in out
+
+
+def test_passes_can_be_disabled(capsys):
+    code, out = run(["verify", "--matrix", "lap2d", "--size", "10",
+                     "--no-lint", "--no-hazards", "--no-memory",
+                     "--no-symbolic", "--cores", "2", "--gpus", "1"], capsys)
+    assert code == 0
+    assert "memory[" not in out
+    assert "symbolic[" not in out
+    assert "schedule[" in out
+
+
+def test_inject_drop_transfer_fails_naming_task_and_panel(capsys):
+    # The memory injections need a problem large enough that the
+    # scheduler offloads at the forced threshold (hence --size 32).
+    code, out = run(["verify", "--matrix", "lap2d", "--size", "32",
+                     "--no-lint", "--no-hazards", "--no-symbolic",
+                     "--policy", "parsec", "--cores", "2", "--gpus", "1",
+                     "--inject", "drop-transfer"], capsys)
+    assert code == 1
+    assert "memory[parsec+drop-transfer]" in out
+    assert "M401" in out
+    import re
+
+    assert re.search(r"task \d+", out) and re.search(r"panel \d+", out)
+
+
+def test_inject_overflow_residency_fails_naming_gpu_and_panel(capsys):
+    code, out = run(["verify", "--matrix", "lap2d", "--size", "32",
+                     "--no-lint", "--no-hazards", "--no-symbolic",
+                     "--policy", "parsec", "--cores", "2", "--gpus", "1",
+                     "--inject", "overflow-residency"], capsys)
+    assert code == 1
+    assert "memory[parsec+overflow-residency]" in out
+    assert "M402" in out
+    import re
+
+    assert re.search(r"gpu\d+ over capacity", out)
+    assert re.search(r"panel \d+", out)
+
+
+def test_inject_skew_flops_fails_naming_task(capsys):
+    code, out = run(["verify", "--matrix", "lap2d", "--size", "10",
+                     "--no-lint", "--no-hazards", "--no-schedule",
+                     "--inject", "skew-flops"], capsys)
+    assert code == 1
+    assert "N504" in out
+    import re
+
+    assert re.search(r"dag-costs\[2d\+skew-flops\(task \d+\)\]", out)
+
+
+def test_memory_inject_without_gpu_refused():
+    with pytest.raises(SystemExit, match="needs at least one GPU"):
+        main(["verify", "--matrix", "lap2d", "--size", "32", "--no-lint",
+              "--gpus", "0", "--inject", "drop-transfer"])

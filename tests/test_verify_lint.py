@@ -254,3 +254,115 @@ def test_repro_package_lints_clean():
     root = Path(__file__).resolve().parents[1] / "src" / "repro"
     rep = lint_report([root])
     assert rep.ok, rep.format()
+
+
+# ----------------------------------------------------------------------
+# RV305: mutable dataclass defaults.
+# ----------------------------------------------------------------------
+def test_rv305_mutable_defaults_flagged():
+    src = """
+from dataclasses import dataclass, field
+from collections import defaultdict
+
+@dataclass
+class Config:
+    items: list = []
+    table: dict = {}
+    seen: set = set()
+    by_key = defaultdict(list)
+    squares: list = [i * i for i in range(4)]
+"""
+    found = lint_sources({"x.py": src})
+    assert codes(found) == ["RV305"] * 5
+    assert "items" in found[0].message
+    assert "field(default_factory=" in found[0].message
+
+
+def test_rv305_field_and_immutable_defaults_clean():
+    src = """
+from dataclasses import dataclass, field
+
+@dataclass
+class Config:
+    items: list = field(default_factory=list)
+    count: int = 0
+    name: str = "x"
+    pair: tuple = (1, 2)
+    anything = None
+"""
+    assert lint_sources({"x.py": src}) == []
+
+
+def test_rv305_non_dataclass_untouched():
+    # Class-level mutables on a plain class are a deliberate idiom
+    # (shared registries); only @dataclass fields are flagged.
+    src = """
+class Registry:
+    entries: list = []
+    table = {}
+"""
+    assert lint_sources({"x.py": src}) == []
+
+
+def test_rv305_frozen_dataclass_also_checked():
+    src = """
+from dataclasses import dataclass
+
+@dataclass(frozen=True)
+class Frozen:
+    deps: list = []
+"""
+    assert codes(lint_sources({"x.py": src})) == ["RV305"]
+
+
+# ----------------------------------------------------------------------
+# RV306: iteration over unordered sets.
+# ----------------------------------------------------------------------
+def test_rv306_direct_set_iteration():
+    src = """
+def f(items):
+    for x in set(items):
+        print(x)
+    for y in {1, 2, 3}:
+        print(y)
+    return [z for z in frozenset(items)]
+"""
+    assert codes(lint_sources({"x.py": src})) == ["RV306"] * 3
+
+
+def test_rv306_set_typed_names():
+    src = """
+def f():
+    ready: set[int] = set()
+    for t in ready:
+        print(t)
+
+def g(pending):
+    waiting = {1, 2}
+    total = sum(w for w in waiting)
+    return total
+"""
+    assert codes(lint_sources({"x.py": src})) == ["RV306"] * 2
+
+
+def test_rv306_sorted_iteration_clean():
+    src = """
+def f(items):
+    ready: set[int] = set()
+    for x in sorted(set(items)):
+        print(x)
+    for t in sorted(ready):
+        print(t)
+    for y in [1, 2, 3]:
+        print(y)
+"""
+    assert lint_sources({"x.py": src}) == []
+
+
+def test_rv306_noqa_suppression():
+    src = """
+def f(items):
+    for x in set(items):  # noqa: RV306
+        print(x)
+"""
+    assert lint_sources({"x.py": src}) == []
