@@ -6,7 +6,7 @@ PYTHON     ?= python
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test verify lint hazards typecheck bench figures selftest ci
+.PHONY: test verify lint hazards typecheck bench figures selftest chaos ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -24,7 +24,7 @@ verify: lint hazards typecheck test
 selftest:
 	@for inj in drop-edge overlap-trace break-mutex skew-flops; do \
 		if $(PYTHON) -m repro verify --matrix lap2d --size 20 \
-			--no-lint --inject $$inj >/dev/null 2>&1; then \
+			--no-lint --no-resilience --inject $$inj >/dev/null 2>&1; then \
 			echo "inject $$inj: NOT caught"; exit 1; \
 		else \
 			echo "inject $$inj: caught"; \
@@ -32,7 +32,16 @@ selftest:
 	done
 	@for inj in drop-transfer overflow-residency; do \
 		if $(PYTHON) -m repro verify --matrix lap2d --size 32 \
-			--no-lint --no-hazards --no-symbolic \
+			--no-lint --no-hazards --no-symbolic --no-resilience \
+			--inject $$inj >/dev/null 2>&1; then \
+			echo "inject $$inj: NOT caught"; exit 1; \
+		else \
+			echo "inject $$inj: caught"; \
+		fi; \
+	done
+	@for inj in drop-recovery double-complete; do \
+		if $(PYTHON) -m repro verify --matrix lap2d --size 16 \
+			--no-lint --no-hazards --no-symbolic --no-schedule \
 			--inject $$inj >/dev/null 2>&1; then \
 			echo "inject $$inj: NOT caught"; exit 1; \
 		else \
@@ -40,13 +49,19 @@ selftest:
 		fi; \
 	done
 
+# Chaos matrix: every (fault kind x scheduler policy) cell must finish
+# all tasks and produce a trace the R6xx resilience auditor and the
+# S2xx schedule verifier both accept.
+chaos:
+	$(PYTHON) benchmarks/bench_resilience.py --chaos --verify
+
 # Everything CI runs: tier-1 tests, the static-analysis gate
 # (lint/hazards/schedule/memory/symbolic + ruff/mypy when installed),
 # and the fault-injection self-tests.
 ci: verify selftest
 
 lint:
-	$(PYTHON) -m repro verify --no-hazards --no-schedule
+	$(PYTHON) -m repro verify --no-hazards --no-schedule --no-resilience
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src tests benchmarks examples; \
 	else \

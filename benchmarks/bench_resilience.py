@@ -1,0 +1,230 @@
+"""Extension bench — factorization under injected faults.
+
+Not a paper figure: the paper argues that delegating scheduling to a
+generic runtime also delegates *robustness* concerns.  This bench
+quantifies what the resilience layer (:mod:`repro.resilience`) costs:
+
+* a fault-rate sweep (task + transfer fault probability 0 → 10%) per
+  scheduler policy, reporting makespan inflation over the fault-free
+  run, faults injected, tasks re-executed, and bytes retransmitted;
+* ``--chaos``: a deterministic fault matrix (worker crash, GPU loss,
+  transfer failures) x (native, starpu, parsec) where every cell must
+  complete all tasks and — with ``--verify`` — produce a trace that is
+  clean under the R6xx resilience auditor and the S2xx schedule
+  verifier.
+
+Run ``python benchmarks/bench_resilience.py [--chaos] [--verify]``.
+Results land in ``results/BENCH_resilience.json``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from common import format_table, write_bench_json, write_csv
+
+from repro.dag import build_dag
+from repro.machine import mirage, simulate
+from repro.resilience import FaultModel, FaultSpec, RecoveryPolicy
+from repro.runtime import get_policy
+from repro.sparse.generators import grid_laplacian_2d
+from repro.symbolic import SymbolicOptions, analyze
+
+POLICIES = ("native", "starpu", "parsec")
+FAULT_RATES = (0.0, 0.02, 0.05, 0.1)
+CHAOS_KINDS = ("worker-crash", "gpu-loss", "transfer-fail")
+
+
+def _policy(name: str):
+    # Low offload threshold so the bench problem exercises the GPU fault
+    # paths; the native policy is CPU-only and takes no threshold.
+    if name == "native":
+        return get_policy(name)
+    return get_policy(name, gpu_flops_threshold=1e3)
+
+
+def _setup(grid: int, split: int):
+    matrix = grid_laplacian_2d(grid, jitter=0.05, seed=0)
+    res = analyze(matrix, SymbolicOptions(split_max_width=split))
+    # 4 cores vs 2 GPUs: small enough a CPU pool that both cost-model
+    # schedulers actually offload the bench problem, so transfer and
+    # device-loss fault paths carry real traffic.
+    machine = mirage(n_cores=4, n_gpus=2, streams_per_gpu=2)
+    return res.symbol, machine
+
+
+def _dag_for(symbol, name: str):
+    pol = _policy(name)
+    return pol, build_dag(
+        symbol, "llt",
+        granularity=pol.traits.granularity,
+        recompute_ld=pol.traits.recompute_ld,
+    )
+
+
+def _check_trace(name: str, label: str, dag, result) -> None:
+    from repro.verify import verify_resilience, verify_schedule
+
+    if len(result.trace.events) != dag.n_tasks:
+        raise RuntimeError(
+            f"{name}/{label}: {len(result.trace.events)} of "
+            f"{dag.n_tasks} tasks completed"
+        )
+    for rep in (verify_resilience(result.trace, dag),
+                verify_schedule(dag, result.trace)):
+        if not rep.ok:
+            raise RuntimeError(
+                f"{name}/{label} produced a dirty trace:\n" + rep.format()
+            )
+
+
+# ----------------------------------------------------------------------
+# fault-rate sweep
+# ----------------------------------------------------------------------
+def sweep_rows(grid: int, split: int, seed: int, verify: bool):
+    symbol, machine = _setup(grid, split)
+    rows, cells = [], []
+    for name in POLICIES:
+        baseline = None
+        for rate in FAULT_RATES:
+            pol, dag = _dag_for(symbol, name)
+            if rate == 0.0:
+                r = simulate(dag, machine, pol, collect_trace=True)
+                baseline = r.makespan
+            else:
+                faults = FaultModel(
+                    seed=seed, task_fail_rate=rate,
+                    transfer_fail_rate=rate, straggler_rate=rate / 2,
+                )
+                # A generous retry budget: at a 10% fault rate a task
+                # losing 4 consecutive coin flips is expected in a sweep
+                # this size, and the sweep measures cost, not budgets.
+                r = simulate(dag, machine, pol, faults=faults,
+                             recovery=RecoveryPolicy(max_retries=8),
+                             collect_trace=True)
+            if verify:
+                _check_trace(name, f"rate={rate:g}", dag, r)
+            inflation = r.makespan / baseline if baseline else float("nan")
+            rows.append([
+                name, f"{rate:.2f}", f"{r.makespan * 1e3:.3f}",
+                f"{inflation:.3f}", r.n_faults, r.n_reexecuted,
+                f"{r.bytes_retransferred / 1e6:.3f}",
+            ])
+            cells.append({
+                "policy": name,
+                "fault_rate": rate,
+                "makespan_s": r.makespan,
+                "makespan_inflation": inflation,
+                "n_faults": r.n_faults,
+                "n_reexecuted": r.n_reexecuted,
+                "bytes_retransferred": r.bytes_retransferred,
+                "gflops": r.gflops,
+                "verified": verify,
+            })
+    return rows, cells
+
+
+SWEEP_HEADERS = ["policy", "rate", "makespan (ms)", "inflation",
+                 "faults", "re-exec", "MB resent"]
+
+
+# ----------------------------------------------------------------------
+# chaos matrix
+# ----------------------------------------------------------------------
+def _chaos_faults(kind: str, seed: int, horizon: float) -> FaultModel:
+    if kind == "worker-crash":
+        # One crash only: starpu's dedicated-GPU-worker trait leaves a
+        # 2-worker CPU pool on this machine, and losing every CPU
+        # worker is (correctly) unrecoverable.
+        specs = [FaultSpec("worker-crash", time=0.0, resource=0)]
+        return FaultModel(specs, seed=seed, task_fail_rate=0.01)
+    if kind == "gpu-loss":
+        specs = [FaultSpec("gpu-loss", time=0.25 * horizon, resource=0)]
+        return FaultModel(specs, seed=seed)
+    specs = [FaultSpec("transfer-fail", time=0.0)]
+    return FaultModel(specs, seed=seed, transfer_fail_rate=0.05)
+
+
+def chaos_rows(grid: int, split: int, seed: int, verify: bool):
+    symbol, machine = _setup(grid, split)
+    rows, cells = [], []
+    for kind in CHAOS_KINDS:
+        for name in POLICIES:
+            pol, dag = _dag_for(symbol, name)
+            clean = simulate(dag, machine, pol)
+            faults = _chaos_faults(kind, seed, clean.makespan)
+            r = simulate(dag, machine, _policy(name), faults=faults,
+                         recovery=RecoveryPolicy(), collect_trace=True)
+            label = f"chaos[{kind}]"
+            if verify:
+                _check_trace(name, label, dag, r)
+            elif len(r.trace.events) != dag.n_tasks:
+                raise RuntimeError(
+                    f"{name}/{label}: {len(r.trace.events)} of "
+                    f"{dag.n_tasks} tasks completed"
+                )
+            rows.append([
+                kind, name, dag.n_tasks, r.n_faults, r.n_reexecuted,
+                f"{r.makespan / clean.makespan:.3f}",
+                "yes" if verify else "-",
+            ])
+            cells.append({
+                "kind": kind,
+                "policy": name,
+                "n_tasks": dag.n_tasks,
+                "n_faults": r.n_faults,
+                "n_reexecuted": r.n_reexecuted,
+                "makespan_inflation": r.makespan / clean.makespan,
+                "bytes_retransferred": r.bytes_retransferred,
+                "verified": verify,
+            })
+    return rows, cells
+
+
+CHAOS_HEADERS = ["fault", "policy", "tasks", "faults", "re-exec",
+                 "inflation", "verified"]
+
+
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    import argparse
+
+    p = argparse.ArgumentParser(
+        description="factorization under injected faults"
+    )
+    p.add_argument("--grid", type=int, default=48,
+                   help="2-D Laplacian grid size (default 48)")
+    p.add_argument("--split", type=int, default=32,
+                   help="panel split width (default 32)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--chaos", action="store_true",
+                   help="run the fault-kind x policy chaos matrix "
+                        "instead of the rate sweep")
+    p.add_argument("--verify", action="store_true",
+                   help="run the R6xx resilience auditor and the S2xx "
+                        "schedule verifier on every faulted trace")
+    args = p.parse_args(argv)
+
+    payload = {"grid": args.grid, "split": args.split, "seed": args.seed}
+    if args.chaos:
+        rows, cells = chaos_rows(args.grid, args.split, args.seed,
+                                 args.verify)
+        print(format_table(CHAOS_HEADERS, rows))
+        write_csv("resilience_chaos.csv", CHAOS_HEADERS, rows)
+        payload["chaos"] = cells
+    else:
+        rows, cells = sweep_rows(args.grid, args.split, args.seed,
+                                 args.verify)
+        print(format_table(SWEEP_HEADERS, rows))
+        write_csv("resilience_sweep.csv", SWEEP_HEADERS, rows)
+        payload["sweep"] = cells
+    path = write_bench_json("resilience", payload)
+    print(f"\nwrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

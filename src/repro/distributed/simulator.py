@@ -32,6 +32,7 @@ import numpy as np
 from repro.dag.builder import build_dag, update_couples
 from repro.distributed.cluster import ClusterSpec
 from repro.machine.perfmodel import CpuPerfModel
+from repro.resilience import FaultModel, RecoveryPolicy, UnrecoverableError
 from repro.runtime.base import bottom_levels
 from repro.runtime.tracing import ExecutionTrace
 from repro.symbolic.structures import SymbolMatrix
@@ -54,6 +55,12 @@ class DistributedResult:
     bytes_on_wire: float
     node_busy: list
     trace: Optional[ExecutionTrace]
+    #: Faults injected during the run (0 when resilience is off).
+    n_faults: int = 0
+    #: Task attempts re-executed after a fault.
+    n_reexecuted: int = 0
+    #: Bytes of failed/lost messages that had to be re-sent.
+    bytes_retransferred: float = 0.0
 
     @property
     def gflops(self) -> float:
@@ -86,6 +93,8 @@ class _DistSim:
         cpu_model: CpuPerfModel | None,
         task_overhead_s: float,
         collect_trace: bool,
+        faults: FaultModel | None = None,
+        recovery: RecoveryPolicy | None = None,
     ) -> None:
         self.symbol = symbol
         self.owner = np.asarray(owner, dtype=np.int64)
@@ -97,6 +106,16 @@ class _DistSim:
         self.overhead = task_overhead_s
         self.trace = ExecutionTrace() if collect_trace else None
 
+        # Resilience.  Every fault hook below is gated on
+        # ``self.faults is not None`` so a run without a fault model goes
+        # through byte-identical code paths.
+        self.faults = faults
+        self.recovery = recovery or RecoveryPolicy()
+        self.attempts: dict = {}
+        self.n_faults = 0
+        self.n_reexecuted = 0
+        self.bytes_retransferred = 0.0
+
         K = symbol.n_cblk
         if self.owner.shape != (K,):
             raise ValueError("owner array must have one entry per cblk")
@@ -107,6 +126,13 @@ class _DistSim:
 
         self._precompute()
         self._init_state()
+
+        if faults is not None:
+            # Node failures are purely time-driven: pre-schedule them.
+            for spec in faults.pop_timed("node-fail"):
+                nidx = spec.resource if spec.resource >= 0 else 0
+                if nidx < cluster.n_nodes:
+                    self._schedule(spec.time, self._node_loss, nidx)
 
     # ------------------------------------------------------------------
     def _precompute(self) -> None:
@@ -198,6 +224,11 @@ class _DistSim:
         self.bytes_on_wire = 0.0
         self.panels_done = 0
         self._tick = itertools.count()
+        # Resilience bookkeeping (only consulted when faults are armed).
+        self.node_up = [True] * n_nodes
+        self.node_epoch = [0] * n_nodes
+        self.node_restore_at = [0.0] * n_nodes
+        self.running: dict[tuple[int, int], tuple] = {}
 
     # ------------------------------------------------------------------
     def _push_ready(self, node: int, prio: float, task: tuple) -> None:
@@ -205,6 +236,8 @@ class _DistSim:
         self._kick(node)
 
     def _kick(self, node: int) -> None:
+        if self.faults is not None and not self.node_up[node]:
+            return  # the node is down; _node_restored re-kicks it
         while self.idle[node] and self.ready[node]:
             _, _, task = heapq.heappop(self.ready[node])
             grp = self._mutex_group(task)
@@ -233,8 +266,42 @@ class _DistSim:
         # ("acc", sender, target, bytes)
         return self.overhead + task[3] / (_ACCUMULATE_GBPS * 1e9)
 
+    def _tid(self, task: tuple) -> int:
+        """The trace task id of one (kind, index, ...) task tuple."""
+        return {"panel": 0, "update": 1, "acc": 2}[task[0]] * 10**8 + int(
+            task[1]
+        )
+
     def _start(self, node: int, core: int, task: tuple) -> None:
         dur = self._duration(task)
+        if self.faults is not None:
+            tid = self._tid(task)
+            factor = self.faults.straggler(tid, self.time)
+            if factor > 1.0:
+                self.n_faults += 1
+                if self.trace is not None:
+                    att = self.attempts.get(tid, 0) + 1
+                    self.trace.record_fault(
+                        "straggler", tid, -1, f"n{node}c{core}",
+                        self.time, self.time + dur * factor, att,
+                    )
+                    self.trace.record_recovery(
+                        "absorb", tid, -1, f"n{node}c{core}",
+                        self.time, att,
+                    )
+                dur *= factor
+            if self.faults.task_fault(tid, -1, self.time) is not None:
+                # The attempt dies halfway through; no TraceEvent — the
+                # task will re-execute after the backoff.
+                self._schedule(self.time + 0.5 * dur, self._task_fault,
+                               node, core, task, self.time)
+                return
+            end = self.time + dur
+            self.node_busy[node] += dur
+            self.running[(node, core)] = (task, self.time)
+            self._schedule(end, self._finish, node, core, task,
+                           self.node_epoch[node])
+            return
         end = self.time + dur
         self.node_busy[node] += dur
         if self.trace is not None:
@@ -249,7 +316,109 @@ class _DistSim:
         heapq.heappush(self._heap, (when, next(self._seq), fn, args))
 
     # ------------------------------------------------------------------
-    def _finish(self, node: int, core: int, task: tuple) -> None:
+    # fault handling
+    # ------------------------------------------------------------------
+    def _task_fault(self, node: int, core: int, task: tuple,
+                    start: float) -> None:
+        """A task attempt dies mid-execution (transient fault)."""
+        tid = self._tid(task)
+        att = self.attempts.get(tid, 0) + 1
+        self.attempts[tid] = att
+        self.n_faults += 1
+        self.node_busy[node] += self.time - start  # the wasted half
+        if self.trace is not None:
+            self.trace.record_fault("task-fault", tid, -1,
+                                    f"n{node}c{core}", start, self.time, att)
+        if att > self.recovery.max_retries:
+            raise UnrecoverableError(
+                f"distributed task {task!r} failed {att} attempt(s) on "
+                f"node {node}; retry budget "
+                f"max_retries={self.recovery.max_retries} exhausted"
+            )
+        grp = self._mutex_group(task)
+        if grp is not None:
+            self.mutex_held.discard(grp)
+        delay = self.recovery.backoff(att - 1)
+        if self.trace is not None:
+            self.trace.record_recovery("requeue", tid, -1,
+                                       f"n{node}c{core}", self.time, att,
+                                       delay)
+        self.n_reexecuted += 1
+        if self.node_up[node]:
+            self.idle[node].add(core)
+        retry = max(self.time + delay, self.node_restore_at[node])
+        self._schedule(retry, self._requeue, node, task)
+        self._kick(node)
+
+    def _requeue(self, node: int, task: tuple) -> None:
+        self._push_ready(node, self._task_prio(task), task)
+
+    def _node_loss(self, node: int) -> None:
+        """Node ``node`` crashes: panel-granularity checkpointing means
+        completed work persists; only in-flight tasks re-execute after
+        the node restarts."""
+        if not self.node_up[node]:
+            return
+        self.node_up[node] = False
+        self.node_epoch[node] += 1
+        restore = self.time + self.recovery.node_restart_s
+        self.node_restore_at[node] = restore
+        self.n_faults += 1
+        if self.trace is not None:
+            self.trace.record_fault("node-fail", -1, -1, f"n{node}",
+                                    self.time, self.time)
+            self.trace.record_recovery("restart", -1, -1, f"n{node}",
+                                       self.time,
+                                       delay_s=self.recovery.node_restart_s)
+        lost: list[tuple] = []
+        for (nd, core), (task, start) in list(self.running.items()):
+            if nd != node:
+                continue
+            del self.running[(nd, core)]
+            tid = self._tid(task)
+            att = self.attempts.get(tid, 0) + 1
+            self.attempts[tid] = att
+            self.n_faults += 1
+            self.node_busy[node] -= start + self._duration(task) - self.time
+            if self.trace is not None:
+                self.trace.record_fault("node-fail", tid, -1,
+                                        f"n{node}c{core}", start, self.time,
+                                        att)
+            if att > self.recovery.max_retries:
+                raise UnrecoverableError(
+                    f"distributed task {task!r} failed {att} attempt(s) "
+                    f"(node {node} crashed); retry budget "
+                    f"max_retries={self.recovery.max_retries} exhausted"
+                )
+            grp = self._mutex_group(task)
+            if grp is not None:
+                self.mutex_held.discard(grp)
+            if self.trace is not None:
+                self.trace.record_recovery(
+                    "restart", tid, -1, f"n{node}c{core}", self.time, att,
+                    self.recovery.node_restart_s,
+                )
+            self.n_reexecuted += 1
+            lost.append(task)
+        self._schedule(restore, self._node_restored, node, tuple(lost))
+
+    def _node_restored(self, node: int, lost: tuple) -> None:
+        self.node_up[node] = True
+        self.idle[node] = set(range(self.cluster.cores_per_node))
+        for task in lost:
+            self._push_ready(node, self._task_prio(task), task)
+        self._kick(node)
+
+    # ------------------------------------------------------------------
+    def _finish(self, node: int, core: int, task: tuple,
+                epoch: int = 0) -> None:
+        if self.faults is not None:
+            if not self.node_up[node] or epoch != self.node_epoch[node]:
+                return  # stale: the node died while this task ran
+            start = self.running.pop((node, core))[1]
+            if self.trace is not None:
+                self.trace.record(self._tid(task), f"n{node}c{core}",
+                                  start, self.time)
         self.idle[node].add(core)
         grp = self._mutex_group(task)
         if grp is not None:
@@ -306,6 +475,33 @@ class _DistSim:
     def _send(self, a: int, b: int, target: int, nbytes: float) -> None:
         start = max(self.time, self.send_free[a])
         wire = self.cluster.transfer_time(nbytes)
+        if self.faults is not None:
+            attempt = 1
+            while self.faults.transfer_fails(b, target, start):
+                # A failed wire attempt occupies the NIC for at most the
+                # per-attempt timeout, then backs off exponentially.
+                cost = min(wire, self.recovery.transfer_timeout_s)
+                self.n_faults += 1
+                self.bytes_retransferred += nbytes
+                if self.trace is not None:
+                    self.trace.record_fault(
+                        "transfer-fail", -1, target, f"net{a}->{b}",
+                        start, start + cost, attempt, nbytes,
+                    )
+                if attempt > self.recovery.max_retries:
+                    raise UnrecoverableError(
+                        f"message for panel {target} on net{a}->{b} failed "
+                        f"{attempt} attempt(s); retry budget "
+                        f"max_retries={self.recovery.max_retries} exhausted"
+                    )
+                delay = self.recovery.backoff(attempt - 1)
+                if self.trace is not None:
+                    self.trace.record_recovery(
+                        "retry-transfer", -1, target, f"net{a}->{b}",
+                        start + cost, attempt, delay,
+                    )
+                start = start + cost + delay
+                attempt += 1
         self.send_free[a] = start + wire
         arrival = max(start + wire, self.recv_free[b])
         self.recv_free[b] = arrival
@@ -316,6 +512,35 @@ class _DistSim:
         self._schedule(arrival, self._arrive, a, b, target, nbytes)
 
     def _arrive(self, a: int, b: int, target: int, nbytes: float) -> None:
+        if self.faults is not None and not self.node_up[b]:
+            # The destination is down: the message is lost and must be
+            # retransmitted once the node is back (the runtime knows the
+            # restart delay, so the resend is timed to land after it).
+            key = ("msg", a, b, target)
+            att = self.attempts.get(key, 0) + 1
+            self.attempts[key] = att
+            self.n_faults += 1
+            self.bytes_retransferred += nbytes
+            if self.trace is not None:
+                self.trace.record_fault(
+                    "message-loss", -1, target, f"net{a}->{b}",
+                    self.time, self.time, att, nbytes,
+                )
+            if att > self.recovery.max_retries:
+                raise UnrecoverableError(
+                    f"message for panel {target} to node {b} lost "
+                    f"{att} time(s); retry budget "
+                    f"max_retries={self.recovery.max_retries} exhausted"
+                )
+            retry = max(self.time + self.recovery.backoff(att - 1),
+                        self.node_restore_at[b])
+            if self.trace is not None:
+                self.trace.record_recovery(
+                    "resend", -1, target, f"net{a}->{b}", self.time, att,
+                    retry - self.time,
+                )
+            self._schedule(retry, self._send, a, b, target, nbytes)
+            return
         self._push_ready(
             b, float(self.panel_prio[target]), ("acc", a, target, nbytes)
         )
@@ -345,6 +570,9 @@ class _DistSim:
             bytes_on_wire=self.bytes_on_wire,
             node_busy=self.node_busy,
             trace=self.trace,
+            n_faults=self.n_faults,
+            n_reexecuted=self.n_reexecuted,
+            bytes_retransferred=self.bytes_retransferred,
         )
 
 
@@ -359,12 +587,17 @@ def simulate_distributed(
     cpu_model: CpuPerfModel | None = None,
     task_overhead_s: float = 1e-6,
     collect_trace: bool = False,
+    faults: FaultModel | None = None,
+    recovery: RecoveryPolicy | None = None,
 ) -> DistributedResult:
     """Simulate the distributed factorization of ``symbol``.
 
     ``owner`` maps each cblk to a node (see
     :func:`repro.distributed.mapping.map_cblks`); ``fanin`` selects the
     accumulated-buffer communication scheme vs. per-update messages.
+    ``faults`` arms the resilience layer (node failures, lost messages,
+    task faults); with ``faults=None`` the run is bit-identical to a
+    build without it.
     """
     sim = _DistSim(
         symbol,
@@ -376,5 +609,7 @@ def simulate_distributed(
         cpu_model=cpu_model,
         task_overhead_s=task_overhead_s,
         collect_trace=collect_trace,
+        faults=faults,
+        recovery=recovery,
     )
     return sim.run()

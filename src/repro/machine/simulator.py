@@ -35,6 +35,7 @@ import numpy as np
 from repro.dag.tasks import TaskDAG, TaskKind
 from repro.machine.model import MachineSpec
 from repro.machine.perfmodel import CpuPerfModel, GpuKernelModel
+from repro.resilience import FaultModel, RecoveryPolicy, UnrecoverableError
 from repro.runtime.tracing import ExecutionTrace
 
 __all__ = ["simulate", "SimulationResult"]
@@ -55,6 +56,12 @@ class SimulationResult:
     busy: dict
     #: Largest device-memory footprint reached on any single GPU.
     peak_gpu_bytes: float = 0.0
+    #: Faults injected during the run (0 when resilience is off).
+    n_faults: int = 0
+    #: Task attempts re-executed after a fault.
+    n_reexecuted: int = 0
+    #: Bytes of failed transfer attempts that had to be re-sent.
+    bytes_retransferred: float = 0.0
 
     @property
     def gflops(self) -> float:
@@ -129,6 +136,8 @@ class _Simulator:
         cpu_model: CpuPerfModel | None = None,
         gpu_model: GpuKernelModel | None = None,
         collect_trace: bool = True,
+        faults: FaultModel | None = None,
+        recovery: RecoveryPolicy | None = None,
     ) -> None:
         self.dag = dag
         self.machine = machine
@@ -137,6 +146,18 @@ class _Simulator:
         self.cpu_model = cpu_model or CpuPerfModel()
         self.gpu_model = gpu_model or GpuKernelModel("sparse")
         self.trace = ExecutionTrace() if collect_trace else None
+
+        # Resilience.  Every fault hook below is gated on
+        # ``self.faults is not None`` so a run without a fault model goes
+        # through byte-identical code paths (no overhead, same trace).
+        self.faults = faults
+        self.recovery = recovery or RecoveryPolicy()
+        self.attempts: dict[int, int] = {}
+        self.dead_gpus: set[int] = set()
+        self.dead_workers: set[int] = set()
+        self.n_faults = 0
+        self.n_reexecuted = 0
+        self.bytes_retransferred = 0.0
 
         traits = policy.traits
         self.n_cpu_workers = machine.n_cores
@@ -176,6 +197,13 @@ class _Simulator:
 
         self._precompute()
         policy.bind(self)
+
+        if faults is not None:
+            # Device losses are purely time-driven: pre-schedule them.
+            for spec in faults.pop_timed("gpu-loss"):
+                gidx = spec.resource if spec.resource >= 0 else 0
+                if gidx < len(self.gpus):
+                    self._schedule(spec.time, self._device_loss, gidx)
 
     # ------------------------------------------------------------------
     # static models
@@ -301,17 +329,33 @@ class _Simulator:
         heapq.heappush(self._heap, (when, next(self._seq), fn, args))
 
     def run(self) -> SimulationResult:
+        n_total = self.dag.n_tasks
         for t in self.dag.sources():
             self._task_ready(int(t))
         self._kick()
         while self._heap:
             when, _, fn, args = heapq.heappop(self._heap)
+            if (
+                self.faults is not None
+                and self.n_done == n_total
+                and fn == self._device_loss
+            ):
+                # A device loss scheduled past the end of the run must
+                # not drag the makespan out to its (now moot) time.
+                continue
             self.time = when
             fn(*args)
-        if self.n_done != self.dag.n_tasks:
-            raise RuntimeError(
-                f"simulation stalled: {self.n_done}/{self.dag.n_tasks} done"
-            )
+        if self.n_done != n_total:
+            if (
+                self.faults is not None
+                and len(self.dead_workers) >= self.n_cpu_workers
+            ):
+                raise UnrecoverableError(
+                    f"all {self.n_cpu_workers} CPU worker(s) crashed with "
+                    f"{n_total - self.n_done} task(s) outstanding; no "
+                    "resource can run the CPU-only frontier"
+                )
+            raise RuntimeError(self._stall_message())
         busy = self.trace.busy_time() if self.trace else {}
         return SimulationResult(
             policy=self.policy.traits.name,
@@ -326,7 +370,43 @@ class _Simulator:
             peak_gpu_bytes=float(
                 max((g.peak_bytes for g in self.gpus), default=0)
             ),
+            n_faults=self.n_faults,
+            n_reexecuted=self.n_reexecuted,
+            bytes_retransferred=self.bytes_retransferred,
         )
+
+    def _stall_message(self) -> str:
+        """Diagnose a stalled run: which tasks *should* be runnable?
+
+        The blocked frontier — pending tasks whose predecessors all
+        completed — is where a scheduler bug hides: a task there with
+        ``deps_left == 0`` was released but never dispatched (a policy
+        lost it), while nonzero ``deps_left`` means the completion
+        bookkeeping itself is wrong.
+        """
+        pending = np.flatnonzero(~self.done)
+        frontier = [
+            int(t) for t in pending
+            if all(bool(self.done[int(p)])
+                   for p in self.dag.predecessors(int(t)))
+        ]
+        shown = ", ".join(
+            f"{t}(deps_left={int(self.deps_left[t])})" for t in frontier[:15]
+        )
+        msg = (
+            f"simulation stalled: {self.n_done}/{self.dag.n_tasks} done; "
+            f"{len(frontier)} task(s) in the blocked frontier "
+            f"(all predecessors completed): [{shown}"
+            + (" ...]" if len(frontier) > 15 else "]")
+        )
+        if self._mutex_holder:
+            held = {int(g): int(t)
+                    for g, t in sorted(self._mutex_holder.items())[:10]}
+            msg += f"; mutexes held (group -> task): {held}"
+        if self.dead_gpus or self.dead_workers:
+            msg += (f"; dead GPUs {sorted(self.dead_gpus)}, "
+                    f"dead workers {sorted(self.dead_workers)}")
+        return msg
 
     # ------------------------------------------------------------------
     # readiness / dispatch
@@ -354,6 +434,8 @@ class _Simulator:
 
     def _kick_gpus(self) -> None:
         for g in self.gpus:
+            if self.faults is not None and g.index in self.dead_gpus:
+                continue
             while g.free_slots() > 0:
                 t = self.policy.next_gpu_task(g.index)
                 while t is not None and not self._try_lock(t):
@@ -362,6 +444,166 @@ class _Simulator:
                     break
                 g.staging += 1
                 self._start_gpu(t, g)
+
+    # ------------------------------------------------------------------
+    # fault handling
+    # ------------------------------------------------------------------
+    def _fail_task(
+        self,
+        t: int,
+        kind: str,
+        resource: str,
+        start: float,
+        end: float,
+        *,
+        recovery: str = "requeue",
+    ) -> None:
+        """Record a failed task attempt and schedule its re-execution.
+
+        The failed attempt appears ONLY as a :class:`FaultEvent` — never
+        as a TraceEvent — so the S201 "every task exactly once" invariant
+        keeps holding on recovered traces.  Raises
+        :class:`UnrecoverableError` once the retry budget is exhausted.
+        """
+        attempt = self.attempts.get(t, 0) + 1
+        self.attempts[t] = attempt
+        self.n_faults += 1
+        cblk = int(self.dag.cblk[t])
+        if self.trace is not None:
+            self.trace.record_fault(kind, t, cblk, resource, start, end,
+                                    attempt)
+        if attempt > self.recovery.max_retries:
+            raise UnrecoverableError(
+                f"task {t} failed {attempt} attempt(s) (last: {kind} on "
+                f"{resource} at t={end:.6g}); retry budget "
+                f"max_retries={self.recovery.max_retries} exhausted"
+            )
+        # The failed attempt still holds its mutex (locked at dispatch):
+        # release it before requeueing or the retry deadlocks on itself.
+        self._unlock(t)
+        delay = self.recovery.backoff(attempt - 1)
+        if self.trace is not None:
+            self.trace.record_recovery(recovery, t, cblk, resource, end,
+                                       attempt, delay)
+        self.n_reexecuted += 1
+        self._schedule(end + delay, self._requeue_task, t)
+
+    def _requeue_task(self, t: int) -> None:
+        self.policy.on_ready(t)
+        self._kick()
+
+    def _cpu_fault(self, t: int, w: int, kind: str, start: float) -> None:
+        """A CPU task attempt dies mid-execution (scheduled by
+        :meth:`_start_cpu` when the fault model says the attempt fails)."""
+        if kind == "worker-crash":
+            self.dead_workers.add(w)  # the worker never rejoins the pool
+        else:
+            self.idle_workers.add(w)
+        self._fail_task(t, kind, f"cpu{w}", start, self.time)
+        self._kick()
+
+    def _unpin(self, t: int, g: _GpuState) -> None:
+        for cblk in (int(self.dag.cblk[t]), int(self.dag.target[t])):
+            if g.pinned.get(cblk, 0) > 0:
+                g.pinned[cblk] -= 1
+                if g.pinned[cblk] == 0:
+                    del g.pinned[cblk]
+
+    def _device_loss(self, gidx: int) -> None:
+        """GPU ``gidx`` disappears: blacklist it, fail its in-flight
+        tasks, invalidate its residency, and re-route everything."""
+        if gidx in self.dead_gpus:
+            return
+        g = self.gpus[gidx]
+        self.dead_gpus.add(gidx)
+        self.n_faults += 1
+        # Outbound (d2h) transfers already committed to the link drain
+        # normally — the DMA queue survives long enough to flush, which
+        # is what makes the optimistic host-validity marks honest.
+        # Inbound (h2d) transfers still in the pipe deliver bytes nobody
+        # may ever read: cancel their data events and refund the bytes.
+        drain = max(self.time, g.link_free)
+        if self.trace is not None:
+            cancelled = [
+                d for d in self.trace.data_events
+                if d.gpu == gidx and d.kind == "h2d" and d.end > self.time
+            ]
+            for d in cancelled:
+                self.bytes_h2d -= d.nbytes
+            if cancelled:
+                dropped = set(map(id, cancelled))
+                self.trace.data_events = [
+                    d for d in self.trace.data_events
+                    if id(d) not in dropped
+                ]
+            # The fault window spans the loss instant through the link
+            # drain; the R6xx auditor treats traffic inside the window
+            # as the drain, traffic after it as use of a dead device.
+            self.trace.record_fault("gpu-loss", -1, -1, f"gpu{gidx}",
+                                    self.time, drain)
+        if not self.recovery.gpu_blacklist:
+            raise UnrecoverableError(
+                f"GPU {gidx} lost at t={self.time:.6g} and gpu_blacklist "
+                f"recovery is disabled"
+            )
+        if self.trace is not None:
+            self.trace.record_recovery("reroute-cpu", -1, -1, f"gpu{gidx}",
+                                       drain)
+        # Account partial progress before killing the active kernels.
+        self._gpu_progress(g)
+        active = list(g.active_rem)
+        queued = list(g.ready_queue)
+        # Tasks whose transfers are in flight have a pending
+        # _gpu_data_ready event in the heap; the dead-GPU guard there
+        # makes the event a no-op, and we fail the task here.
+        staged = [a[0] for (_, _, fn, a) in self._heap
+                  if fn == self._gpu_data_ready and a[1] is g]
+        for d in (g.active_rem, g.active_rate, g.active_base, g.active_occ):
+            d.clear()
+        g.ready_queue.clear()
+        g.staging = 0
+        g.version += 1  # stales out every pending _finish_gpu event
+        g.pinned.clear()
+        g.arrival.clear()
+        # Invalidate residency.  Checkpoint writeback guarantees the
+        # host holds every committed panel, so newest pointers flip home
+        # and later readers re-fetch from there.
+        for cblk, nb in list(g.resident.items()):
+            if self.trace is not None:
+                self.trace.record_data("evict", cblk, gidx, nb,
+                                       self.time, self.time, "device-loss")
+            self._valid.get(cblk, set()).discard(gidx)
+            if self._newest_loc(cblk) == gidx:
+                if not self._loc_valid(cblk, self.HOST):
+                    raise UnrecoverableError(
+                        f"GPU {gidx} lost at t={self.time:.6g} holding the "
+                        f"only copy of panel {cblk} (enable "
+                        f"checkpoint_writeback to survive device loss)"
+                    )
+                self._newest[cblk] = self.HOST
+                self._valid[cblk] = {self.HOST}
+        g.resident.clear()
+        g.resident_bytes = 0
+        for t in active:
+            start = self._gpu_start_time.pop(t, self.time)
+            self._fail_task(t, "gpu-loss", f"gpu{gidx}", start, self.time)
+        for t in queued + staged:
+            self._fail_task(t, "gpu-loss", f"gpu{gidx}", self.time, self.time)
+        # Tasks still parked inside the policy's per-GPU structures never
+        # started (no mutex held, no fault to record): the policy drains
+        # them and we re-route each as a plain ready task.
+        for t in self.policy.on_device_loss(gidx):
+            self.policy.on_ready(t)
+        if all(gg.index in self.dead_gpus for gg in self.gpus):
+            # CPU-only degradation: nothing may target a GPU any more.
+            self.gpu_eligible[:] = False
+        if self.policy.traits.dedicated_gpu_workers:
+            # The core that drove this GPU returns to the CPU pool.
+            w = self.n_cpu_workers
+            self.n_cpu_workers += 1
+            self.worker_last_target = np.append(self.worker_last_target, -1)
+            self.idle_workers.add(w)
+        self._kick()
 
     # ------------------------------------------------------------------
     # mutexes
@@ -416,6 +658,35 @@ class _Simulator:
         spec = self.machine.gpu
         start = max(self.time, g.link_free)
         dur = spec.transfer_latency_s + nbytes / (spec.h2d_gbps * 1e9)
+        if self.faults is not None:
+            attempt = 1
+            while self.faults.transfer_fails(g.index, cblk, start):
+                # Each failed attempt occupies the link for at most the
+                # per-attempt timeout, then backs off exponentially.  No
+                # DataEvent is emitted for failed attempts (the bytes
+                # never landed), so the M4xx replay stays consistent.
+                cost = min(dur, self.recovery.transfer_timeout_s)
+                self.n_faults += 1
+                self.bytes_retransferred += nbytes
+                if self.trace is not None:
+                    self.trace.record_fault(
+                        "transfer-fail", -1, cblk, f"link{g.index}",
+                        start, start + cost, attempt, nbytes,
+                    )
+                if attempt > self.recovery.max_retries:
+                    raise UnrecoverableError(
+                        f"transfer of panel {cblk} on link {g.index} failed "
+                        f"{attempt} attempt(s); retry budget "
+                        f"max_retries={self.recovery.max_retries} exhausted"
+                    )
+                delay = self.recovery.backoff(attempt - 1)
+                if self.trace is not None:
+                    self.trace.record_recovery(
+                        "retry-transfer", -1, cblk, f"link{g.index}",
+                        start + cost, attempt, delay,
+                    )
+                start = start + cost + delay
+                attempt += 1
         g.link_free = start + dur
         if kind == "h2d":
             self.bytes_h2d += nbytes
@@ -493,6 +764,8 @@ class _Simulator:
     def transfer_estimate(self, gpu: int, task: int) -> float:
         """Seconds of PCIe traffic task ``task`` would need on GPU ``gpu``
         right now (used by cost-model policies)."""
+        if self.faults is not None and gpu in self.dead_gpus:
+            return float("inf")
         g = self.gpus[gpu]
         spec = self.machine.gpu
         total = 0.0
@@ -505,6 +778,8 @@ class _Simulator:
 
     def prefetch(self, gpu: int, cblk: int) -> None:
         """Start an input transfer early (StarPU's prefetch)."""
+        if self.faults is not None and gpu in self.dead_gpus:
+            return
         g = self.gpus[gpu]
         if not self._loc_valid(cblk, g.index):
             self._fetch_to_gpu(cblk, g, reason="prefetch")
@@ -532,6 +807,31 @@ class _Simulator:
         ):
             dur /= self.machine.cpu.cache_reuse_bonus
         start = data_ready
+        if self.faults is not None:
+            factor = self.faults.straggler(t, start)
+            if factor > 1.0:
+                # Straggler: the attempt still succeeds, just slower.
+                # The runtime absorbs it in place (no re-execution).
+                self.n_faults += 1
+                if self.trace is not None:
+                    cblk = int(dag.cblk[t])
+                    att = self.attempts.get(t, 0) + 1
+                    self.trace.record_fault(
+                        "straggler", t, cblk, f"cpu{w}",
+                        start, start + dur * factor, att,
+                    )
+                    self.trace.record_recovery(
+                        "absorb", t, cblk, f"cpu{w}", start, att,
+                    )
+                dur *= factor
+            kind = self.faults.task_fault(t, w, start)
+            if kind is not None:
+                # The attempt dies halfway through: the wasted time is
+                # the fault window, and no TraceEvent is recorded (the
+                # task did not complete here — it will re-execute).
+                self._schedule(start + 0.5 * dur, self._cpu_fault,
+                               t, w, kind, start)
+                return
         end = start + dur
         if self.trace is not None:
             self.trace.record(t, f"cpu{w}", start, end)
@@ -561,6 +861,8 @@ class _Simulator:
         self._schedule(max(data_ready, self.time), self._gpu_data_ready, t, g)
 
     def _gpu_data_ready(self, t: int, g: _GpuState) -> None:
+        if self.faults is not None and g.index in self.dead_gpus:
+            return  # the device loss already failed and re-routed `t`
         g.staging -= 1
         if g.free_streams > 0:
             self._begin_gpu_compute(t, g)
@@ -568,6 +870,15 @@ class _Simulator:
             g.ready_queue.append(t)
 
     def _begin_gpu_compute(self, t: int, g: _GpuState) -> None:
+        if self.faults is not None:
+            kind = self.faults.task_fault(t, -1, self.time)
+            if kind is not None:
+                # Kernel-launch failure: instant (the launch bounced),
+                # the inputs stay resident, the task re-queues.
+                self._unpin(t, g)
+                self._fail_task(t, "task-fault", f"gpu{g.index}",
+                                self.time, self.time)
+                return
         self._gpu_progress(g)
         g.active_rem[t] = float(self.dag.flops[t])
         g.active_base[t] = 1e9 * self.dag.flops[t] / max(
@@ -637,6 +948,10 @@ class _Simulator:
                 del g.pinned[cblk]
         self._mark_write(tgt, g.index)
         g.resident.move_to_end(tgt, last=True)
+        if self.faults is not None and self.recovery.checkpoint_writeback:
+            # Panel-granularity checkpoint: committed results reach the
+            # host immediately, so a later device loss loses nothing.
+            self._fetch_to_host(tgt)
         start = self._gpu_start_time.pop(t)
         if self.trace is not None:
             self.trace.record(t, f"gpu{g.index}", start, self.time)
@@ -669,11 +984,18 @@ def simulate(
     cpu_model: CpuPerfModel | None = None,
     gpu_model: GpuKernelModel | None = None,
     collect_trace: bool = True,
+    faults: FaultModel | None = None,
+    recovery: RecoveryPolicy | None = None,
 ) -> SimulationResult:
     """Simulate the execution of ``dag`` on ``machine`` under ``policy``.
 
     ``dtype`` only influences data volumes (complex panels are twice the
     bytes) — the flops in the DAG already carry the complex multiplier.
+
+    ``faults`` arms the resilience layer: the fault model is consulted at
+    every execution hook and recoveries follow ``recovery`` (defaults to
+    :class:`repro.resilience.RecoveryPolicy`).  With ``faults=None`` the
+    run is bit-identical to a build without the resilience layer.
     """
     sim = _Simulator(
         dag,
@@ -683,5 +1005,7 @@ def simulate(
         cpu_model=cpu_model,
         gpu_model=gpu_model,
         collect_trace=collect_trace,
+        faults=faults,
+        recovery=recovery,
     )
     return sim.run()

@@ -1,0 +1,21 @@
+"""Fault-injection and recovery subsystem.
+
+Deterministic fault models (:class:`~repro.resilience.faults.FaultModel`)
+plug into the machine and distributed simulators; bounded-retry recovery
+policies (:class:`~repro.resilience.recovery.RecoveryPolicy`) decide how
+each fault is absorbed.  Every injected fault and its recovery land in
+the :class:`~repro.runtime.tracing.ExecutionTrace` as first-class
+events, which the R6xx auditor (:mod:`repro.verify.resilience`) checks
+for pairing, double completion, and makespan accounting.
+"""
+
+from repro.resilience.faults import FAULT_KINDS, FaultModel, FaultSpec
+from repro.resilience.recovery import RecoveryPolicy, UnrecoverableError
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultModel",
+    "FaultSpec",
+    "RecoveryPolicy",
+    "UnrecoverableError",
+]

@@ -1,0 +1,183 @@
+"""Seeded, deterministic fault model for the simulators and runtimes.
+
+The paper's argument is that a generic task-based runtime owns the
+scheduling concerns a solver used to hand-tune — and a production
+runtime also owns *failure*: crashed workers, lost accelerators, dropped
+transfers, stragglers, dead cluster nodes.  This module describes those
+failures declaratively so the machine simulator
+(:mod:`repro.machine.simulator`) and the distributed simulator
+(:mod:`repro.distributed.simulator`) can inject them at their execution
+hooks, and so two runs with the same seed inject *exactly* the same
+faults (the R6xx auditor and the chaos matrix depend on that).
+
+Two sources of faults compose:
+
+* **specs** — explicit one-shot :class:`FaultSpec` records ("worker 0
+  crashes on its first task after t=0", "GPU 1 is lost at t=1e-3");
+  each spec fires at most once and is consumed when it triggers;
+* **rates** — seeded Bernoulli draws per task execution / transfer /
+  straggler opportunity.  Draws come from one
+  ``np.random.default_rng(seed)`` consumed in simulator event order,
+  which is itself deterministic, so a (seed, rate) pair always yields
+  the same fault sequence for the same schedule.
+
+A :class:`FaultModel` is stateful (specs are consumed, the RNG
+advances): build a fresh one per run, or call :meth:`FaultModel.fresh`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["FaultSpec", "FaultModel", "FAULT_KINDS"]
+
+#: Fault kinds a spec may declare.
+FAULT_KINDS = (
+    "worker-crash",   # a CPU worker dies mid-task (permanently)
+    "task-fault",     # one task attempt fails; the worker survives
+    "gpu-loss",       # a GPU device disappears at a point in time
+    "transfer-fail",  # one PCIe/NIC transfer attempt fails
+    "straggler",      # a task runs `factor` times slower than modelled
+    "node-fail",      # a distributed node dies and restarts
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One declarative fault.
+
+    ``time`` is the earliest activation time (device/node losses fire
+    exactly then; task/transfer faults hit the first matching attempt at
+    or after it).  ``task`` restricts task-level kinds to one DAG task
+    (``-1`` = any); ``resource`` names the worker / GPU / node / link
+    index the fault targets (``-1`` = any).  ``factor`` is the straggler
+    slowdown multiplier.
+    """
+
+    kind: str
+    time: float = 0.0
+    task: int = -1
+    resource: int = -1
+    factor: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; one of {FAULT_KINDS}"
+            )
+
+
+class FaultModel:
+    """Deterministic fault oracle the simulators consult at their hooks.
+
+    ``task_fail_rate`` / ``transfer_fail_rate`` / ``straggler_rate`` add
+    seeded Bernoulli faults on top of the explicit ``specs``.  All query
+    methods consume state (specs fire once; rate draws advance the RNG),
+    so reuse a model across runs only through :meth:`fresh`.
+    """
+
+    def __init__(
+        self,
+        specs: Iterable[FaultSpec] = (),
+        *,
+        seed: int = 0,
+        task_fail_rate: float = 0.0,
+        transfer_fail_rate: float = 0.0,
+        straggler_rate: float = 0.0,
+        straggler_factor: float = 4.0,
+    ) -> None:
+        self._config = (
+            tuple(specs), seed, task_fail_rate, transfer_fail_rate,
+            straggler_rate, straggler_factor,
+        )
+        self.specs: list[FaultSpec] = list(specs)
+        self.seed = seed
+        self.task_fail_rate = task_fail_rate
+        self.transfer_fail_rate = transfer_fail_rate
+        self.straggler_rate = straggler_rate
+        self.straggler_factor = straggler_factor
+        self._rng = np.random.default_rng(seed)
+
+    def fresh(self) -> "FaultModel":
+        """A new model with the same configuration and no consumed state."""
+        specs, seed, tf, xf, sr, sf = self._config
+        return FaultModel(
+            specs, seed=seed, task_fail_rate=tf, transfer_fail_rate=xf,
+            straggler_rate=sr, straggler_factor=sf,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FaultModel(specs={len(self.specs)}, seed={self.seed}, "
+            f"task={self.task_fail_rate}, transfer={self.transfer_fail_rate}, "
+            f"straggler={self.straggler_rate})"
+        )
+
+    # ------------------------------------------------------------------
+    # spec matching
+    # ------------------------------------------------------------------
+    def _take(self, kind: str, *, task: int = -1, resource: int = -1,
+              now: float = 0.0) -> FaultSpec | None:
+        """Pop and return the first matching un-fired spec, if any."""
+        for i, s in enumerate(self.specs):
+            if s.kind != kind or now < s.time:
+                continue
+            if s.task >= 0 and s.task != task:
+                continue
+            if s.resource >= 0 and s.resource != resource:
+                continue
+            return self.specs.pop(i)
+        return None
+
+    def pop_timed(self, kind: str) -> list[FaultSpec]:
+        """Remove and return every spec of a purely time-driven kind
+        (``gpu-loss`` / ``node-fail``) so the caller can pre-schedule
+        the loss events."""
+        taken = [s for s in self.specs if s.kind == kind]
+        self.specs = [s for s in self.specs if s.kind != kind]
+        return taken
+
+    # ------------------------------------------------------------------
+    # simulator-facing queries
+    # ------------------------------------------------------------------
+    def task_fault(self, task: int, worker: int, now: float) -> str | None:
+        """Does this task attempt fail?  Returns the fault kind or None.
+
+        ``worker`` is the CPU worker index (``-1`` for a GPU attempt).
+        A ``worker-crash`` spec takes the worker down with the task; a
+        ``task-fault`` (spec or rate draw) is transient.
+        """
+        if worker >= 0:
+            spec = self._take("worker-crash", task=task, resource=worker,
+                              now=now)
+            if spec is not None:
+                return "worker-crash"
+        spec = self._take("task-fault", task=task, resource=worker, now=now)
+        if spec is not None:
+            return "task-fault"
+        if self.task_fail_rate > 0.0 and \
+                self._rng.random() < self.task_fail_rate:
+            return "task-fault"
+        return None
+
+    def transfer_fails(self, resource: int, cblk: int, now: float) -> bool:
+        """Does this transfer attempt fail?  ``resource`` is the GPU link
+        (machine sim) or destination node (distributed sim)."""
+        if self._take("transfer-fail", task=cblk, resource=resource,
+                      now=now) is not None:
+            return True
+        return self.transfer_fail_rate > 0.0 and \
+            self._rng.random() < self.transfer_fail_rate
+
+    def straggler(self, task: int, now: float) -> float:
+        """Slowdown factor for this task attempt (1.0 = none)."""
+        spec = self._take("straggler", task=task, now=now)
+        if spec is not None:
+            return max(spec.factor, 1.0)
+        if self.straggler_rate > 0.0 and \
+                self._rng.random() < self.straggler_rate:
+            return max(self.straggler_factor, 1.0)
+        return 1.0

@@ -1,0 +1,56 @@
+"""Recovery policies: what a runtime does when a fault fires.
+
+The knobs mirror what PaRSEC/StarPU-class runtimes expose:
+
+* **bounded task re-execution** — a failed task attempt is re-queued
+  after an exponential backoff, at most ``max_retries`` times; beyond
+  that the run raises :class:`UnrecoverableError` naming the task
+  (silent infinite retry would turn every permanent fault into a hang);
+* **transfer retry** — a failed PCIe/NIC transfer is retried with the
+  same backoff schedule; each attempt is bounded by
+  ``transfer_timeout_s`` of link occupancy so a black-holed link cannot
+  absorb unbounded time;
+* **GPU blacklisting** — a lost device is never scheduled again; its
+  queued and in-flight tasks re-route (to surviving GPUs or the CPU
+  duration tables) and its resident panels are invalidated;
+* **checkpoint writeback** — while resilience is armed, every GPU task
+  writes its target panel back to the host on completion, so device
+  loss never loses committed results (panel-granularity checkpointing —
+  the distributed simulator applies the same idea per node, where a
+  crashed node restarts after ``node_restart_s`` and recomputes only
+  the work that was in flight).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RecoveryPolicy", "UnrecoverableError"]
+
+
+class UnrecoverableError(RuntimeError):
+    """A fault exhausted its retry budget; names the offending unit."""
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Bounded-retry recovery configuration (see module docstring)."""
+
+    #: Re-execution attempts per task / transfer beyond the first.
+    max_retries: int = 3
+    #: First backoff delay; attempt ``k`` waits ``backoff_s * factor**k``.
+    backoff_s: float = 1e-4
+    backoff_factor: float = 2.0
+    #: Link-occupancy cap per failed transfer attempt.
+    transfer_timeout_s: float = 5e-3
+    #: Blacklist a lost GPU and re-route its work (vs. fail the run).
+    gpu_blacklist: bool = True
+    #: Write GPU task outputs back to the host on completion while
+    #: resilience is armed (device loss then loses no committed panel).
+    checkpoint_writeback: bool = True
+    #: Reboot-and-restore delay after a distributed node failure.
+    node_restart_s: float = 5e-3
+
+    def backoff(self, attempt: int) -> float:
+        """Backoff delay before retry ``attempt`` (0-based)."""
+        return self.backoff_s * self.backoff_factor ** attempt

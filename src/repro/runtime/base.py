@@ -79,6 +79,16 @@ class SchedulerPolicy(ABC):
         """An idle GPU stream asks for work."""
         return None
 
+    def on_device_loss(self, gpu: int) -> list:
+        """GPU ``gpu`` was blacklisted (resilience layer).
+
+        Drain and return every task parked in this policy's per-GPU
+        structures for that device; the simulator re-queues each one as
+        a plain ready task.  Policies without per-GPU queues keep the
+        default empty answer.
+        """
+        return []
+
     def on_complete(self, task: int, resource) -> None:
         """Notification after a task completes (optional hook)."""
 

@@ -91,8 +91,15 @@ class ParsecPolicy(SchedulerPolicy):
         sim = self.sim
         tgt = int(sim.dag.target[task])
         g = self._gpu_owner.get(tgt)
+        if g is not None and g in sim.dead_gpus:
+            del self._gpu_owner[tgt]  # the owner died: rebind the group
+            g = None
         if g is None:
-            g = min(range(sim.machine.n_gpus), key=lambda i: self._gpu_load[i])
+            live = [i for i in range(sim.machine.n_gpus)
+                    if i not in sim.dead_gpus]
+            if not live:
+                return False
+            g = min(live, key=lambda i: self._gpu_load[i])
             # No stream bonus in the estimate: concurrent kernels share the
             # device, so queued solo-seconds approximate drain time well.
             gpu_finish = self._gpu_load[g] + float(sim.gpu_duration[task])
@@ -167,3 +174,14 @@ class ParsecPolicy(SchedulerPolicy):
         task = heapq.heappop(heap)[1]
         self._gpu_load[gpu] -= float(self.sim.gpu_duration[task])
         return task
+
+    def on_device_loss(self, gpu: int) -> list:
+        drained = [t for _, t in self._gpu_heaps[gpu]]
+        self._gpu_heaps[gpu] = []
+        self._gpu_load[gpu] = 0.0
+        # Unbind every target group owned by the dead device; re-queued
+        # tasks will rebind to a surviving GPU (or fall back to CPU).
+        self._gpu_owner = {
+            t: g for t, g in self._gpu_owner.items() if g != gpu
+        }
+        return drained

@@ -84,6 +84,8 @@ class StarPUPolicy(SchedulerPolicy):
             cpu_finish += migration  # the accumulator must come home
         best, best_finish = -1, cpu_finish
         for g in range(sim.machine.n_gpus):
+            if g in sim.dead_gpus:
+                continue  # blacklisted by the resilience layer
             if planned is None and sim.dag.flops[task] < self.gpu_flops_threshold:
                 break  # too small to open a new target group on a GPU
             finish = (
@@ -127,3 +129,14 @@ class StarPUPolicy(SchedulerPolicy):
             0.0, self._gpu_eta[gpu] - self.sim.gpu_duration[task]
         )
         return task
+
+    def on_device_loss(self, gpu: int) -> list:
+        drained = list(self._gpu_queues[gpu])
+        self._gpu_queues[gpu].clear()
+        self._gpu_eta[gpu] = 0.0
+        # Forget plans involving the dead device so the dmda estimate
+        # re-places those target groups from scratch.
+        self._planned = {
+            t: g for t, g in self._planned.items() if g != gpu
+        }
+        return drained

@@ -33,21 +33,48 @@ __all__ = ["factorize_threaded", "solve_threaded"]
 
 
 class _ThreadedRun:
+    """One threaded factorization, hardened against task failure.
+
+    * a task body that raises is retried up to ``max_retries`` times
+      (each failed attempt lands in the trace as a ``"task-error"``
+      fault with a ``"requeue"`` recovery);
+    * past the budget the task is *quarantined* — its exception is kept,
+      its not-yet-run descendants are abandoned, and every independent
+      task still executes (no whole-run abort).  ``run()`` re-raises the
+      first quarantined exception once the rest of the DAG drained;
+    * ``watchdog_s`` bounds the wait for progress: instead of joining
+      forever on a wedged pool, ``run()`` raises a diagnostic naming the
+      ready queue and the blocked frontier.
+
+    NOTE: retrying is only sound for task bodies that fail *before*
+    mutating their target panel (argument validation, resource errors).
+    A partially applied update is not re-runnable; production runtimes
+    checkpoint the panel first, which an in-memory engine cannot.
+    """
+
     def __init__(self, factor: NumericFactor, dag, n_workers: int,
-                 workspace: bool, trace: Optional[ExecutionTrace]) -> None:
+                 workspace: bool, trace: Optional[ExecutionTrace],
+                 max_retries: int = 0,
+                 watchdog_s: float | None = None) -> None:
         self.factor = factor
         self.dag = dag
         self.n_workers = n_workers
         self.workspace = workspace
         self.trace = trace
+        self.max_retries = max_retries
+        self.watchdog_s = watchdog_s
         self.deps_left = dag.n_deps.copy()
         self.ready: deque[int] = deque(int(t) for t in dag.sources())
         self.n_done = 0
+        self.done = np.zeros(dag.n_tasks, dtype=bool)
         self.cv = threading.Condition()
         self.panel_locks = [
             threading.Lock() for _ in range(dag.symbol.n_cblk)
         ]
-        self.failure: Optional[BaseException] = None
+        self.attempts: dict[int, int] = {}
+        self.quarantined: dict[int, BaseException] = {}
+        self.abandoned: set[int] = set()
+        self.aborted = False
         self.t0 = time.perf_counter()
 
     # ------------------------------------------------------------------
@@ -72,29 +99,86 @@ class _ThreadedRun:
             with self.cv:
                 self.trace.record(t, f"cpu{worker}", start, end)
 
+    def _settled(self) -> int:
+        """Tasks that will never run again: completed or abandoned."""
+        return self.n_done + len(self.abandoned)
+
+    def _quarantine(self, t: int, exc: BaseException) -> None:
+        """Abandon ``t`` and its not-yet-run descendants (cv held)."""
+        self.quarantined[t] = exc
+        stack = [t]
+        while stack:
+            u = stack.pop()
+            if u in self.abandoned:
+                continue
+            self.abandoned.add(u)
+            for s in self.dag.successors(u):
+                if not self.done[s]:
+                    stack.append(int(s))
+        self.cv.notify_all()
+
     def _worker(self, worker: int) -> None:
         while True:
             with self.cv:
-                while not self.ready and self.n_done < self.dag.n_tasks \
-                        and self.failure is None:
+                while not self.ready \
+                        and self._settled() < self.dag.n_tasks \
+                        and not self.aborted:
                     self.cv.wait()
-                if self.failure is not None or self.n_done == self.dag.n_tasks:
+                if self.aborted or self._settled() >= self.dag.n_tasks:
                     return
                 t = self.ready.popleft()
+                if t in self.abandoned:
+                    continue
             try:
                 self._execute(t, worker)
-            except BaseException as exc:  # propagate to the caller
+            except BaseException as exc:
                 with self.cv:
-                    self.failure = exc
-                    self.cv.notify_all()
-                return
+                    att = self.attempts.get(t, 0) + 1
+                    self.attempts[t] = att
+                    now = time.perf_counter() - self.t0
+                    if self.trace is not None:
+                        self.trace.record_fault(
+                            "task-error", t, int(self.dag.cblk[t]),
+                            f"cpu{worker}", now, now, att,
+                        )
+                    if att > self.max_retries:
+                        self._quarantine(t, exc)
+                    else:
+                        if self.trace is not None:
+                            self.trace.record_recovery(
+                                "requeue", t, int(self.dag.cblk[t]),
+                                f"cpu{worker}", now, att,
+                            )
+                        self.ready.append(t)
+                        self.cv.notify_all()
+                continue
             with self.cv:
                 self.n_done += 1
+                self.done[t] = True
                 for s in self.dag.successors(t):
                     self.deps_left[s] -= 1
-                    if self.deps_left[s] == 0:
+                    if self.deps_left[s] == 0 and s not in self.abandoned:
                         self.ready.append(int(s))
                 self.cv.notify_all()
+
+    def _watchdog_message(self) -> str:
+        with self.cv:
+            ready = list(self.ready)[:15]
+            pending = np.flatnonzero(~self.done)
+            frontier = [
+                int(t) for t in pending
+                if t not in self.abandoned and self.deps_left[t] == 0
+            ]
+            blocked = int(
+                sum(1 for t in pending if self.deps_left[t] > 0)
+            )
+            return (
+                f"threaded run made no progress for {self.watchdog_s}s: "
+                f"{self.n_done}/{self.dag.n_tasks} done, "
+                f"{len(self.abandoned)} abandoned; ready queue {ready}; "
+                f"{len(frontier)} released-but-unrun task(s) "
+                f"{frontier[:15]}; {blocked} task(s) with deps_left > 0"
+            )
 
     def run(self) -> None:
         threads = [
@@ -103,10 +187,30 @@ class _ThreadedRun:
         ]
         for th in threads:
             th.start()
-        for th in threads:
-            th.join()
-        if self.failure is not None:
-            raise self.failure
+        if self.watchdog_s is None:
+            for th in threads:
+                th.join()
+        else:
+            deadline = time.monotonic() + self.watchdog_s
+            last_progress = -1
+            while any(th.is_alive() for th in threads):
+                for th in threads:
+                    th.join(timeout=0.05)
+                with self.cv:
+                    progress = self._settled()
+                if progress != last_progress:
+                    last_progress = progress
+                    deadline = time.monotonic() + self.watchdog_s
+                elif time.monotonic() > deadline:
+                    msg = self._watchdog_message()
+                    with self.cv:
+                        self.aborted = True
+                        self.cv.notify_all()
+                    raise RuntimeError(msg)
+        if self.quarantined:
+            # Everything independent of the failures completed; now
+            # surface the first failure to the caller.
+            raise next(iter(self.quarantined.values()))
         if self.n_done != self.dag.n_tasks:
             raise RuntimeError("threaded factorization stalled")
 
@@ -258,16 +362,22 @@ def factorize_threaded(
     workspace: bool = True,
     dtype=None,
     trace: Optional[ExecutionTrace] = None,
+    max_retries: int = 0,
+    watchdog_s: float | None = None,
 ) -> NumericFactor:
     """Factorize on a thread pool; returns the :class:`NumericFactor`.
 
     Pass an :class:`ExecutionTrace` to collect per-task timings (adds a
-    little locking overhead).
+    little locking overhead).  ``max_retries`` re-runs a raising task
+    body that many times before quarantining it (see
+    :class:`_ThreadedRun`); ``watchdog_s`` turns a wedged pool into a
+    diagnostic ``RuntimeError`` instead of an unbounded ``join()``.
     """
     factor = NumericFactor.assemble(symbol, matrix, factotype, dtype=dtype)
     dag = build_dag(
         symbol, factotype, granularity="2d", dtype=factor.dtype
     )
-    run = _ThreadedRun(factor, dag, n_workers, workspace, trace)
+    run = _ThreadedRun(factor, dag, n_workers, workspace, trace,
+                       max_retries=max_retries, watchdog_s=watchdog_s)
     run.run()
     return factor

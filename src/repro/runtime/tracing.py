@@ -12,7 +12,13 @@ from typing import Iterable, Optional
 
 from repro.dag.tasks import TaskDAG
 
-__all__ = ["TraceEvent", "DataEvent", "ExecutionTrace"]
+__all__ = [
+    "TraceEvent",
+    "DataEvent",
+    "FaultEvent",
+    "RecoveryEvent",
+    "ExecutionTrace",
+]
 
 #: DataEvent kinds.
 H2D = "h2d"
@@ -61,6 +67,54 @@ class DataEvent:
         return self.end - self.start
 
 
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected (or observed) fault during an execution.
+
+    ``kind`` names the failure mode — ``"worker-crash"``,
+    ``"task-fault"``, ``"gpu-loss"``, ``"transfer-fail"``,
+    ``"straggler"``, ``"node-fail"``, ``"message-loss"``,
+    ``"task-error"`` (real threaded runtime).  ``task`` is the DAG task
+    the fault hit (``-1`` for device/link-level faults); ``cblk`` the
+    panel involved in a data fault (``-1`` otherwise).  The window
+    ``[start, end]`` is the wall-clock span the failed attempt wasted;
+    ``attempt`` counts retries of the same task/transfer (1-based) and
+    ``nbytes`` the payload a failed transfer must re-send.  The R6xx
+    resilience auditor pairs every fault with a :class:`RecoveryEvent`.
+    """
+
+    kind: str
+    task: int
+    cblk: int
+    resource: str
+    start: float
+    end: float
+    attempt: int = 1
+    nbytes: float = 0.0
+
+
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """The runtime's answer to one :class:`FaultEvent`.
+
+    ``kind`` names the recovery action — ``"requeue"`` (bounded task
+    re-execution), ``"reroute-cpu"`` (GPU blacklist degradation),
+    ``"retry-transfer"``, ``"restart"`` (node checkpoint/restart),
+    ``"resend"`` (message retransmission), ``"absorb"`` (straggler
+    tolerated in place).  ``time`` is when the decision was taken and
+    ``delay_s`` the backoff the runtime imposed before the retry may
+    start; pairing with the fault uses ``(task, cblk, attempt)``.
+    """
+
+    kind: str
+    task: int
+    cblk: int
+    resource: str
+    time: float
+    attempt: int = 1
+    delay_s: float = 0.0
+
+
 @dataclass
 class ExecutionTrace:
     """A complete schedule: task executions plus optional transfers."""
@@ -68,6 +122,8 @@ class ExecutionTrace:
     events: list[TraceEvent] = field(default_factory=list)
     transfers: list[TraceEvent] = field(default_factory=list)
     data_events: list[DataEvent] = field(default_factory=list)
+    fault_events: list[FaultEvent] = field(default_factory=list)
+    recovery_events: list[RecoveryEvent] = field(default_factory=list)
 
     def record(self, task: int, resource: str, start: float, end: float) -> None:
         self.events.append(TraceEvent(task, resource, start, end))
@@ -96,6 +152,47 @@ class ExecutionTrace:
         )
         if kind in (H2D, D2H):
             self.record_transfer(cblk, f"link{gpu}:{kind}", start, end)
+
+    def record_fault(
+        self,
+        kind: str,
+        task: int,
+        cblk: int,
+        resource: str,
+        start: float,
+        end: float,
+        attempt: int = 1,
+        nbytes: float = 0.0,
+    ) -> None:
+        """Record one fault (see :class:`FaultEvent`)."""
+        self.fault_events.append(
+            FaultEvent(kind, task, cblk, resource, start, end, attempt, nbytes)
+        )
+
+    def record_recovery(
+        self,
+        kind: str,
+        task: int,
+        cblk: int,
+        resource: str,
+        time: float,
+        attempt: int = 1,
+        delay_s: float = 0.0,
+    ) -> None:
+        """Record one recovery action (see :class:`RecoveryEvent`)."""
+        self.recovery_events.append(
+            RecoveryEvent(kind, task, cblk, resource, time, attempt, delay_s)
+        )
+
+    def sorted_fault_events(self) -> list[FaultEvent]:
+        """Fault events ordered by (end, start, task) — the auditor's view."""
+        return sorted(self.fault_events,
+                      key=lambda e: (e.end, e.start, e.task))
+
+    def sorted_recovery_events(self) -> list[RecoveryEvent]:
+        """Recovery events ordered by (time, task, attempt)."""
+        return sorted(self.recovery_events,
+                      key=lambda e: (e.time, e.task, e.attempt))
 
     def sorted_data_events(self) -> list[DataEvent]:
         """Data events ordered by (end, start, cblk) — the auditor's view."""

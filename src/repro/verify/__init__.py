@@ -19,11 +19,17 @@ exposed through ``python -m repro verify``:
   per-supernode column counts, and per-task flop counts from the
   elimination tree without trusting the stored ``SymbolMatrix`` or
   ``TaskDAG`` annotations (N5xx);
+* :func:`repro.verify.resilience.verify_resilience` — audits the
+  fault/recovery event stream recorded by the resilience layer: every
+  fault paired with a recovery, no double completions without an
+  interleaved fault, backoff delays actually paid, no activity on a
+  lost device (R6xx);
 * :func:`repro.verify.lint.lint_paths` — an AST linter enforcing the
   project's simulation invariants (no frozen-dataclass mutation, no
   float-equality on times, ``traits`` on every policy, no ambiguous
   NumPy truthiness, no shared mutable dataclass defaults, no iteration
-  over unordered sets in scheduling code).
+  over unordered sets in scheduling code, no unseeded randomness in
+  simulation sources).
 
 The hazard analyzer and the linter run inside the test suite, so a
 builder change that drops an edge — or a scheduler change that breaks an
@@ -41,6 +47,11 @@ from repro.verify.lint import LintFinding, lint_paths, lint_report, lint_sources
 from repro.verify.memory import drop_transfer, overflow_residency, verify_memory
 from repro.verify.reach import ReachabilityOracle
 from repro.verify.report import ERROR, INFO, WARNING, Finding, Report
+from repro.verify.resilience import (
+    double_complete,
+    drop_recovery,
+    verify_resilience,
+)
 from repro.verify.schedule import (
     ScheduleError,
     assert_valid_schedule,
@@ -70,6 +81,9 @@ __all__ = [
     "verify_memory",
     "drop_transfer",
     "overflow_residency",
+    "verify_resilience",
+    "drop_recovery",
+    "double_complete",
     "verify_symbolic",
     "verify_dag_costs",
     "derive_couples_by_target",

@@ -1,16 +1,20 @@
 """Driver behind ``python -m repro verify``.
 
-Runs the five static-analysis passes — DAG hazard coverage, simulated
+Runs the six static-analysis passes — DAG hazard coverage, simulated
 schedule feasibility, the M4xx memory/data-movement audit, the N5xx
-symbolic-structure audit, and the project linter — on a chosen matrix
-and prints one report per pass.  Exit status is 0 iff every pass is
-clean, which is what the ``make verify`` gate and CI consume.
+symbolic-structure audit, the R6xx resilience audit (a seeded
+fault-injection run whose recovered trace must satisfy the fault/
+recovery pairing rules *and* the schedule and memory audits), and the
+project linter — on a chosen matrix and prints one report per pass.
+Exit status is 0 iff every pass is clean, which is what the
+``make verify`` gate and CI consume.
 
 ``--inject`` deliberately corrupts the artifact under test (drops a DAG
-edge or an h2d transfer, overlaps two trace events, breaks a mutex
-window, overflows device residency, skews a task's flop count) to
-demonstrate that the passes actually catch what they claim to catch; an
-injected run is *expected* to exit non-zero.
+edge, an h2d transfer, or a recovery event; overlaps two trace events;
+breaks a mutex window; overflows device residency; skews a task's flop
+count; records a completion twice) to demonstrate that the passes
+actually catch what they claim to catch; an injected run is *expected*
+to exit non-zero.
 """
 
 from __future__ import annotations
@@ -67,6 +71,8 @@ def add_verify_arguments(p: argparse.ArgumentParser) -> None:
                    help="skip the M4xx data-movement audit")
     p.add_argument("--no-symbolic", action="store_true",
                    help="skip the N5xx symbolic-structure audit")
+    p.add_argument("--no-resilience", action="store_true",
+                   help="skip the R6xx fault-injection/recovery audit")
     p.add_argument("--no-lint", action="store_true")
     p.add_argument("--redundant", action="store_true",
                    help="also report transitive (redundant) DAG edges")
@@ -75,7 +81,8 @@ def add_verify_arguments(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--inject", default="none",
         choices=["none", "drop-edge", "overlap-trace", "break-mutex",
-                 "drop-transfer", "overflow-residency", "skew-flops"],
+                 "drop-transfer", "overflow-residency", "skew-flops",
+                 "drop-recovery", "double-complete"],
         help="fault injection self-test (expected to FAIL the run)",
     )
     p.add_argument("-v", "--verbose", action="store_true",
@@ -237,6 +244,97 @@ def _schedule_pass(args: argparse.Namespace, symbol: Any,
         reports.append(mrep)
 
 
+def _resilience_pass(args: argparse.Namespace, symbol: Any,
+                     reports: list[Report]) -> None:
+    """R6xx: run a seeded fault scenario, audit the recovered trace.
+
+    The scenario crashes CPU worker 0 on its first task, slows one task
+    down 3x, sprinkles a 2% transient task-fault rate, and (with GPUs)
+    kills device 0 part-way through a clean run's makespan.  The
+    recovered trace must pass :func:`verify_resilience` *and* the
+    regular schedule + memory audits — recovery is only correct if the
+    schedule it produces is still feasible.
+    """
+    from repro.dag import build_dag
+    from repro.machine import mirage, simulate
+    from repro.resilience import FaultModel, FaultSpec, RecoveryPolicy
+    from repro.runtime import get_policy
+    from repro.verify.memory import verify_memory
+    from repro.verify.resilience import (
+        double_complete,
+        drop_recovery,
+        verify_resilience,
+    )
+    from repro.verify.schedule import verify_schedule
+
+    policies = (
+        ["native", "starpu", "parsec"] if args.policy == "all"
+        else [args.policy]
+    )
+    machine = mirage(
+        n_cores=args.cores, n_gpus=args.gpus,
+        streams_per_gpu=args.streams if args.gpus else 1,
+    )
+    def _policy(name: str):
+        # Low offload threshold so small test problems exercise the GPU
+        # paths (same idiom as the memory-injection runs above); the
+        # native policy is CPU-only and takes no threshold.
+        if name == "native":
+            return get_policy(name)
+        return get_policy(name, gpu_flops_threshold=1e3)
+
+    for name in policies:
+        pol = _policy(name)
+        dag = build_dag(
+            symbol, args.factotype,
+            granularity=pol.traits.granularity,
+            recompute_ld=pol.traits.recompute_ld,
+        )
+        clean = simulate(dag, machine, pol)
+        specs = [
+            FaultSpec("worker-crash", time=0.0, resource=0),
+            FaultSpec("straggler", time=0.0, factor=3.0),
+        ]
+        if args.gpus >= 1:
+            specs.append(FaultSpec("gpu-loss", time=0.3 * clean.makespan,
+                                   resource=0))
+        faults = FaultModel(specs, seed=args.seed, task_fail_rate=0.02)
+        r = simulate(dag, machine, _policy(name),
+                     faults=faults, recovery=RecoveryPolicy())
+        trace = r.trace
+
+        t0 = time.perf_counter()
+        rep = verify_resilience(trace, dag)
+        rep.name = f"resilience[{name}]"
+        rep.stats["seconds"] = time.perf_counter() - t0
+        rep.stats["faults_injected"] = float(r.n_faults)
+        rep.stats["reexecuted"] = float(r.n_reexecuted)
+        rep.stats["makespan_ms"] = r.makespan * 1e3
+        rep.stats["clean_makespan_ms"] = clean.makespan * 1e3
+        reports.append(rep)
+
+        srep = verify_schedule(dag, trace)
+        srep.name = f"schedule[{name}+faults]"
+        reports.append(srep)
+        if not args.no_memory:
+            mrep = verify_memory(dag, trace, machine)
+            mrep.name = f"memory[{name}+faults]"
+            reports.append(mrep)
+
+        if args.inject in ("drop-recovery", "double-complete"):
+            corrupt = (drop_recovery if args.inject == "drop-recovery"
+                       else double_complete)
+            try:
+                bad = corrupt(trace)
+            except ValueError as exc:
+                raise SystemExit(
+                    f"--inject {args.inject}: {exc} (policy {name})"
+                ) from exc
+            brep = verify_resilience(bad, dag)
+            brep.name = f"resilience[{name}+{args.inject}]"
+            reports.append(brep)
+
+
 def _symbolic_pass(args: argparse.Namespace, matrix: Any, res: Any,
                    reports: list[Report]) -> None:
     from repro.dag import build_dag
@@ -291,9 +389,15 @@ def run_verify(args: argparse.Namespace) -> int:
     """Entry point for the ``verify`` subcommand; returns the exit code."""
     from repro.symbolic import SymbolicOptions, analyze
 
+    if args.inject in ("drop-recovery", "double-complete") \
+            and args.no_resilience:
+        raise SystemExit(
+            f"--inject {args.inject} corrupts the resilience pass; "
+            "drop --no-resilience to run it"
+        )
     reports: list[Report] = []
     needs_matrix = not (args.no_hazards and args.no_schedule
-                        and args.no_symbolic)
+                        and args.no_symbolic and args.no_resilience)
     if needs_matrix:
         matrix = _load(args)
         res = analyze(matrix, SymbolicOptions(split_max_width=args.split))
@@ -302,6 +406,8 @@ def run_verify(args: argparse.Namespace) -> int:
             _hazard_pass(args, symbol, reports)
         if not args.no_schedule:
             _schedule_pass(args, symbol, reports)
+        if not args.no_resilience:
+            _resilience_pass(args, symbol, reports)
         if not args.no_symbolic:
             _symbolic_pass(args, matrix, res, reports)
     if not args.no_lint:

@@ -1,7 +1,7 @@
 """Project-invariant linter for ``src/repro`` (AST-based, stdlib only).
 
-Six rules encode invariants the simulation stack depends on; each has a
-stable code so findings can be suppressed inline with ``# noqa: RV3xx``
+Seven rules encode invariants the simulation stack depends on; each has
+a stable code so findings can be suppressed inline with ``# noqa: RV3xx``
 (or a bare ``# noqa``) on the offending line.
 
 * **RV301 frozen-mutation** — no attribute assignment on instances of
@@ -27,6 +27,12 @@ stable code so findings can be suppressed inline with ``# noqa: RV3xx``
   ``set``-typed collection: set order varies across processes (hash
   randomization), so any schedule decision derived from it is
   nondeterministic.  Wrap the iterable in ``sorted(...)``.
+* **RV307 unseeded-random** — no draws from hidden global RNG state
+  (legacy ``np.random.<sampler>(...)`` module calls, stdlib
+  ``random.<sampler>(...)``) and no RNG constructed without an explicit
+  seed (``np.random.default_rng()`` / ``random.Random()`` with no
+  arguments).  Every stochastic choice in the simulation stack — fault
+  injection above all — must replay bit-identically from a seed.
 
 The discovery pre-pass collects every ``@dataclass(frozen=True)`` class
 in the linted tree, so new frozen types are covered automatically;
@@ -72,6 +78,15 @@ _MUTABLE_CALLS = {
 #: Names that declare a set when they appear as an annotation base
 #: (RV306): ``x: set[int]``, ``x: frozenset``, ``x: Set[str]``.
 _SET_ANNOTATIONS = {"set", "frozenset", "Set", "FrozenSet", "MutableSet"}
+
+#: stdlib ``random`` module-level samplers that touch the shared global
+#: RNG (RV307).
+_STDLIB_RANDOM_FNS = {
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "normalvariate", "betavariate",
+    "expovariate", "triangular", "vonmisesvariate", "seed", "getrandbits",
+    "randbytes",
+}
 
 
 @dataclass(frozen=True)
@@ -312,7 +327,50 @@ class _FileLinter(ast.NodeVisitor):
                     "object.__setattr__ outside a frozen class's own "
                     "methods bypasses immutability",
                 )
+        self._check_unseeded_random(node)
         self.generic_visit(node)
+
+    # -- RV307 unseeded randomness ------------------------------------
+    def _check_unseeded_random(self, node: ast.Call) -> None:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        base = func.value
+        if (
+            isinstance(base, ast.Attribute)
+            and base.attr == "random"
+            and isinstance(base.value, ast.Name)
+            and base.value.id in ("np", "numpy")
+        ):
+            # np.random.<something>(...)
+            if func.attr == "default_rng":
+                if not node.args and not node.keywords:
+                    self._emit(
+                        node, "RV307",
+                        "np.random.default_rng() without a seed is "
+                        "nondeterministic; pass an explicit seed",
+                    )
+            elif func.attr[:1].islower():
+                self._emit(
+                    node, "RV307",
+                    f"legacy np.random.{func.attr}(...) draws from hidden "
+                    "global state; use a seeded np.random.default_rng(seed)",
+                )
+        elif isinstance(base, ast.Name) and base.id == "random":
+            # stdlib random.<something>(...)
+            if func.attr == "Random":
+                if not node.args:
+                    self._emit(
+                        node, "RV307",
+                        "random.Random() without a seed is "
+                        "nondeterministic; pass an explicit seed",
+                    )
+            elif func.attr in _STDLIB_RANDOM_FNS:
+                self._emit(
+                    node, "RV307",
+                    f"module-level random.{func.attr}(...) uses the shared "
+                    "global RNG; use a seeded generator instead",
+                )
 
     # -- RV302 float equality -----------------------------------------
     def visit_Compare(self, node: ast.Compare) -> None:

@@ -161,3 +161,40 @@ def test_memory_inject_without_gpu_refused():
     with pytest.raises(SystemExit, match="needs at least one GPU"):
         main(["verify", "--matrix", "lap2d", "--size", "32", "--no-lint",
               "--gpus", "0", "--inject", "drop-transfer"])
+
+
+def test_resilience_pass_runs_clean(capsys):
+    code, out = run(["verify", "--matrix", "lap2d", "--size", "12",
+                     "--no-hazards", "--no-symbolic", "--no-lint",
+                     "--no-schedule", "--policy", "native"], capsys)
+    assert code == 0
+    assert "resilience[native]" in out
+    assert "schedule[native+faults]" in out
+
+
+def test_inject_drop_recovery_fails_naming_fault(capsys):
+    code, out = run(["verify", "--matrix", "lap2d", "--size", "12",
+                     "--no-hazards", "--no-symbolic", "--no-lint",
+                     "--no-schedule", "--policy", "native",
+                     "--inject", "drop-recovery"], capsys)
+    assert code == 1
+    assert "resilience[native+drop-recovery]" in out
+    assert "R601" in out
+    assert "has no matching recovery" in out
+
+
+def test_inject_double_complete_fails_naming_task(capsys):
+    code, out = run(["verify", "--matrix", "lap2d", "--size", "12",
+                     "--no-hazards", "--no-symbolic", "--no-lint",
+                     "--no-schedule", "--policy", "native",
+                     "--inject", "double-complete"], capsys)
+    assert code == 1
+    assert "resilience[native+double-complete]" in out
+    assert "R602" in out
+    assert "completes twice" in out
+
+
+def test_resilience_inject_without_resilience_pass_refused():
+    with pytest.raises(SystemExit, match="resilience"):
+        main(["verify", "--matrix", "lap2d", "--size", "12", "--no-lint",
+              "--no-resilience", "--inject", "drop-recovery"])

@@ -366,3 +366,74 @@ def f(items):
         print(x)
 """
     assert lint_sources({"x.py": src}) == []
+
+
+# ----------------------------------------------------------------------
+# RV307: unseeded randomness.
+# ----------------------------------------------------------------------
+def test_rv307_legacy_numpy_sampler():
+    src = """
+import numpy as np
+
+def f():
+    return np.random.random(4)
+"""
+    found = lint_sources({"x.py": src})
+    assert codes(found) == ["RV307"]
+    assert "np.random" in found[0].message
+
+
+def test_rv307_argless_default_rng():
+    src = """
+import numpy as np
+
+def f():
+    return np.random.default_rng()
+"""
+    found = lint_sources({"x.py": src})
+    assert codes(found) == ["RV307"]
+
+
+def test_rv307_stdlib_random_sampler():
+    src = """
+import random
+
+def f():
+    return random.choice([1, 2, 3])
+"""
+    found = lint_sources({"x.py": src})
+    assert codes(found) == ["RV307"]
+
+
+def test_rv307_argless_random_instance():
+    src = """
+import random
+
+def f():
+    return random.Random()
+"""
+    found = lint_sources({"x.py": src})
+    assert codes(found) == ["RV307"]
+
+
+def test_rv307_seeded_randomness_clean():
+    src = """
+import numpy as np
+import random
+
+def f(seed):
+    rng = np.random.default_rng(seed)
+    r = random.Random(seed)
+    return rng.random(4), rng.standard_normal(3), r.random()
+"""
+    assert lint_sources({"x.py": src}) == []
+
+
+def test_rv307_noqa_suppression():
+    src = """
+import random
+
+def f():
+    return random.random()  # noqa: RV307
+"""
+    assert lint_sources({"x.py": src}) == []

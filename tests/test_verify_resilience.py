@@ -1,0 +1,227 @@
+"""R6xx resilience auditor tests (synthetic traces + injectors).
+
+Each check is exercised twice: once on a hand-built trace that
+violates exactly one invariant, and once on a clean trace to pin down
+the negative.  The injector helpers (``drop_recovery`` /
+``double_complete``) are the verify-the-verifier corruptions wired to
+``python -m repro verify --inject``.
+"""
+
+import pytest
+
+from repro.runtime.tracing import ExecutionTrace
+from repro.verify import double_complete, drop_recovery, verify_resilience
+
+
+def _clean_retry_trace():
+    """One task fails once, recovers, re-executes after its backoff."""
+    t = ExecutionTrace()
+    t.record_fault("task-fault", 3, 1, "cpu0", 0.0, 1.0, 1)
+    t.record_recovery("requeue", 3, 1, "cpu0", 1.0, 1, 0.5)
+    t.record(3, "cpu1", 1.6, 2.5)  # 1.6 >= 1.0 + 0.5
+    t.record(4, "cpu0", 2.5, 3.0)
+    return t
+
+
+def codes(report):
+    return sorted({f.code for f in report.findings})
+
+
+class TestR601Pairing:
+    def test_clean_pairing_passes(self):
+        rep = verify_resilience(_clean_retry_trace())
+        assert rep.ok, rep.format()
+        assert rep.stats["faults"] == 1.0
+        assert rep.stats["recoveries"] == 1.0
+        assert rep.stats["tasks_hit"] == 1.0
+
+    def test_unanswered_fault_fails(self):
+        t = ExecutionTrace()
+        t.record_fault("task-fault", 3, 1, "cpu0", 0.0, 1.0, 1)
+        t.record(3, "cpu1", 1.5, 2.5)
+        rep = verify_resilience(t)
+        assert codes(rep) == ["R601"]
+        assert "task 3" in rep.format(verbose=True)
+
+    def test_recovery_before_fault_does_not_pair(self):
+        t = ExecutionTrace()
+        t.record_fault("task-fault", 3, 1, "cpu0", 0.0, 1.0, 1)
+        # Decided at t=0.5, before the failed attempt even ended:
+        # bookkeeping fiction, not a recovery.
+        t.record_recovery("requeue", 3, 1, "cpu0", 0.5, 1, 0.0)
+        t.record(3, "cpu1", 1.5, 2.5)
+        rep = verify_resilience(t)
+        assert set(codes(rep)) == {"R601", "R603"}
+
+    def test_straggler_absorbed_at_start(self):
+        t = ExecutionTrace()
+        # A straggler is absorbed when the attempt starts, not at its
+        # (stretched) end — the recovery at t=0 must pair.
+        t.record_fault("straggler", 2, 0, "cpu0", 0.0, 4.0, 1)
+        t.record_recovery("absorb", 2, 0, "cpu0", 0.0, 1)
+        t.record(2, "cpu0", 0.0, 4.0)
+        rep = verify_resilience(t)
+        assert rep.ok, rep.format()
+
+    def test_attempt_number_is_part_of_the_key(self):
+        t = ExecutionTrace()
+        t.record_fault("task-fault", 3, 1, "cpu0", 0.0, 1.0, 1)
+        t.record_fault("task-fault", 3, 1, "cpu0", 1.2, 2.0, 2)
+        # Two recoveries for attempt 1, none for attempt 2.
+        t.record_recovery("requeue", 3, 1, "cpu0", 1.0, 1, 0.1)
+        t.record_recovery("requeue", 3, 1, "cpu0", 2.0, 1, 0.1)
+        t.record(3, "cpu0", 2.2, 3.0)
+        rep = verify_resilience(t)
+        assert set(codes(rep)) == {"R601", "R603"}
+
+
+class TestR602DoubleComplete:
+    def test_retry_with_interleaved_fault_is_legal(self):
+        t = ExecutionTrace()
+        t.record(5, "cpu0", 0.0, 1.0)
+        t.record_fault("task-fault", 5, 2, "cpu0", 1.0, 1.5, 1)
+        t.record_recovery("requeue", 5, 2, "cpu0", 1.5, 1, 0.0)
+        t.record(5, "cpu1", 1.6, 2.6)
+        rep = verify_resilience(t)
+        assert rep.ok, rep.format()
+
+    def test_double_completion_without_fault_fails(self):
+        t = ExecutionTrace()
+        t.record(5, "cpu0", 0.0, 1.0)
+        t.record(5, "cpu1", 1.5, 2.5)
+        rep = verify_resilience(t)
+        assert codes(rep) == ["R602"]
+        assert "task 5 completes twice" in rep.format(verbose=True)
+
+    def test_flag_disables_the_check(self):
+        t = ExecutionTrace()
+        t.record(5, "cpu0", 0.0, 1.0)
+        t.record(5, "cpu1", 1.5, 2.5)
+        rep = verify_resilience(t, check_double_complete=False)
+        assert rep.ok, rep.format()
+
+
+class TestR603Orphans:
+    def test_orphan_recovery_fails(self):
+        t = ExecutionTrace()
+        t.record(1, "cpu0", 0.0, 1.0)
+        t.record_recovery("requeue", 1, 0, "cpu0", 1.0, 1, 0.0)
+        rep = verify_resilience(t)
+        assert codes(rep) == ["R603"]
+        assert "answers no recorded fault" in rep.format(verbose=True)
+
+
+class TestR604Backoff:
+    def test_reexecution_before_backoff_fails(self):
+        t = ExecutionTrace()
+        t.record_fault("task-fault", 3, 1, "cpu0", 0.0, 1.0, 1)
+        t.record_recovery("requeue", 3, 1, "cpu0", 1.0, 1, 0.5)
+        t.record(3, "cpu1", 1.2, 2.5)  # 1.2 < 1.0 + 0.5: too early
+        rep = verify_resilience(t)
+        assert codes(rep) == ["R604"]
+        assert "before its recovery decision" in rep.format(verbose=True)
+
+    def test_fault_window_past_horizon_fails(self):
+        t = ExecutionTrace()
+        t.record(3, "cpu0", 0.0, 1.0)
+        # A fault "after the end of time" that no event accounts for.
+        t.record_fault("task-fault", 7, 1, "cpu0", 2.0, 3.0, 1)
+        t.record_recovery("requeue", 7, 1, "cpu0", 3.0, 1, 0.0)
+        rep = verify_resilience(t)
+        assert "R604" in codes(rep)
+        assert "cannot be free" in rep.format(verbose=True)
+
+    def test_trailing_writeback_retry_is_covered_by_data_events(self):
+        t = ExecutionTrace()
+        t.record(3, "cpu0", 0.0, 1.0)
+        # A d2h writeback retried after the last task event: the data
+        # event extends the horizon, so the window is accounted for.
+        t.record_fault("transfer-fail", -1, 4, "link0", 1.0, 1.5, 1,
+                       nbytes=800.0)
+        t.record_recovery("retry-transfer", -1, 4, "link0", 1.5, 1, 0.1)
+        t.record_data("d2h", 4, 0, 800.0, 1.6, 2.0, "writeback")
+        rep = verify_resilience(t)
+        assert rep.ok, rep.format()
+
+    def test_retried_transfer_with_no_data_event_fails(self):
+        t = ExecutionTrace()
+        t.record(3, "cpu0", 0.0, 5.0)
+        t.record_fault("transfer-fail", -1, 4, "link0", 1.0, 1.5, 1,
+                       nbytes=800.0)
+        t.record_recovery("retry-transfer", -1, 4, "link0", 1.5, 1, 0.1)
+        # No h2d/d2h of panel 4 on link 0 at/after t=1.6: the retry
+        # claims to have happened but the bytes never moved.
+        rep = verify_resilience(t)
+        assert "R604" in codes(rep)
+        assert "no data event" in rep.format(verbose=True)
+
+
+class TestR605DeadDevice:
+    def _lost_gpu_trace(self):
+        t = ExecutionTrace()
+        t.record(1, "cpu0", 0.0, 1.0)
+        t.record_fault("gpu-loss", -1, -1, "gpu0", 2.0, 2.5)
+        t.record_recovery("reroute-cpu", -1, -1, "gpu0", 2.5)
+        t.record(3, "cpu1", 2.5, 5.0)  # the run outlives the loss window
+        return t
+
+    def test_clean_loss_passes(self):
+        rep = verify_resilience(self._lost_gpu_trace())
+        assert rep.ok, rep.format()
+
+    def test_task_on_dead_device_fails(self):
+        t = self._lost_gpu_trace()
+        t.record(2, "gpu0s1", 3.0, 4.0)
+        rep = verify_resilience(t)
+        assert "R605" in codes(rep)
+        assert "after the device was lost" in rep.format(verbose=True)
+
+    def test_transfer_to_dead_device_fails(self):
+        t = self._lost_gpu_trace()
+        t.record_data("h2d", 7, 0, 800.0, 3.0, 3.5)
+        rep = verify_resilience(t)
+        assert "R605" in codes(rep)
+
+    def test_drain_inside_the_loss_window_is_legal(self):
+        t = self._lost_gpu_trace()
+        # Committed writeback draining inside [2.0, 2.5] is the modelled
+        # drain, not use of a dead device.
+        t.record_data("d2h", 7, 0, 800.0, 2.1, 2.4, "writeback")
+        rep = verify_resilience(t)
+        assert rep.ok, rep.format()
+
+    def test_other_gpu_unaffected(self):
+        t = self._lost_gpu_trace()
+        t.record(2, "gpu1s0", 3.0, 4.0)
+        t.record_data("h2d", 7, 1, 800.0, 2.8, 3.0)
+        rep = verify_resilience(t)
+        assert rep.ok, rep.format()
+
+
+class TestInjectors:
+    def test_drop_recovery_breaks_r601(self):
+        corrupted = drop_recovery(_clean_retry_trace())
+        rep = verify_resilience(corrupted)
+        assert "R601" in codes(rep)
+
+    def test_drop_recovery_requires_recoveries(self):
+        with pytest.raises(ValueError, match="no recovery events"):
+            drop_recovery(ExecutionTrace())
+
+    def test_double_complete_breaks_r602(self):
+        corrupted = double_complete(_clean_retry_trace())
+        rep = verify_resilience(corrupted)
+        assert "R602" in codes(rep)
+
+    def test_double_complete_requires_events(self):
+        with pytest.raises(ValueError, match="no task events"):
+            double_complete(ExecutionTrace())
+
+    def test_injectors_do_not_mutate_the_original(self):
+        t = _clean_retry_trace()
+        n_rec, n_ev = len(t.recovery_events), len(t.events)
+        drop_recovery(t)
+        double_complete(t)
+        assert len(t.recovery_events) == n_rec
+        assert len(t.events) == n_ev
+        assert verify_resilience(t).ok
