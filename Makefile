@@ -6,7 +6,8 @@ PYTHON     ?= python
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test verify lint hazards typecheck bench figures selftest chaos ci
+.PHONY: test verify lint hazards typecheck bench figures selftest chaos \
+	perf-smoke ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -48,6 +49,20 @@ selftest:
 			echo "inject $$inj: caught"; \
 		fi; \
 	done
+	@# A deliberately mis-prioritized schedule (priority cells silently
+	@# running the anti-critical-path heap) must trip the perf gate's
+	@# replay-makespan check against the committed baseline.
+	@PYTHONPATH=src:benchmarks $(PYTHON) benchmarks/bench_threaded.py \
+		--quick --mis-prioritize --out results/_misprio.json >/dev/null 2>&1
+	@if PYTHONPATH=src:benchmarks $(PYTHON) benchmarks/perf_compare.py \
+		--no-wall results/BENCH_threaded.json results/_misprio.json \
+		>/dev/null 2>&1; then \
+		rm -f results/_misprio.json; \
+		echo "inject mis-prioritize: NOT caught"; exit 1; \
+	else \
+		rm -f results/_misprio.json; \
+		echo "inject mis-prioritize: caught"; \
+	fi
 
 # Chaos matrix: every (fault kind x scheduler policy) cell must finish
 # all tasks and produce a trace the R6xx resilience auditor and the
@@ -55,10 +70,21 @@ selftest:
 chaos:
 	$(PYTHON) benchmarks/bench_resilience.py --chaos --verify
 
+# Perf-regression gate: quick threaded-scheduler sweep, diffed against
+# the committed baseline.  The deterministic replay-makespan metric is
+# gated at 15%; normalized wall clock is a lax (50%) gross-failure
+# backstop -- see benchmarks/perf_compare.py.
+perf-smoke:
+	@PYTHONPATH=src:benchmarks $(PYTHON) benchmarks/bench_threaded.py \
+		--quick --out results/_perfsmoke.json
+	@PYTHONPATH=src:benchmarks $(PYTHON) benchmarks/perf_compare.py \
+		results/BENCH_threaded.json results/_perfsmoke.json; \
+	status=$$?; rm -f results/_perfsmoke.json; exit $$status
+
 # Everything CI runs: tier-1 tests, the static-analysis gate
 # (lint/hazards/schedule/memory/symbolic + ruff/mypy when installed),
-# and the fault-injection self-tests.
-ci: verify selftest
+# the fault-injection self-tests, and the perf-regression gate.
+ci: verify selftest perf-smoke
 
 lint:
 	$(PYTHON) -m repro verify --no-hazards --no-schedule --no-resilience

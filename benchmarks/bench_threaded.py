@@ -1,0 +1,346 @@
+"""Wall-clock benchmark of the *real* threaded runtime's schedulers.
+
+Where ``bench_fig2_cpu_scaling.py`` reproduces the paper's Fig. 2 on the
+simulated machine, this sweep runs the same scheduler-policy comparison
+on live threads: ``scheduler x n_workers x matrix`` cells, each a real
+:func:`repro.runtime.threaded.factorize_threaded` call timed on
+wall-clock.  Results go to ``results/BENCH_threaded.json`` — the
+committed copy of that file is the baseline ``perf_compare.py`` gates
+regressions against (``make perf-smoke``).
+
+Besides wall seconds, every cell records a **deterministic replay
+makespan**: the order the real run started tasks in is list-scheduled
+onto ``n_workers`` virtual workers with flops-proportional durations,
+honouring DAG dependencies.  The replay isolates *schedule quality*
+(the order a policy releases work in) from machine speed, BLAS jitter
+and GIL-placement accidents — it is what lets the regression gate catch
+a mis-prioritized scheduler even on a noisy or differently-sized host,
+and what shows the scheduling headroom on boxes with too few cores to
+measure a wall-clock gap.  The faithful per-worker placement replay is
+kept alongside as ``model_placement_s`` (informational, not gated).
+
+``--mis-prioritize`` is fault injection for the gate's self-test: the
+``priority`` cells silently run the inverse (anti-critical-path)
+scheduler while still reporting themselves as ``priority``; ``make
+selftest`` asserts ``perf_compare.py`` flags the resulting regression.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from common import (
+    StageTimer,
+    analyzed,
+    format_table,
+    matrix_dtype,
+    matrix_factotype,
+    standard_parser,
+    write_bench_json,
+)
+from repro.dag.analysis import critical_path
+from repro.kernels.cost import flops_total
+from repro.runtime.scheduling import get_thread_scheduler
+from repro.runtime.threaded import factorize_threaded
+from repro.runtime.tracing import ExecutionTrace
+from repro.sparse.collection import load_matrix
+
+#: Schedulers every sweep covers: the legacy global-FIFO baseline plus
+#: the three paper twins (PaStiX work stealing, dmda critical path,
+#: PaRSEC last-panel affinity).
+SCHEDULERS = ["fifo", "ws", "priority", "affinity"]
+
+#: Replay rate (flops/s).  Arbitrary: only *ratios* of replay makespans
+#: are ever compared, and a fixed constant keeps them machine-free.
+REPLAY_RATE = 1e9
+
+DEFAULT_MATRICES = ["afshell10", "audi", "Serena"]
+DEFAULT_WORKERS = [1, 2, 4, 8]
+QUICK_MATRICES = ["audi"]
+QUICK_WORKERS = [4]
+
+
+def calibrate(n: int = 384, repeats: int = 10) -> float:
+    """GFlop/s of one fixed seeded dense GEMM — a machine-speed yardstick.
+
+    ``perf_compare.py`` multiplies wall seconds by the producing run's
+    calibration so baselines from differently-fast hosts stay
+    comparable (perfectly so for BLAS-bound cells, approximately
+    otherwise).  One warmup call is discarded (cold BLAS init skews the
+    first GEMM by ~2x) and the best of ``repeats`` is kept; measured
+    spread of the best-of-10 on a busy single-core box is ~3%.
+    """
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((n, n))
+    b = rng.standard_normal((n, n))
+    a @ b
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        a @ b
+        best = min(best, time.perf_counter() - t0)
+    return 2.0 * n**3 / best / 1e9
+
+
+def replay_makespan(dag, trace: ExecutionTrace, n_workers: int,
+                    rate: float = REPLAY_RATE) -> float:
+    """Deterministic makespan of the executed task *order*.
+
+    Greedy list-schedule: tasks are taken in the order the real run
+    started them and placed on the earliest-free of ``n_workers``
+    virtual workers, with flops-proportional durations and DAG edges
+    honoured.  Measuring order rather than the executed placement keeps
+    the metric stable across hosts — on a box with fewer physical cores
+    than workers the GIL makes *placement* an accident of preemption
+    timing, but the order a scheduler releases work in is exactly the
+    thing a priority/stealing policy controls.  Processing events in
+    wall-clock start order is safe because the real execution already
+    respected the dependencies.
+    """
+    end_model = np.zeros(dag.n_tasks)
+    free = [0.0] * max(1, int(n_workers))
+    for e in trace.sorted_events():
+        dur = max(float(dag.flops[e.task]), 1.0) / rate
+        w = min(range(len(free)), key=free.__getitem__)
+        t_start = free[w]
+        preds = dag.predecessors(int(e.task))
+        if preds.size:
+            t_start = max(t_start, float(end_model[preds].max()))
+        end_model[e.task] = t_start + dur
+        free[w] = end_model[e.task]
+    return float(end_model.max()) if dag.n_tasks else 0.0
+
+
+def replay_placement_makespan(dag, trace: ExecutionTrace,
+                              rate: float = REPLAY_RATE) -> float:
+    """Deterministic makespan of the executed schedule *as placed*.
+
+    Like :func:`replay_makespan` but each task replays on the worker
+    that really ran it.  Faithful to the run, and therefore sensitive to
+    GIL-placement accidents on undersized hosts — recorded for analysis
+    (``model_placement_s``) but not gated by ``perf_compare.py``.
+    """
+    end_model = np.zeros(dag.n_tasks)
+    worker_free: dict[str, float] = {}
+    for e in trace.sorted_events():
+        dur = max(float(dag.flops[e.task]), 1.0) / rate
+        t_start = worker_free.get(e.resource, 0.0)
+        preds = dag.predecessors(int(e.task))
+        if preds.size:
+            t_start = max(t_start, float(end_model[preds].max()))
+        end_model[e.task] = t_start + dur
+        worker_free[e.resource] = end_model[e.task]
+    return float(end_model.max()) if dag.n_tasks else 0.0
+
+
+def run_cell(
+    name: str,
+    scheduler: str,
+    n_workers: int,
+    *,
+    scale: float = 1.0,
+    repeats: int = 2,
+    mis_prioritize: bool = False,
+    verify: bool = False,
+) -> dict:
+    """Measure one (matrix, scheduler, n_workers) cell.
+
+    Wall seconds and the replay makespan are each the minimum over
+    ``repeats`` runs (minimum is the standard noise-robust pick); the
+    best-order run also supplies the placement replay and trace stats.
+    """
+    res = analyzed(name, scale)
+    permuted = load_matrix(name, scale=scale).permute(res.perm.perm)
+    ft = matrix_factotype(name)
+    dt = matrix_dtype(name)
+    flops = flops_total(res.symbol, ft, dt)
+
+    from repro.dag import build_dag
+
+    dag = build_dag(res.symbol, ft, granularity="2d", dtype=dt)
+
+    effective = scheduler
+    if mis_prioritize and scheduler == "priority":
+        effective = "inverse-priority"
+
+    best_wall = float("inf")
+    best_model = float("inf")
+    best_trace = None
+    best_stats: dict = {}
+    for _ in range(max(1, repeats)):
+        sched = get_thread_scheduler(effective)
+        trace = ExecutionTrace()
+        t0 = time.perf_counter()
+        factor = factorize_threaded(
+            res.symbol, permuted, ft, n_workers=n_workers, dtype=dt,
+            trace=trace, scheduler=sched,
+        )
+        wall = time.perf_counter() - t0
+        del factor
+        best_wall = min(best_wall, wall)
+        model = replay_makespan(dag, trace, n_workers)
+        if model < best_model:
+            best_model = model
+            best_trace = trace
+            best_stats = sched.stats()
+
+    cell = {
+        "matrix": name,
+        "scheduler": scheduler,
+        "n_workers": n_workers,
+        "scale": scale,
+        "wall_s": best_wall,
+        "gflops": flops / best_wall / 1e9,
+        "model_makespan_s": best_model,
+        "model_placement_s": replay_placement_makespan(dag, best_trace),
+        "model_cp_s": critical_path(dag)[0] / REPLAY_RATE,
+        "n_tasks": dag.n_tasks,
+        "flops": flops,
+    }
+    cell.update(best_stats)
+    if verify:
+        from repro.verify import verify_schedule
+
+        rep = verify_schedule(
+            dag, best_trace, exclusive_resources=[],
+            check_mutex=False, tol=1e-5,
+        )
+        if not rep.ok:
+            raise RuntimeError(
+                f"{name}/{scheduler} produced a dirty trace:\n"
+                + rep.format()
+            )
+        cell["verified"] = True
+    return cell
+
+
+def summarize(cells: list[dict]) -> list[dict]:
+    """Per (matrix, n_workers): each scheduler's speedup over fifo."""
+    base = {
+        (c["matrix"], c["n_workers"]): c
+        for c in cells if c["scheduler"] == "fifo"
+    }
+    out = []
+    for c in cells:
+        if c["scheduler"] == "fifo":
+            continue
+        ref = base.get((c["matrix"], c["n_workers"]))
+        if ref is None:
+            continue
+        out.append({
+            "matrix": c["matrix"],
+            "n_workers": c["n_workers"],
+            "scheduler": c["scheduler"],
+            "wall_speedup_vs_fifo": ref["wall_s"] / c["wall_s"],
+            "model_speedup_vs_fifo":
+                ref["model_makespan_s"] / c["model_makespan_s"],
+        })
+    return out
+
+
+def main(argv=None) -> int:
+    p = standard_parser(__doc__.splitlines()[0])
+    p.add_argument("--workers", type=int, nargs="*", default=None,
+                   help=f"worker counts to sweep (default {DEFAULT_WORKERS})")
+    p.add_argument("--schedulers", nargs="*", default=None,
+                   choices=SCHEDULERS,
+                   help=f"schedulers to sweep (default {SCHEDULERS})")
+    p.add_argument("--repeats", type=int, default=None,
+                   help="wall-clock repetitions per cell (keeps the min)")
+    p.add_argument("--quick", action="store_true",
+                   help="small subset for the perf-smoke gate: "
+                        f"{QUICK_MATRICES} x workers {QUICK_WORKERS}")
+    p.add_argument("--out", default=None,
+                   help="write the JSON report here instead of "
+                        "results/BENCH_threaded.json")
+    p.add_argument("--mis-prioritize", action="store_true",
+                   help="FAULT INJECTION: run 'priority' cells with the "
+                        "inverse (anti-critical-path) heap while "
+                        "reporting them as 'priority' — exists so make "
+                        "selftest can prove perf_compare.py catches a "
+                        "wrecked schedule")
+    args = p.parse_args(argv)
+
+    matrices = args.matrices or (
+        QUICK_MATRICES if args.quick else DEFAULT_MATRICES
+    )
+    workers = args.workers or (
+        QUICK_WORKERS if args.quick else DEFAULT_WORKERS
+    )
+    schedulers = args.schedulers or SCHEDULERS
+    repeats = args.repeats or (2 if args.quick else 3)
+
+    if args.mis_prioritize:
+        print("WARNING: --mis-prioritize active; 'priority' cells run "
+              "the inverse heap (gate self-test mode)", file=sys.stderr)
+
+    timer = StageTimer()
+    calib = calibrate()
+    timer.note(f"calibration: {calib:.2f} GFlop/s dense GEMM")
+
+    cells = []
+    for name in matrices:
+        for nw in workers:
+            for sched in schedulers:
+                cells.append(run_cell(
+                    name, sched, nw, scale=args.scale, repeats=repeats,
+                    mis_prioritize=args.mis_prioritize,
+                    verify=args.verify,
+                ))
+                c = cells[-1]
+                timer.note(
+                    f"{name} x{nw} {sched}: {c['wall_s']:.3f}s wall, "
+                    f"{c['model_makespan_s']:.4f}s model"
+                )
+
+    headers = ["matrix", "workers", "scheduler", "wall_s", "gflops",
+               "model_s", "model_cp_s"]
+    rows = [
+        [c["matrix"], c["n_workers"], c["scheduler"],
+         f"{c['wall_s']:.3f}", f"{c['gflops']:.2f}",
+         f"{c['model_makespan_s']:.4f}", f"{c['model_cp_s']:.4f}"]
+        for c in cells
+    ]
+    print(format_table(headers, rows))
+
+    summary = summarize(cells)
+    if summary:
+        print()
+        print(format_table(
+            ["matrix", "workers", "scheduler", "wall_speedup", "model_speedup"],
+            [[s["matrix"], s["n_workers"], s["scheduler"],
+              f"{s['wall_speedup_vs_fifo']:.2f}x",
+              f"{s['model_speedup_vs_fifo']:.2f}x"] for s in summary],
+        ))
+
+    import os
+
+    payload = {
+        "bench": "threaded",
+        "schema_version": 1,
+        "quick": bool(args.quick),
+        "n_cores": os.cpu_count(),
+        "calib_gflops": calib,
+        "replay_rate": REPLAY_RATE,
+        "cells": cells,
+        "summary": summary,
+    }
+    if args.out:
+        out_path = Path(args.out)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        with open(out_path, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    else:
+        out_path = write_bench_json("threaded", payload)
+    timer.note(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,181 @@
+"""Perf-regression gate for the threaded runtime.
+
+Diffs a fresh ``bench_threaded.py`` report against the committed
+baseline (``results/BENCH_threaded.json``) and **fails (exit 1) on a
+>15% slowdown** in any cell the two runs share.  Two metrics are gated
+independently:
+
+* **replay makespan** — the deterministic schedule-quality metric
+  (flops-weighted replay of the executed order).  Machine-independent,
+  so it is gated unconditionally; this is the check that catches a
+  mis-prioritized or otherwise degraded scheduler even when raw wall
+  time looks fine (``make selftest`` proves it does).
+* **normalized wall clock** — wall seconds scaled by each run's dense
+  GEMM calibration (``wall_s * calib_gflops``), cancelling first-order
+  machine-speed differences between the baseline host and the current
+  one.  Raw wall time is inherently noisy on shared/undersized CI
+  boxes (measured run-to-run spread ~30% on a busy single-core host),
+  so the wall gate uses its own, laxer threshold (``--wall-threshold``,
+  default 50%): it is a gross-failure backstop — an accidental sleep,
+  lock convoy or quadratic blowup — not a fine regression detector.
+  Disable with ``--no-wall`` when comparing across very different
+  machines.
+
+Usage::
+
+    python benchmarks/perf_compare.py BASELINE.json NEW.json
+    python benchmarks/perf_compare.py --threshold 0.10 base.json new.json
+
+``make perf-smoke`` runs the quick sweep and gates it against the
+committed baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from common import format_table
+
+#: Default tolerated slowdown (ratio - 1) before a cell is a regression.
+DEFAULT_THRESHOLD = 0.15
+
+#: Default wall-clock tolerance — deliberately lax (see module docstring).
+DEFAULT_WALL_THRESHOLD = 0.50
+
+#: Cell identity: one comparable configuration across runs.
+_KEY_FIELDS = ("matrix", "scheduler", "n_workers", "scale")
+
+
+def load_report(path) -> dict:
+    with open(path) as fh:
+        report = json.load(fh)
+    if report.get("bench") != "threaded" or "cells" not in report:
+        raise ValueError(f"{path} is not a bench_threaded report")
+    return report
+
+
+def index_cells(report: dict) -> dict[tuple, dict]:
+    return {
+        tuple(c[f] for f in _KEY_FIELDS): c for c in report["cells"]
+    }
+
+
+def compare(
+    baseline: dict,
+    new: dict,
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+    wall_threshold: float = DEFAULT_WALL_THRESHOLD,
+    check_wall: bool = True,
+) -> tuple[bool, list[dict]]:
+    """Compare two reports cell-by-cell.
+
+    Returns ``(ok, rows)``; ``rows`` has one entry per common cell with
+    the two ratios and a verdict.  ``ok`` is False when any gated ratio
+    exceeds ``1 + threshold`` — or when the runs share no cells at all
+    (a silently-empty comparison must not pass a CI gate).
+    """
+    base_cells = index_cells(baseline)
+    new_cells = index_cells(new)
+    common = sorted(set(base_cells) & set(new_cells), key=str)
+    rows: list[dict] = []
+    ok = True
+    if not common:
+        return False, rows
+
+    base_calib = float(baseline.get("calib_gflops") or 0.0)
+    new_calib = float(new.get("calib_gflops") or 0.0)
+    calibrated = base_calib > 0.0 and new_calib > 0.0
+
+    for key in common:
+        b, n = base_cells[key], new_cells[key]
+        model_ratio = (
+            n["model_makespan_s"] / b["model_makespan_s"]
+            if b["model_makespan_s"] > 0 else 1.0
+        )
+        if calibrated:
+            # wall * calib ~ machine-free "work units": a run on a 2x
+            # faster host halves wall_s but doubles calib_gflops.
+            wall_ratio = (
+                (n["wall_s"] * new_calib) / (b["wall_s"] * base_calib)
+                if b["wall_s"] > 0 else 1.0
+            )
+        else:
+            wall_ratio = (
+                n["wall_s"] / b["wall_s"] if b["wall_s"] > 0 else 1.0
+            )
+        bad_model = model_ratio > 1.0 + threshold
+        bad_wall = check_wall and wall_ratio > 1.0 + wall_threshold
+        if bad_model or bad_wall:
+            ok = False
+        rows.append({
+            "key": key,
+            "model_ratio": model_ratio,
+            "wall_ratio": wall_ratio,
+            "regression": bool(bad_model or bad_wall),
+            "gated_on": "model" if bad_model else "wall" if bad_wall else "",
+        })
+    return ok, rows
+
+
+def main(argv=None) -> int:
+    p = argparse.ArgumentParser(
+        description="fail on >threshold slowdown vs the committed baseline"
+    )
+    p.add_argument("baseline", type=Path,
+                   help="committed report (results/BENCH_threaded.json)")
+    p.add_argument("new", type=Path, help="freshly produced report")
+    p.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                   help="tolerated replay-makespan slowdown fraction "
+                        f"(default {DEFAULT_THRESHOLD:.2f} = 15%%)")
+    p.add_argument("--wall-threshold", type=float,
+                   default=DEFAULT_WALL_THRESHOLD,
+                   help="tolerated normalized-wall slowdown fraction "
+                        f"(default {DEFAULT_WALL_THRESHOLD:.2f}; lax on "
+                        "purpose — wall is a gross-failure backstop)")
+    p.add_argument("--no-wall", action="store_true",
+                   help="gate only the deterministic replay metric "
+                        "(use across very different hosts)")
+    args = p.parse_args(argv)
+
+    baseline = load_report(args.baseline)
+    new = load_report(args.new)
+    ok, rows = compare(
+        baseline, new,
+        threshold=args.threshold,
+        wall_threshold=args.wall_threshold,
+        check_wall=not args.no_wall,
+    )
+
+    if not rows:
+        print("FAIL: the two reports share no comparable cells "
+              f"(keys: {', '.join(_KEY_FIELDS)})")
+        return 1
+
+    headers = ["matrix", "sched", "workers", "scale",
+               "model_ratio", "wall_ratio", "verdict"]
+    table = []
+    for r in rows:
+        matrix, sched, workers, scale = r["key"]
+        table.append([
+            matrix, sched, workers, scale,
+            f"{r['model_ratio']:.3f}", f"{r['wall_ratio']:.3f}",
+            f"REGRESSION({r['gated_on']})" if r["regression"] else "ok",
+        ])
+    print(format_table(headers, table))
+    n_bad = sum(1 for r in rows if r["regression"])
+    limits = (f"model {1.0 + args.threshold:.2f}x, "
+              f"wall {1.0 + args.wall_threshold:.2f}x")
+    if ok:
+        print(f"PASS: {len(rows)} cell(s) within the baseline limits "
+              f"({limits})")
+        return 0
+    print(f"REGRESSION: {n_bad}/{len(rows)} cell(s) over the limits "
+          f"({limits})")
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

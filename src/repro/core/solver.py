@@ -127,6 +127,7 @@ class SparseSolver:
                 opts.factotype,
                 n_workers=opts.n_workers,
                 workspace=opts.workspace_update,
+                pivot_threshold=opts.pivot_threshold,
             )
         else:  # pragma: no cover - guarded by SolverOptions
             raise ValueError(f"unknown runtime {opts.runtime!r}")

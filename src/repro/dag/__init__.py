@@ -17,6 +17,7 @@ from repro.dag.builder import build_dag, update_couples
 from repro.dag.solve_builder import build_solve_dag
 from repro.dag.analysis import (
     critical_path,
+    longest_path_levels,
     parallelism_profile,
     dag_summary,
     to_dot,
@@ -30,6 +31,7 @@ __all__ = [
     "update_couples",
     "build_solve_dag",
     "critical_path",
+    "longest_path_levels",
     "parallelism_profile",
     "dag_summary",
     "to_dot",

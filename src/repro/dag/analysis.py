@@ -13,7 +13,38 @@ import numpy as np
 
 from repro.dag.tasks import TaskDAG, TaskKind
 
-__all__ = ["critical_path", "parallelism_profile", "dag_summary", "to_dot"]
+__all__ = [
+    "critical_path",
+    "longest_path_levels",
+    "parallelism_profile",
+    "dag_summary",
+    "to_dot",
+]
+
+
+def longest_path_levels(
+    dag: TaskDAG, *, weights: np.ndarray | None = None
+) -> np.ndarray:
+    """Longest-path-to-sink (bottom level) of every task.
+
+    ``levels[t]`` is the heaviest-path weight from ``t`` to any sink,
+    *including* ``t`` itself; ``weights`` defaults to task flops.  The
+    maximum over all tasks equals :func:`critical_path`'s length.  This
+    is the classic critical-path list-scheduling priority: running the
+    highest level first keeps the longest dependency chain moving.  Both
+    the simulated policies (:func:`repro.runtime.base.bottom_levels`)
+    and the real threaded :class:`repro.runtime.scheduling.\
+CriticalPathScheduler` rank tasks by it.
+    """
+    w = dag.flops.astype(np.float64) if weights is None \
+        else np.asarray(weights, dtype=np.float64)
+    order = dag.topological_order()
+    levels = w.copy()
+    for t in order[::-1]:
+        succ = dag.successors(int(t))
+        if succ.size:
+            levels[t] = w[t] + levels[succ].max()
+    return levels
 
 
 def critical_path(dag: TaskDAG, *, weights: np.ndarray | None = None) -> tuple[float, np.ndarray]:

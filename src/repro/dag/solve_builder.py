@@ -116,4 +116,12 @@ def build_solve_dag(
         factotype=factotype,
     )
     dag.phase = "solve"
+    # Explicit per-task direction flag.  Consumers (the threaded solve,
+    # the verifiers) must use this rather than re-deriving the phase
+    # from the [Pf | Uf | Pb | Ub] index layout — the layout is an
+    # implementation detail of this builder and free to change.
+    solve_backward = np.zeros(n_tasks, dtype=bool)
+    solve_backward[pb] = True
+    solve_backward[ub] = True
+    dag.solve_backward = solve_backward
     return dag

@@ -12,6 +12,8 @@ and SciPy (which release the GIL — the threaded runtime depends on this).
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 import scipy.linalg as sla
 
@@ -42,7 +44,9 @@ class PivotMonitor:
     *perturbed* to ``±threshold`` and counted, and iterative refinement
     recovers the lost digits afterwards (the SuperLU-dist / PaStiX
     static-pivoting recipe).  One monitor instance is threaded through a
-    factorization; ``n_perturbed`` reports how often it fired.
+    factorization; ``n_perturbed`` reports how often it fired.  The
+    counter is lock-protected: the threaded runtime factorizes panels
+    concurrently and ``+=`` on an attribute is not atomic in Python.
     """
 
     def __init__(self, threshold: float = 0.0) -> None:
@@ -50,6 +54,7 @@ class PivotMonitor:
             raise ValueError("threshold must be >= 0")
         self.threshold = threshold
         self.n_perturbed = 0
+        self._count_lock = threading.Lock()
 
     def fix(self, pivot, where: str):
         """Return a safe pivot, perturbing (or raising) as configured."""
@@ -59,7 +64,8 @@ class PivotMonitor:
             raise ZeroDivisionError(
                 f"zero pivot at {where} (static pivoting failed)"
             )
-        self.n_perturbed += 1
+        with self._count_lock:
+            self.n_perturbed += 1
         if pivot == 0:
             return self.threshold
         return pivot / abs(pivot) * self.threshold

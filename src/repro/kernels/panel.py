@@ -27,7 +27,13 @@ from repro.kernels.dense import (
     trsm_unit_lower_left,
 )
 
-__all__ = ["panel_factorize", "panel_update", "update_slice"]
+__all__ = [
+    "panel_factorize",
+    "panel_update",
+    "panel_update_compute",
+    "panel_update_scatter",
+    "update_slice",
+]
 
 
 def panel_factorize(factor, k: int) -> None:
@@ -82,26 +88,30 @@ def update_slice(factor, k: int, t: int) -> tuple[int, int, np.ndarray]:
     return i0, i1, rk
 
 
-def panel_update(factor, k: int, t: int, *, workspace: bool = True) -> None:
-    """Apply the update of factorized panel ``k`` onto facing panel ``t``.
+def panel_update_compute(factor, k: int, t: int):
+    """Compute half of the workspace update: the GEMM, no writes.
 
-    ``workspace=True`` computes the outer product into a contiguous
-    temporary and scatters it afterwards (the paper's CPU strategy:
-    "the outer product is computed in a contiguous temporary buffer, and
-    upon completion, the result is dispatched on the destination panel");
-    ``workspace=False`` routes through the blok-wise direct-scatter kernel
-    (the GPU-style kernel twin, see :mod:`repro.kernels.sparse_gemm`).
+    Forms panel ``k``'s contribution to facing panel ``t`` in contiguous
+    temporaries ("the outer product is computed in a contiguous
+    temporary buffer").  Reads only panel ``k``'s numerics and ``t``'s
+    *static* row structure — never ``t``'s values — so concurrent
+    callers may run it without holding ``t``'s mutex.  The threaded
+    runtime's lock narrowing hinges on that: the expensive GEMM happens
+    outside the panel lock, and only the cheap scatter-add
+    (:func:`panel_update_scatter`) serializes.
+
+    Returns ``None`` when ``k`` does not actually face ``t``, else an
+    opaque parts tuple for :func:`panel_update_scatter`.
     """
     sym = factor.symbol
     w = sym.cblk_width(k)
     i0, i1, rk = update_slice(factor, k, t)
     if i0 == i1:
-        return  # k does not actually face t
+        return None  # k does not actually face t
 
     cols_local = (rk[i0:i1] - sym.cblk_ptr[t]).astype(np.int64)
     rows_t = factor.rows[t]
     Lk = factor.L[k]
-    Lt = factor.L[t]
 
     a_tail = Lk[w + i0:, :]
     b_mid = Lk[w + i0: w + i1, :]
@@ -113,25 +123,74 @@ def panel_update(factor, k: int, t: int, *, workspace: bool = True) -> None:
         b_mid = factor.U[k][w + i0: w + i1, :]
 
     rows_local = np.searchsorted(rows_t, rk[i0:]).astype(np.int64)
-    if workspace:
-        contrib = a_tail @ b_mid.T
-        Lt[np.ix_(rows_local, cols_local)] -= contrib
-    else:
-        from repro.kernels.sparse_gemm import sparse_gemm_scatter
+    contrib = a_tail @ b_mid.T
 
-        sparse_gemm_scatter(a_tail, b_mid, Lt, rows_local, cols_local)
-
+    rows_local_u = None
+    contrib_u = None
     if factor.factotype == "lu" and i1 < rk.size:
         # U-side update: strictly-below rows of the target's U panel.
-        Uk = factor.U[k]
-        Ut = factor.U[t]
-        u_tail = Uk[w + i1:, :]
+        u_tail = factor.U[k][w + i1:, :]
         l_mid = Lk[w + i0: w + i1, :]
         rows_local_u = np.searchsorted(rows_t, rk[i1:]).astype(np.int64)
-        if workspace:
-            contrib_u = u_tail @ l_mid.T
-            Ut[np.ix_(rows_local_u, cols_local)] -= contrib_u
-        else:
-            from repro.kernels.sparse_gemm import sparse_gemm_scatter
+        contrib_u = u_tail @ l_mid.T
+    return rows_local, cols_local, contrib, rows_local_u, contrib_u
 
-            sparse_gemm_scatter(u_tail, l_mid, Ut, rows_local_u, cols_local)
+
+def panel_update_scatter(factor, t: int, parts) -> None:
+    """Scatter half: dispatch a precomputed contribution into ``t``.
+
+    ``parts`` comes from :func:`panel_update_compute`.  This is the only
+    half that writes panel ``t``, so concurrent callers must hold ``t``'s
+    mutex around *this call only*.
+    """
+    rows_local, cols_local, contrib, rows_local_u, contrib_u = parts
+    factor.L[t][np.ix_(rows_local, cols_local)] -= contrib
+    if contrib_u is not None:
+        factor.U[t][np.ix_(rows_local_u, cols_local)] -= contrib_u
+
+
+def panel_update(factor, k: int, t: int, *, workspace: bool = True) -> None:
+    """Apply the update of factorized panel ``k`` onto facing panel ``t``.
+
+    ``workspace=True`` computes the outer product into a contiguous
+    temporary and scatters it afterwards (the paper's CPU strategy,
+    split into :func:`panel_update_compute` + :func:`panel_update_scatter`
+    so the threaded runtime can lock only the scatter);
+    ``workspace=False`` routes through the blok-wise direct-scatter kernel
+    (the GPU-style kernel twin, see :mod:`repro.kernels.sparse_gemm`).
+    """
+    if workspace:
+        parts = panel_update_compute(factor, k, t)
+        if parts is not None:
+            panel_update_scatter(factor, t, parts)
+        return
+
+    sym = factor.symbol
+    w = sym.cblk_width(k)
+    i0, i1, rk = update_slice(factor, k, t)
+    if i0 == i1:
+        return  # k does not actually face t
+
+    cols_local = (rk[i0:i1] - sym.cblk_ptr[t]).astype(np.int64)
+    rows_t = factor.rows[t]
+    Lk = factor.L[k]
+
+    a_tail = Lk[w + i0:, :]
+    b_mid = Lk[w + i0: w + i1, :]
+    if factor.factotype == "ldlt":
+        b_mid = b_mid * factor.D[k]
+    elif factor.factotype == "lu":
+        b_mid = factor.U[k][w + i0: w + i1, :]
+
+    rows_local = np.searchsorted(rows_t, rk[i0:]).astype(np.int64)
+    from repro.kernels.sparse_gemm import sparse_gemm_scatter
+
+    sparse_gemm_scatter(a_tail, b_mid, factor.L[t], rows_local, cols_local)
+
+    if factor.factotype == "lu" and i1 < rk.size:
+        u_tail = factor.U[k][w + i1:, :]
+        l_mid = Lk[w + i0: w + i1, :]
+        rows_local_u = np.searchsorted(rows_t, rk[i1:]).astype(np.int64)
+        sparse_gemm_scatter(
+            u_tail, l_mid, factor.U[t], rows_local_u, cols_local
+        )

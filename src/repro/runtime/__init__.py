@@ -29,7 +29,12 @@ from repro.runtime.static_schedule import (
 from repro.runtime.native import NativePolicy
 from repro.runtime.starpu import StarPUPolicy
 from repro.runtime.parsec import ParsecPolicy
-from repro.runtime.threaded import factorize_threaded
+from repro.runtime.scheduling import (
+    THREAD_SCHEDULERS,
+    ThreadScheduler,
+    get_thread_scheduler,
+)
+from repro.runtime.threaded import factorize_threaded, solve_threaded
 from repro.runtime.tracing import ExecutionTrace, TraceEvent
 
 _POLICIES = {
@@ -61,6 +66,10 @@ __all__ = [
     "StarPUPolicy",
     "ParsecPolicy",
     "factorize_threaded",
+    "solve_threaded",
+    "ThreadScheduler",
+    "THREAD_SCHEDULERS",
+    "get_thread_scheduler",
     "ExecutionTrace",
     "TraceEvent",
     "get_policy",

@@ -98,12 +98,10 @@ def bottom_levels(dag: TaskDAG) -> np.ndarray:
 
     ``bl[t]`` = weight of the heaviest path from ``t`` to a sink,
     including ``t`` itself — the classic list-scheduling priority, and
-    the analogue of PaStiX's analysis-time cost-model ordering.
+    the analogue of PaStiX's analysis-time cost-model ordering.  Thin
+    alias of :func:`repro.dag.analysis.longest_path_levels` (the
+    canonical implementation, shared with the real threaded scheduler).
     """
-    order = dag.topological_order()
-    bl = dag.flops.astype(np.float64).copy()
-    for t in order[::-1]:
-        succ = dag.successors(int(t))
-        if succ.size:
-            bl[t] = dag.flops[t] + bl[succ].max()
-    return bl
+    from repro.dag.analysis import longest_path_levels
+
+    return longest_path_levels(dag)

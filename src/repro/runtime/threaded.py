@@ -1,9 +1,25 @@
 """Real parallel execution of the factorization DAG on Python threads.
 
 NumPy's BLAS kernels release the GIL, so panel factorizations and GEMM
-updates genuinely overlap across worker threads.  Dependency management
-mirrors the simulator: a shared ready deque, per-panel mutexes for the
-in-out update access, and completion-driven release of successors.
+updates genuinely overlap across worker threads.  Scheduling is
+pluggable (:mod:`repro.runtime.scheduling`): per-worker work-stealing
+deques (PaStiX twin), a critical-path-priority heap (dmda twin), a
+last-panel-affinity router (PaRSEC cache-reuse twin), or the legacy
+global FIFO baseline — selected via ``factorize_threaded(...,
+scheduler=...)`` and stamped into the trace's ``meta`` for the S2xx
+verifier.
+
+Lock discipline is deliberately narrow:
+
+* the sparse GEMM of an update runs *outside* the target-panel mutex
+  (:func:`repro.kernels.panel.panel_update_compute`); only the
+  scatter-add into the facing panel serializes
+  (:func:`~repro.kernels.panel.panel_update_scatter`);
+* completion notifications use per-worker wakeup events instead of one
+  global condition variable, so finishing a task never stampedes the
+  whole pool;
+* trace rows are buffered per worker and merged once at ``run()`` exit,
+  so tracing never contends with the scheduler.
 
 This engine is the correctness twin of the simulated runtimes: it runs
 the same DAG with the same kernels and must produce bit-for-bit the same
@@ -16,7 +32,6 @@ from __future__ import annotations
 
 import threading
 import time
-from collections import deque
 from typing import Optional
 
 import numpy as np
@@ -24,16 +39,31 @@ import numpy as np
 from repro.core.factor import NumericFactor
 from repro.dag.builder import build_dag
 from repro.dag.tasks import TaskKind
-from repro.kernels.panel import panel_factorize, panel_update
+from repro.kernels.panel import (
+    panel_factorize,
+    panel_update,
+    panel_update_compute,
+    panel_update_scatter,
+)
+from repro.runtime.scheduling import ThreadScheduler, get_thread_scheduler
 from repro.runtime.tracing import ExecutionTrace
 from repro.sparse.csc import SparseMatrixCSC
 from repro.symbolic.structures import SymbolMatrix
 
 __all__ = ["factorize_threaded", "solve_threaded"]
 
+#: Bound on a parked worker's nap.  Wakeups are evented, so this only
+#: matters if a wakeup races the parking protocol; it turns a lost
+#: signal into a few-ms hiccup instead of a hang.
+_PARK_TIMEOUT_S = 0.02
 
-class _ThreadedRun:
-    """One threaded factorization, hardened against task failure.
+
+class _PoolRun:
+    """Scheduler-driven thread-pool execution of one task DAG.
+
+    The shared engine beneath the factorization and solve runs; a
+    subclass supplies the task body (:meth:`_run_task`).  Hardening is
+    uniform across both phases:
 
     * a task body that raises is retried up to ``max_retries`` times
       (each failed attempt lands in the trace as a ``"task-error"``
@@ -44,67 +74,72 @@ class _ThreadedRun:
       first quarantined exception once the rest of the DAG drained;
     * ``watchdog_s`` bounds the wait for progress: instead of joining
       forever on a wedged pool, ``run()`` raises a diagnostic naming the
-      ready queue and the blocked frontier.
+      scheduler queue and the blocked frontier.
 
     NOTE: retrying is only sound for task bodies that fail *before*
-    mutating their target panel (argument validation, resource errors).
-    A partially applied update is not re-runnable; production runtimes
-    checkpoint the panel first, which an in-memory engine cannot.
+    mutating shared state (argument validation, resource errors).  For
+    factorization updates the compute/scatter split makes the whole GEMM
+    re-runnable; a partially applied scatter is not.  Production
+    runtimes checkpoint the panel first, which an in-memory engine
+    cannot.
     """
 
-    def __init__(self, factor: NumericFactor, dag, n_workers: int,
-                 workspace: bool, trace: Optional[ExecutionTrace],
+    #: Used in stall/watchdog messages ("factorization" / "solve").
+    phase_label = "run"
+
+    def __init__(self, dag, n_workers: int,
+                 trace: Optional[ExecutionTrace],
+                 scheduler: ThreadScheduler | str,
                  max_retries: int = 0,
                  watchdog_s: float | None = None) -> None:
-        self.factor = factor
         self.dag = dag
-        self.n_workers = n_workers
-        self.workspace = workspace
+        self.n_workers = max(1, int(n_workers))
         self.trace = trace
         self.max_retries = max_retries
         self.watchdog_s = watchdog_s
+        self.scheduler = get_thread_scheduler(scheduler)
+        self.scheduler.bind(dag, self.n_workers)
         self.deps_left = dag.n_deps.copy()
-        self.ready: deque[int] = deque(int(t) for t in dag.sources())
         self.n_done = 0
         self.done = np.zeros(dag.n_tasks, dtype=bool)
-        self.cv = threading.Condition()
-        self.panel_locks = [
-            threading.Lock() for _ in range(dag.symbol.n_cblk)
+        # One lock for dependency/completion state; queue state lives in
+        # the scheduler behind its own (finer) locks.
+        self.state = threading.Lock()
+        self.wakeups = [threading.Event() for _ in range(self.n_workers)]
+        self._trace_rows: list[list[tuple[int, float, float]]] = [
+            [] for _ in range(self.n_workers)
         ]
         self.attempts: dict[int, int] = {}
         self.quarantined: dict[int, BaseException] = {}
         self.abandoned: set[int] = set()
         self.aborted = False
         self.t0 = time.perf_counter()
+        if trace is not None:
+            trace.meta["scheduler"] = self.scheduler.name
+            trace.meta["n_workers"] = self.n_workers
+        for t in dag.sources():
+            self.scheduler.push(int(t), -1)
 
-    # ------------------------------------------------------------------
+    # -- task body (subclass surface) ----------------------------------
+    def _run_task(self, t: int, worker: int) -> None:
+        raise NotImplementedError
+
     def _execute(self, t: int, worker: int) -> None:
-        dag = self.dag
-        kind = TaskKind(int(dag.kind[t]))
         start = time.perf_counter() - self.t0
-        if kind == TaskKind.UPDATE:
-            tgt = int(dag.target[t])
-            # Blocking acquire is deadlock-free: a worker holds at most
-            # one panel lock and never waits on anything else while
-            # holding it.
-            with self.panel_locks[tgt]:
-                panel_update(
-                    self.factor, int(dag.cblk[t]), tgt,
-                    workspace=self.workspace,
-                )
-        else:
-            panel_factorize(self.factor, int(dag.cblk[t]))
+        self._run_task(t, worker)
         if self.trace is not None:
             end = time.perf_counter() - self.t0
-            with self.cv:
-                self.trace.record(t, f"cpu{worker}", start, end)
+            # Buffered: merged into the trace at run() exit so a traced
+            # completion never takes a shared lock.
+            self._trace_rows[worker].append((t, start, end))
 
+    # -- bookkeeping ---------------------------------------------------
     def _settled(self) -> int:
         """Tasks that will never run again: completed or abandoned."""
         return self.n_done + len(self.abandoned)
 
-    def _quarantine(self, t: int, exc: BaseException) -> None:
-        """Abandon ``t`` and its not-yet-run descendants (cv held)."""
+    def _quarantine_locked(self, t: int, exc: BaseException) -> None:
+        """Abandon ``t`` and its not-yet-run descendants (state held)."""
         self.quarantined[t] = exc
         stack = [t]
         while stack:
@@ -115,55 +150,112 @@ class _ThreadedRun:
             for s in self.dag.successors(u):
                 if not self.done[s]:
                     stack.append(int(s))
-        self.cv.notify_all()
+
+    def _wake_all(self) -> None:
+        for ev in self.wakeups:
+            ev.set()
+
+    def _wake(self, hint: int, me: int) -> None:
+        """Wake the routed worker, or any parked one for shared pools."""
+        if 0 <= hint < self.n_workers:
+            if hint != me:
+                self.wakeups[hint].set()
+            return
+        self._wake_any(me)
+
+    def _wake_any(self, me: int) -> None:
+        for w in range(self.n_workers):
+            if w != me and not self.wakeups[w].is_set():
+                self.wakeups[w].set()
+                return
+
+    def _on_success(self, t: int, worker: int) -> None:
+        released: list[int] = []
+        with self.state:
+            self.n_done += 1
+            self.done[t] = True
+            for s in self.dag.successors(t):
+                self.deps_left[s] -= 1
+                if self.deps_left[s] == 0 and s not in self.abandoned:
+                    released.append(int(s))
+            terminal = self._settled() >= self.dag.n_tasks
+        # Affinity bookkeeping first, so freshly released successors
+        # route to the worker whose cache just touched the panel.
+        self.scheduler.on_complete(t, worker)
+        if terminal:
+            self._wake_all()
+            return
+        # This worker keeps one released task for itself (it pops next);
+        # each task routed elsewhere wakes its target, and each *surplus*
+        # local/shared task offers a parked peer the chance to steal it.
+        surplus = len(released) - 1
+        for s in released:
+            hint = self.scheduler.push(s, worker)
+            if 0 <= hint < self.n_workers and hint != worker:
+                self.wakeups[hint].set()
+            elif surplus > 0:
+                self._wake_any(worker)
+                surplus -= 1
+
+    def _on_failure(self, t: int, worker: int, exc: BaseException) -> None:
+        cblk = int(self.dag.cblk[t])
+        with self.state:
+            att = self.attempts.get(t, 0) + 1
+            self.attempts[t] = att
+            now = time.perf_counter() - self.t0
+            retry = att <= self.max_retries
+            if self.trace is not None:
+                self.trace.record_fault(
+                    "task-error", t, cblk, f"cpu{worker}", now, now, att,
+                )
+                if retry:
+                    self.trace.record_recovery(
+                        "requeue", t, cblk, f"cpu{worker}", now, att,
+                    )
+            if not retry:
+                self._quarantine_locked(t, exc)
+        if retry:
+            hint = self.scheduler.push(t, worker)
+            self._wake(hint, worker)
+        else:
+            self._wake_all()
+
+    # -- the worker loop -----------------------------------------------
+    def _park(self, worker: int) -> None:
+        ev = self.wakeups[worker]
+        ev.clear()
+        # Recheck *after* clearing: a push that landed before the clear
+        # is visible here; one that lands after will set the event.
+        if self.scheduler.has_work() or self.aborted:
+            return
+        with self.state:
+            if self._settled() >= self.dag.n_tasks:
+                return
+        ev.wait(timeout=_PARK_TIMEOUT_S)
 
     def _worker(self, worker: int) -> None:
         while True:
-            with self.cv:
-                while not self.ready \
-                        and self._settled() < self.dag.n_tasks \
-                        and not self.aborted:
-                    self.cv.wait()
+            with self.state:
                 if self.aborted or self._settled() >= self.dag.n_tasks:
                     return
-                t = self.ready.popleft()
+            t = self.scheduler.pop(worker)
+            if t is None:
+                self._park(worker)
+                continue
+            with self.state:
                 if t in self.abandoned:
                     continue
             try:
                 self._execute(t, worker)
             except BaseException as exc:
-                with self.cv:
-                    att = self.attempts.get(t, 0) + 1
-                    self.attempts[t] = att
-                    now = time.perf_counter() - self.t0
-                    if self.trace is not None:
-                        self.trace.record_fault(
-                            "task-error", t, int(self.dag.cblk[t]),
-                            f"cpu{worker}", now, now, att,
-                        )
-                    if att > self.max_retries:
-                        self._quarantine(t, exc)
-                    else:
-                        if self.trace is not None:
-                            self.trace.record_recovery(
-                                "requeue", t, int(self.dag.cblk[t]),
-                                f"cpu{worker}", now, att,
-                            )
-                        self.ready.append(t)
-                        self.cv.notify_all()
+                self._on_failure(t, worker, exc)
                 continue
-            with self.cv:
-                self.n_done += 1
-                self.done[t] = True
-                for s in self.dag.successors(t):
-                    self.deps_left[s] -= 1
-                    if self.deps_left[s] == 0 and s not in self.abandoned:
-                        self.ready.append(int(s))
-                self.cv.notify_all()
+            self._on_success(t, worker)
 
+    # -- diagnostics ---------------------------------------------------
     def _watchdog_message(self) -> str:
-        with self.cv:
-            ready = list(self.ready)[:15]
+        with self.state:
+            ready = self.scheduler.snapshot(15)
             pending = np.flatnonzero(~self.done)
             frontier = [
                 int(t) for t in pending
@@ -173,13 +265,24 @@ class _ThreadedRun:
                 sum(1 for t in pending if self.deps_left[t] > 0)
             )
             return (
-                f"threaded run made no progress for {self.watchdog_s}s: "
+                f"threaded {self.phase_label} made no progress for "
+                f"{self.watchdog_s}s: "
                 f"{self.n_done}/{self.dag.n_tasks} done, "
-                f"{len(self.abandoned)} abandoned; ready queue {ready}; "
+                f"{len(self.abandoned)} abandoned; "
+                f"scheduler {self.scheduler.name!r}; ready queue {ready}; "
                 f"{len(frontier)} released-but-unrun task(s) "
                 f"{frontier[:15]}; {blocked} task(s) with deps_left > 0"
             )
 
+    def _merge_trace(self) -> None:
+        if self.trace is None:
+            return
+        for w in range(self.n_workers):
+            for t, start, end in self._trace_rows[w]:
+                self.trace.record(t, f"cpu{w}", start, end)
+        self._trace_rows = [[] for _ in range(self.n_workers)]
+
+    # -- driver --------------------------------------------------------
     def run(self) -> None:
         threads = [
             threading.Thread(target=self._worker, args=(w,), daemon=True)
@@ -187,32 +290,84 @@ class _ThreadedRun:
         ]
         for th in threads:
             th.start()
-        if self.watchdog_s is None:
-            for th in threads:
-                th.join()
-        else:
-            deadline = time.monotonic() + self.watchdog_s
-            last_progress = -1
-            while any(th.is_alive() for th in threads):
+        try:
+            if self.watchdog_s is None:
                 for th in threads:
-                    th.join(timeout=0.05)
-                with self.cv:
-                    progress = self._settled()
-                if progress != last_progress:
-                    last_progress = progress
-                    deadline = time.monotonic() + self.watchdog_s
-                elif time.monotonic() > deadline:
-                    msg = self._watchdog_message()
-                    with self.cv:
-                        self.aborted = True
-                        self.cv.notify_all()
-                    raise RuntimeError(msg)
+                    th.join()
+            else:
+                deadline = time.monotonic() + self.watchdog_s
+                last_progress = -1
+                while any(th.is_alive() for th in threads):
+                    for th in threads:
+                        th.join(timeout=0.05)
+                    with self.state:
+                        progress = self._settled()
+                    if progress != last_progress:
+                        last_progress = progress
+                        deadline = time.monotonic() + self.watchdog_s
+                    elif time.monotonic() > deadline:
+                        msg = self._watchdog_message()
+                        with self.state:
+                            self.aborted = True
+                        self._wake_all()
+                        raise RuntimeError(msg)
+        finally:
+            # Only merge once every worker is gone — the buffers are
+            # written lock-free by their owning threads.
+            if all(not th.is_alive() for th in threads):
+                self._merge_trace()
         if self.quarantined:
             # Everything independent of the failures completed; now
             # surface the first failure to the caller.
             raise next(iter(self.quarantined.values()))
         if self.n_done != self.dag.n_tasks:
-            raise RuntimeError("threaded factorization stalled")
+            raise RuntimeError(
+                f"threaded {self.phase_label} stalled"
+            )
+
+
+class _ThreadedRun(_PoolRun):
+    """One threaded factorization (see :class:`_PoolRun` for hardening).
+
+    Update tasks are two-phase: the sparse GEMM runs lock-free against
+    the already-factorized source panel, then the scatter-add takes the
+    target-panel mutex.  With ``workspace=False`` the direct-scatter
+    GPU-twin kernel has no separable compute half, so the whole kernel
+    runs under the mutex (the legacy discipline).
+    """
+
+    phase_label = "factorization"
+
+    def __init__(self, factor: NumericFactor, dag, n_workers: int,
+                 workspace: bool, trace: Optional[ExecutionTrace],
+                 max_retries: int = 0,
+                 watchdog_s: float | None = None,
+                 scheduler: ThreadScheduler | str = "ws") -> None:
+        super().__init__(dag, n_workers, trace, scheduler,
+                         max_retries=max_retries, watchdog_s=watchdog_s)
+        self.factor = factor
+        self.workspace = workspace
+        self.panel_locks = [
+            threading.Lock() for _ in range(dag.symbol.n_cblk)
+        ]
+
+    def _run_task(self, t: int, worker: int) -> None:
+        dag = self.dag
+        kind = TaskKind(int(dag.kind[t]))
+        if kind != TaskKind.UPDATE:
+            panel_factorize(self.factor, int(dag.cblk[t]))
+            return
+        src, tgt = int(dag.cblk[t]), int(dag.target[t])
+        # Blocking acquire is deadlock-free: a worker holds at most one
+        # panel lock and never waits on anything else while holding it.
+        if self.workspace:
+            parts = panel_update_compute(self.factor, src, tgt)
+            if parts is not None:
+                with self.panel_locks[tgt]:
+                    panel_update_scatter(self.factor, tgt, parts)
+        else:
+            with self.panel_locks[tgt]:
+                panel_update(self.factor, src, tgt, workspace=False)
 
 
 class _ThreadedSolve:
@@ -223,7 +378,8 @@ class _ThreadedSolve:
     folded into the start of each backward panel, then the backward
     sweep.  Shared-vector regions are protected by the same mutex
     namespaces the DAG declares (forward: the facing panel; backward:
-    the source panel).
+    the source panel).  The forward/backward split comes from the DAG's
+    explicit ``solve_backward`` field, not from task-index arithmetic.
     """
 
     def __init__(self, factor: NumericFactor, x: np.ndarray) -> None:
@@ -247,7 +403,7 @@ class _ThreadedSolve:
         f, l = int(sym.cblk_ptr[src]), int(sym.cblk_ptr[src + 1])
         w = l - f
         panel = factor.L[src]
-        backward = task >= dag.n_tasks // 2  # [Pf | Uf | Pb | Ub] layout
+        backward = bool(dag.solve_backward[task])
 
         if kind != TaskKind.UPDATE:
             diag = panel[:w, :w]
@@ -286,70 +442,64 @@ class _ThreadedSolve:
             self.acc[f:l] += block.T @ x[rows]
 
 
+class _ThreadedSolveRun(_PoolRun):
+    """One threaded triangular solve on the shared pool engine.
+
+    Solve tasks mutate the right-hand-side vector in place, so bodies
+    are *not* retryable (``max_retries`` is pinned to 0); the watchdog
+    and quarantine machinery are inherited unchanged — a wedged solve
+    pool now raises the same named diagnostic as the factorization
+    instead of joining forever.
+    """
+
+    phase_label = "solve"
+
+    def __init__(self, factor: NumericFactor, x: np.ndarray, dag,
+                 n_workers: int,
+                 trace: Optional[ExecutionTrace] = None,
+                 watchdog_s: float | None = None,
+                 scheduler: ThreadScheduler | str = "fifo") -> None:
+        super().__init__(dag, n_workers, trace, scheduler,
+                         max_retries=0, watchdog_s=watchdog_s)
+        self.body = _ThreadedSolve(factor, x)
+        self.mutex_locks = [
+            threading.Lock() for _ in range(2 * factor.symbol.n_cblk)
+        ]
+
+    def _run_task(self, t: int, worker: int) -> None:
+        grp = int(self.dag.mutex[t])
+        if grp >= 0:
+            with self.mutex_locks[grp]:
+                self.body.run_task(self.dag, t)
+        else:
+            self.body.run_task(self.dag, t)
+
+
 def solve_threaded(
     factor: NumericFactor,
     b: np.ndarray,
     *,
     n_workers: int = 4,
+    watchdog_s: float | None = None,
+    scheduler: ThreadScheduler | str = "fifo",
+    trace: Optional[ExecutionTrace] = None,
 ) -> np.ndarray:
     """Parallel triangular solve of the factored system on threads.
 
     Equivalent to :func:`repro.core.triangular.solve_factored` (the tests
     assert agreement to roundoff) but executes the solve-phase DAG on a
-    worker pool.
+    worker pool.  ``watchdog_s`` turns a wedged pool into a diagnostic
+    ``RuntimeError`` instead of an unbounded ``join()``; ``scheduler``
+    picks the ready-queue policy (solve tasks are tiny, so the default
+    stays the cheap global FIFO).
     """
     from repro.dag.solve_builder import build_solve_dag
 
     x = np.array(b, dtype=factor.dtype, copy=True)
     dag = build_solve_dag(factor.symbol, factor.factotype, dtype=factor.dtype)
-    body = _ThreadedSolve(factor, x)
-
-    deps_left = dag.n_deps.copy()
-    ready: deque[int] = deque(int(t) for t in dag.sources())
-    cv = threading.Condition()
-    locks = [threading.Lock() for _ in range(2 * factor.symbol.n_cblk)]
-    state = {"done": 0, "failure": None}
-
-    def worker() -> None:
-        while True:
-            with cv:
-                while not ready and state["done"] < dag.n_tasks \
-                        and state["failure"] is None:
-                    cv.wait()
-                if state["failure"] is not None or state["done"] == dag.n_tasks:
-                    return
-                t = ready.popleft()
-            try:
-                grp = int(dag.mutex[t])
-                if grp >= 0:
-                    with locks[grp]:
-                        body.run_task(dag, t)
-                else:
-                    body.run_task(dag, t)
-            except BaseException as exc:
-                with cv:
-                    state["failure"] = exc
-                    cv.notify_all()
-                return
-            with cv:
-                state["done"] += 1
-                for s in dag.successors(t):
-                    deps_left[s] -= 1
-                    if deps_left[s] == 0:
-                        ready.append(int(s))
-                cv.notify_all()
-
-    threads = [
-        threading.Thread(target=worker, daemon=True) for _ in range(n_workers)
-    ]
-    for th in threads:
-        th.start()
-    for th in threads:
-        th.join()
-    if state["failure"] is not None:
-        raise state["failure"]
-    if state["done"] != dag.n_tasks:
-        raise RuntimeError("threaded solve stalled")
+    run = _ThreadedSolveRun(factor, x, dag, n_workers, trace=trace,
+                            watchdog_s=watchdog_s, scheduler=scheduler)
+    run.run()
     return x
 
 
@@ -364,20 +514,36 @@ def factorize_threaded(
     trace: Optional[ExecutionTrace] = None,
     max_retries: int = 0,
     watchdog_s: float | None = None,
+    scheduler: ThreadScheduler | str = "ws",
+    pivot_threshold: float = 0.0,
 ) -> NumericFactor:
     """Factorize on a thread pool; returns the :class:`NumericFactor`.
 
-    Pass an :class:`ExecutionTrace` to collect per-task timings (adds a
-    little locking overhead).  ``max_retries`` re-runs a raising task
-    body that many times before quarantining it (see
-    :class:`_ThreadedRun`); ``watchdog_s`` turns a wedged pool into a
-    diagnostic ``RuntimeError`` instead of an unbounded ``join()``.
+    ``scheduler`` selects the ready-queue policy by registry name
+    (``"ws"`` work stealing — the default, ``"priority"`` critical-path
+    heap, ``"affinity"`` last-panel cache reuse, ``"fifo"`` the legacy
+    shared queue) or accepts a :class:`~repro.runtime.scheduling.\
+ThreadScheduler` instance; the choice is stamped into ``trace.meta``.
+
+    Pass an :class:`ExecutionTrace` to collect per-task timings (rows
+    are buffered per worker, so the overhead stays off the hot path).
+    ``max_retries`` re-runs a raising task body that many times before
+    quarantining it (see :class:`_PoolRun`); ``watchdog_s`` turns a
+    wedged pool into a diagnostic ``RuntimeError`` instead of an
+    unbounded ``join()``.  ``pivot_threshold`` > 0 enables the same
+    static-pivot perturbation as the sequential driver (the monitor's
+    counter is thread-safe).
     """
     factor = NumericFactor.assemble(symbol, matrix, factotype, dtype=dtype)
+    if pivot_threshold > 0.0:
+        from repro.kernels.dense import PivotMonitor
+
+        factor.pivot_monitor = PivotMonitor(pivot_threshold)
     dag = build_dag(
         symbol, factotype, granularity="2d", dtype=factor.dtype
     )
     run = _ThreadedRun(factor, dag, n_workers, workspace, trace,
-                       max_retries=max_retries, watchdog_s=watchdog_s)
+                       max_retries=max_retries, watchdog_s=watchdog_s,
+                       scheduler=scheduler)
     run.run()
     return factor

@@ -117,13 +117,20 @@ class RecoveryEvent:
 
 @dataclass
 class ExecutionTrace:
-    """A complete schedule: task executions plus optional transfers."""
+    """A complete schedule: task executions plus optional transfers.
+
+    ``meta`` carries producer-side provenance — the threaded engine
+    stamps ``{"scheduler": <registry name>, "n_workers": N}`` so the
+    S2xx verifier and the benchmark reports know which policy made the
+    schedule without re-deriving it from timings.
+    """
 
     events: list[TraceEvent] = field(default_factory=list)
     transfers: list[TraceEvent] = field(default_factory=list)
     data_events: list[DataEvent] = field(default_factory=list)
     fault_events: list[FaultEvent] = field(default_factory=list)
     recovery_events: list[RecoveryEvent] = field(default_factory=list)
+    meta: dict = field(default_factory=dict)
 
     def record(self, task: int, resource: str, start: float, end: float) -> None:
         self.events.append(TraceEvent(task, resource, start, end))

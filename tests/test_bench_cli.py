@@ -186,3 +186,104 @@ def test_simulate_cell_verify_gate(bench_env):
                                 n_gpus=1, streams=2, verify=True)
     assert cell["verified"] is True
     assert cell["gflops"] > 0
+
+
+# ----------------------------------------------------------------------
+# Threaded-scheduler sweep + perf-regression gate.
+# ----------------------------------------------------------------------
+def test_bench_threaded_quick(bench_env, capsys):
+    import json
+
+    load, tmp = bench_env
+    mod = load("bench_threaded")
+    out_path = tmp / "bt.json"
+    mod.main(["--scale", "0.3", "--matrices", "audi", "--workers", "2",
+              "--repeats", "1", "--verify", "--out", str(out_path)])
+    out = capsys.readouterr().out
+    for sched in ("fifo", "ws", "priority", "affinity"):
+        assert sched in out
+    data = json.loads(out_path.read_text())
+    assert data["bench"] == "threaded"
+    assert data["calib_gflops"] > 0
+    assert len(data["cells"]) == 4
+    for c in data["cells"]:
+        assert c["wall_s"] > 0
+        assert c["model_makespan_s"] >= c["model_cp_s"] > 0
+        assert c["verified"] is True
+    # The summary compares each scheduler against the fifo baseline.
+    assert {s["scheduler"] for s in data["summary"]} == {
+        "ws", "priority", "affinity",
+    }
+
+
+def test_perf_compare_pass_and_regression(bench_env, capsys):
+    import copy
+    import json
+
+    load, tmp = bench_env
+    bt = load("bench_threaded")
+    pc = load("perf_compare")
+    base_path = tmp / "base.json"
+    bt.main(["--scale", "0.3", "--matrices", "audi", "--workers", "2",
+             "--repeats", "1", "--out", str(base_path)])
+    capsys.readouterr()
+
+    # Identical report: must pass.
+    assert pc.main([str(base_path), str(base_path)]) == 0
+    assert "PASS" in capsys.readouterr().out
+
+    # Doctor one cell's replay makespan beyond the 15% gate: must fail.
+    doctored = copy.deepcopy(json.loads(base_path.read_text()))
+    doctored["cells"][0]["model_makespan_s"] *= 1.5
+    bad_path = tmp / "bad.json"
+    bad_path.write_text(json.dumps(doctored))
+    assert pc.main([str(base_path), str(bad_path)]) == 1
+    assert "REGRESSION(model)" in capsys.readouterr().out
+
+    # A gross wall slowdown trips the lax wall backstop even when the
+    # replay metric is untouched.
+    slow = copy.deepcopy(json.loads(base_path.read_text()))
+    for c in slow["cells"]:
+        c["wall_s"] *= 2.0
+    slow_path = tmp / "slow.json"
+    slow_path.write_text(json.dumps(slow))
+    assert pc.main([str(base_path), str(slow_path)]) == 1
+    assert "REGRESSION(wall)" in capsys.readouterr().out
+    # ... but --no-wall ignores it.
+    assert pc.main(["--no-wall", str(base_path), str(slow_path)]) == 0
+
+
+def test_perf_compare_rejects_disjoint_reports(bench_env, capsys):
+    import json
+
+    load, tmp = bench_env
+    pc = load("perf_compare")
+    a = {"bench": "threaded", "cells": [
+        {"matrix": "x", "scheduler": "fifo", "n_workers": 1, "scale": 1.0,
+         "wall_s": 1.0, "model_makespan_s": 1.0}]}
+    b = {"bench": "threaded", "cells": [
+        {"matrix": "y", "scheduler": "fifo", "n_workers": 1, "scale": 1.0,
+         "wall_s": 1.0, "model_makespan_s": 1.0}]}
+    pa, pb = tmp / "a.json", tmp / "b.json"
+    pa.write_text(json.dumps(a))
+    pb.write_text(json.dumps(b))
+    assert pc.main([str(pa), str(pb)]) == 1
+    assert "no comparable cells" in capsys.readouterr().out
+
+
+def test_bench_threaded_mis_prioritize_is_caught(bench_env, capsys):
+    """The gate's self-test mechanism: a mis-prioritized 'priority' cell
+    must inflate the replay makespan past the threshold."""
+    load, tmp = bench_env
+    bt = load("bench_threaded")
+    pc = load("perf_compare")
+    base_path = tmp / "base.json"
+    mis_path = tmp / "mis.json"
+    common_args = ["--scale", "0.75", "--matrices", "audi",
+                   "--workers", "4", "--repeats", "1",
+                   "--schedulers", "priority"]
+    bt.main(common_args + ["--out", str(base_path)])
+    bt.main(common_args + ["--mis-prioritize", "--out", str(mis_path)])
+    capsys.readouterr()
+    assert pc.main(["--no-wall", str(base_path), str(mis_path)]) == 1
+    assert "REGRESSION(model)" in capsys.readouterr().out

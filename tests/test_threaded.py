@@ -82,6 +82,88 @@ def test_failure_propagates(grid2d_small):
         factorize_threaded(res.symbol, broken, "llt", n_workers=2)
 
 
+@pytest.mark.parametrize("scheduler", ["fifo", "ws", "priority", "affinity"])
+def test_all_schedulers_match_sequential(grid2d_small, scheduler):
+    res, permuted = _setup(grid2d_small, "llt")
+    ref = factorize_sequential(res.symbol, permuted, "llt")
+    par = factorize_threaded(
+        res.symbol, permuted, "llt", n_workers=3, scheduler=scheduler
+    )
+    for a, b in zip(ref.L, par.L):
+        assert np.allclose(a, b, atol=1e-10)
+
+
+def test_ldlt_pivot_threshold_threaded(grid2d_medium):
+    """Static pivot perturbation is order-independent: the threaded LDLᵀ
+    with a biting threshold must agree with the sequential driver, and
+    the thread-safe monitor must count the same perturbations."""
+    res, permuted = _setup(grid2d_medium, "ldlt")
+    threshold = 3.0  # above the smallest pivot (~2.4): guaranteed to bite
+    ref = factorize_sequential(
+        res.symbol, permuted, "ldlt", pivot_threshold=threshold
+    )
+    par = factorize_threaded(
+        res.symbol, permuted, "ldlt", n_workers=4,
+        pivot_threshold=threshold,
+    )
+    for a, b in zip(ref.L, par.L):
+        assert np.allclose(a, b, atol=1e-10)
+    for a, b in zip(ref.D, par.D):
+        assert np.allclose(a, b, atol=1e-10)
+    assert par.pivot_monitor is not None
+    assert ref.pivot_monitor.n_perturbed > 0  # the threshold really bit
+    assert par.pivot_monitor.n_perturbed == ref.pivot_monitor.n_perturbed
+
+
+@pytest.mark.parametrize("scheduler", ["fifo", "ws", "priority", "affinity"])
+def test_retry_before_mutation_is_clean(grid2d_small, scheduler):
+    """A task that fails *before* touching its panel re-runs under every
+    scheduler and still produces the exact sequential factor."""
+    from repro.core.factor import NumericFactor
+    from repro.dag import build_dag as _build
+    from repro.runtime.threaded import _ThreadedRun
+
+    res, permuted = _setup(grid2d_small, "llt")
+    ref = factorize_sequential(res.symbol, permuted, "llt")
+    factor = NumericFactor.assemble(res.symbol, permuted, "llt")
+    dag = _build(res.symbol, "llt", granularity="2d", dtype=factor.dtype)
+    run = _ThreadedRun(factor, dag, 3, True, None, max_retries=1,
+                       scheduler=scheduler)
+    original = run._execute
+    fails = {"left": 1}
+
+    def execute(t, worker):
+        # Raise before _run_task: no panel bytes were written yet.
+        if t == dag.n_tasks // 2 and fails["left"] > 0:
+            fails["left"] -= 1
+            raise RuntimeError("transient failure before mutation")
+        original(t, worker)
+
+    run._execute = execute
+    run.run()
+    assert run.n_done == dag.n_tasks
+    for a, b in zip(ref.L, factor.L):
+        assert np.allclose(a, b, atol=1e-10)
+
+
+def test_solve_dag_phase_field(grid2d_small):
+    """The solve DAG carries an explicit per-task backward flag; the
+    runtime must not infer the phase from task numbering."""
+    from repro.dag.solve_builder import build_solve_dag
+
+    res, _ = _setup(grid2d_small, "llt")
+    dag = build_solve_dag(res.symbol, "llt")
+    assert dag.solve_backward.dtype == np.bool_
+    assert dag.solve_backward.shape == (dag.n_tasks,)
+    # Both phases are populated, and every backward task is downstream
+    # of the phase barrier: no forward task depends on a backward one.
+    assert 0 < int(dag.solve_backward.sum()) < dag.n_tasks
+    for t in range(dag.n_tasks):
+        if dag.solve_backward[t]:
+            for s in dag.successors(int(t)):
+                assert dag.solve_backward[s]
+
+
 class TestThreadedSolve:
     @pytest.mark.parametrize("factotype", ["llt", "ldlt", "lu"])
     def test_matches_sequential_solve(self, grid2d_medium, factotype):
@@ -115,6 +197,49 @@ class TestThreadedSolve:
         b = np.ones(permuted.n_rows)
         x = solve_threaded(factor, b, n_workers=2)
         assert np.allclose(permuted.matvec(x), b, atol=1e-9)
+
+    @pytest.mark.parametrize("scheduler", ["fifo", "ws", "priority"])
+    def test_solve_schedulers(self, grid2d_small, scheduler):
+        from repro.core.triangular import solve_factored
+        from repro.runtime.threaded import solve_threaded
+
+        res, permuted = _setup(grid2d_small, "llt")
+        factor = factorize_sequential(res.symbol, permuted, "llt")
+        b = np.random.default_rng(17).standard_normal(permuted.n_rows)
+        assert np.allclose(
+            solve_threaded(factor, b, n_workers=3, scheduler=scheduler),
+            solve_factored(factor, b),
+            atol=1e-11,
+        )
+
+    def test_solve_watchdog_names_the_wedge(self, grid2d_small):
+        """The solve pool inherits the factorization watchdog: a wedged
+        task turns into a named diagnostic instead of a hung join."""
+        import threading
+
+        from repro.dag.solve_builder import build_solve_dag
+        from repro.runtime.threaded import _ThreadedSolveRun
+
+        res, permuted = _setup(grid2d_small, "llt")
+        factor = factorize_sequential(res.symbol, permuted, "llt")
+        x = np.ones(permuted.n_rows, dtype=factor.dtype)
+        dag = build_solve_dag(res.symbol, "llt", dtype=factor.dtype)
+        release = threading.Event()
+        run = _ThreadedSolveRun(factor, x, dag, 2, watchdog_s=0.25)
+        original = run._execute
+
+        def execute(t, worker):
+            if t == 0:
+                release.wait(timeout=10.0)
+            original(t, worker)
+
+        run._execute = execute
+        try:
+            with pytest.raises(RuntimeError, match="no progress"):
+                run.run()
+        finally:
+            release.set()
+        assert "solve" in run._watchdog_message()
 
     @pytest.mark.parametrize("n_workers", [1, 8])
     def test_worker_counts_solve(self, grid2d_small, n_workers):
