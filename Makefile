@@ -23,7 +23,7 @@ verify: lint hazards typecheck test
 # The memory injections need a problem large enough that the scheduler
 # actually offloads (hence --size 32).
 selftest:
-	@for inj in drop-edge overlap-trace break-mutex skew-flops; do \
+	@for inj in drop-edge overlap-trace break-mutex skew-flops stale-cache; do \
 		if $(PYTHON) -m repro verify --matrix lap2d --size 20 \
 			--no-lint --no-resilience --inject $$inj >/dev/null 2>&1; then \
 			echo "inject $$inj: NOT caught"; exit 1; \
@@ -73,11 +73,14 @@ chaos:
 # Perf-regression gate: quick threaded-scheduler sweep, diffed against
 # the committed baseline.  The deterministic replay-makespan metric is
 # gated at 15%; normalized wall clock is a lax (50%) gross-failure
-# backstop -- see benchmarks/perf_compare.py.
+# backstop; --gate-variants additionally requires the cached hot path
+# ('opt') to beat the uncached one ('base') within the fresh report --
+# see benchmarks/perf_compare.py.
 perf-smoke:
 	@PYTHONPATH=src:benchmarks $(PYTHON) benchmarks/bench_threaded.py \
 		--quick --out results/_perfsmoke.json
 	@PYTHONPATH=src:benchmarks $(PYTHON) benchmarks/perf_compare.py \
+		--gate-variants \
 		results/BENCH_threaded.json results/_perfsmoke.json; \
 	status=$$?; rm -f results/_perfsmoke.json; exit $$status
 

@@ -19,6 +19,22 @@ and what shows the scheduling headroom on boxes with too few cores to
 measure a wall-clock gap.  The faithful per-worker placement replay is
 kept alongside as ``model_placement_s`` (informational, not gated).
 
+Every (matrix, scheduler, workers) cell is measured in two **variants**:
+
+* ``base`` — the uncached hot path (``index_cache=False``, no fan-in
+  accumulation, no DLᵀ buffer): every update re-derives its scatter
+  maps, and LDLᵀ recomputes ``L·D`` per couple.  Its replay durations
+  charge each update the modelled index-work overhead
+  (:func:`repro.kernels.cost.index_overhead_flops`) on top of its GEMM
+  flops, and its DAG carries the ``recompute_ld`` LDLᵀ counts;
+* ``opt`` — the cached + accumulated path (``index_cache=True``,
+  ``accumulate=True``, ``dl_buffer=True``): pure GEMM flops, reduced
+  LDLᵀ counts.
+
+``perf_compare.py --gate-variants`` asserts ``opt`` never falls behind
+``base`` within one report — the regression gate for this repo's
+hot-path optimizations (cached must not be slower).
+
 ``--mis-prioritize`` is fault injection for the gate's self-test: the
 ``priority`` cells silently run the inverse (anti-critical-path)
 scheduler while still reporting themselves as ``priority``; ``make
@@ -44,7 +60,7 @@ from common import (
     write_bench_json,
 )
 from repro.dag.analysis import critical_path
-from repro.kernels.cost import flops_total
+from repro.kernels.cost import flops_total, index_overhead_flops
 from repro.runtime.scheduling import get_thread_scheduler
 from repro.runtime.threaded import factorize_threaded
 from repro.runtime.tracing import ExecutionTrace
@@ -54,6 +70,10 @@ from repro.sparse.collection import load_matrix
 #: the three paper twins (PaStiX work stealing, dmda critical path,
 #: PaRSEC last-panel affinity).
 SCHEDULERS = ["fifo", "ws", "priority", "affinity"]
+
+#: Hot-path variants: the uncached baseline and the cached+accumulated
+#: optimized path (see module docstring).
+VARIANTS = ["base", "opt"]
 
 #: Replay rate (flops/s).  Arbitrary: only *ratios* of replay makespans
 #: are ever compared, and a fixed constant keeps them machine-free.
@@ -88,7 +108,8 @@ def calibrate(n: int = 384, repeats: int = 10) -> float:
 
 
 def replay_makespan(dag, trace: ExecutionTrace, n_workers: int,
-                    rate: float = REPLAY_RATE) -> float:
+                    rate: float = REPLAY_RATE,
+                    costs: np.ndarray | None = None) -> float:
     """Deterministic makespan of the executed task *order*.
 
     Greedy list-schedule: tasks are taken in the order the real run
@@ -101,11 +122,15 @@ def replay_makespan(dag, trace: ExecutionTrace, n_workers: int,
     thing a priority/stealing policy controls.  Processing events in
     wall-clock start order is safe because the real execution already
     respected the dependencies.
+
+    ``costs`` overrides the per-task durations (default ``dag.flops``) —
+    the ``base`` variant charges updates their index-work overhead here.
     """
+    w_task = dag.flops if costs is None else costs
     end_model = np.zeros(dag.n_tasks)
     free = [0.0] * max(1, int(n_workers))
     for e in trace.sorted_events():
-        dur = max(float(dag.flops[e.task]), 1.0) / rate
+        dur = max(float(w_task[e.task]), 1.0) / rate
         w = min(range(len(free)), key=free.__getitem__)
         t_start = free[w]
         preds = dag.predecessors(int(e.task))
@@ -117,7 +142,8 @@ def replay_makespan(dag, trace: ExecutionTrace, n_workers: int,
 
 
 def replay_placement_makespan(dag, trace: ExecutionTrace,
-                              rate: float = REPLAY_RATE) -> float:
+                              rate: float = REPLAY_RATE,
+                              costs: np.ndarray | None = None) -> float:
     """Deterministic makespan of the executed schedule *as placed*.
 
     Like :func:`replay_makespan` but each task replays on the worker
@@ -125,10 +151,11 @@ def replay_placement_makespan(dag, trace: ExecutionTrace,
     GIL-placement accidents on undersized hosts — recorded for analysis
     (``model_placement_s``) but not gated by ``perf_compare.py``.
     """
+    w_task = dag.flops if costs is None else costs
     end_model = np.zeros(dag.n_tasks)
     worker_free: dict[str, float] = {}
     for e in trace.sorted_events():
-        dur = max(float(dag.flops[e.task]), 1.0) / rate
+        dur = max(float(w_task[e.task]), 1.0) / rate
         t_start = worker_free.get(e.resource, 0.0)
         preds = dag.predecessors(int(e.task))
         if preds.size:
@@ -145,15 +172,24 @@ def run_cell(
     *,
     scale: float = 1.0,
     repeats: int = 2,
+    variant: str = "opt",
     mis_prioritize: bool = False,
     verify: bool = False,
 ) -> dict:
-    """Measure one (matrix, scheduler, n_workers) cell.
+    """Measure one (matrix, scheduler, n_workers, variant) cell.
 
     Wall seconds and the replay makespan are each the minimum over
     ``repeats`` runs (minimum is the standard noise-robust pick); the
     best-order run also supplies the placement replay and trace stats.
+
+    ``variant="base"`` runs the uncached hot path and replays with the
+    index-work overhead added to every update task's cost (on the
+    ``recompute_ld`` LDLᵀ DAG); ``variant="opt"`` runs cached +
+    accumulated + DLᵀ-buffered and replays pure GEMM costs.
     """
+    if variant not in VARIANTS:
+        raise ValueError(f"unknown variant {variant!r}")
+    opt = variant == "opt"
     res = analyzed(name, scale)
     permuted = load_matrix(name, scale=scale).permute(res.perm.perm)
     ft = matrix_factotype(name)
@@ -162,7 +198,9 @@ def run_cell(
 
     from repro.dag import build_dag
 
-    dag = build_dag(res.symbol, ft, granularity="2d", dtype=dt)
+    dag = build_dag(res.symbol, ft, granularity="2d", dtype=dt,
+                    recompute_ld=not opt)
+    costs = dag.flops if opt else dag.flops + index_overhead_flops(dag)
 
     effective = scheduler
     if mis_prioritize and scheduler == "priority":
@@ -179,11 +217,12 @@ def run_cell(
         factor = factorize_threaded(
             res.symbol, permuted, ft, n_workers=n_workers, dtype=dt,
             trace=trace, scheduler=sched,
+            index_cache=opt, accumulate=opt, dl_buffer=opt,
         )
         wall = time.perf_counter() - t0
         del factor
         best_wall = min(best_wall, wall)
-        model = replay_makespan(dag, trace, n_workers)
+        model = replay_makespan(dag, trace, n_workers, costs=costs)
         if model < best_model:
             best_model = model
             best_trace = trace
@@ -194,11 +233,13 @@ def run_cell(
         "scheduler": scheduler,
         "n_workers": n_workers,
         "scale": scale,
+        "variant": variant,
         "wall_s": best_wall,
         "gflops": flops / best_wall / 1e9,
         "model_makespan_s": best_model,
-        "model_placement_s": replay_placement_makespan(dag, best_trace),
-        "model_cp_s": critical_path(dag)[0] / REPLAY_RATE,
+        "model_placement_s":
+            replay_placement_makespan(dag, best_trace, costs=costs),
+        "model_cp_s": critical_path(dag, weights=costs)[0] / REPLAY_RATE,
         "n_tasks": dag.n_tasks,
         "flops": flops,
     }
@@ -220,24 +261,56 @@ def run_cell(
 
 
 def summarize(cells: list[dict]) -> list[dict]:
-    """Per (matrix, n_workers): each scheduler's speedup over fifo."""
+    """Per (matrix, n_workers, variant): scheduler speedup over fifo."""
     base = {
-        (c["matrix"], c["n_workers"]): c
+        (c["matrix"], c["n_workers"], c.get("variant", "base")): c
         for c in cells if c["scheduler"] == "fifo"
     }
     out = []
     for c in cells:
         if c["scheduler"] == "fifo":
             continue
-        ref = base.get((c["matrix"], c["n_workers"]))
+        ref = base.get(
+            (c["matrix"], c["n_workers"], c.get("variant", "base"))
+        )
         if ref is None:
             continue
         out.append({
             "matrix": c["matrix"],
             "n_workers": c["n_workers"],
             "scheduler": c["scheduler"],
+            "variant": c.get("variant", "base"),
             "wall_speedup_vs_fifo": ref["wall_s"] / c["wall_s"],
             "model_speedup_vs_fifo":
+                ref["model_makespan_s"] / c["model_makespan_s"],
+        })
+    return out
+
+
+def summarize_variants(cells: list[dict]) -> list[dict]:
+    """Per (matrix, n_workers, scheduler): opt's speedup over base.
+
+    These are the ratios ``perf_compare.py --gate-variants`` checks —
+    printed here so a plain bench run already shows whether the cached
+    hot path pays off.
+    """
+    base = {
+        (c["matrix"], c["n_workers"], c["scheduler"]): c
+        for c in cells if c.get("variant", "base") == "base"
+    }
+    out = []
+    for c in cells:
+        if c.get("variant", "base") != "opt":
+            continue
+        ref = base.get((c["matrix"], c["n_workers"], c["scheduler"]))
+        if ref is None:
+            continue
+        out.append({
+            "matrix": c["matrix"],
+            "n_workers": c["n_workers"],
+            "scheduler": c["scheduler"],
+            "wall_speedup_vs_base": ref["wall_s"] / c["wall_s"],
+            "model_speedup_vs_base":
                 ref["model_makespan_s"] / c["model_makespan_s"],
         })
     return out
@@ -258,6 +331,10 @@ def main(argv=None) -> int:
     p.add_argument("--out", default=None,
                    help="write the JSON report here instead of "
                         "results/BENCH_threaded.json")
+    p.add_argument("--variants", nargs="*", default=None,
+                   choices=VARIANTS,
+                   help="hot-path variants to sweep (default both: "
+                        f"{VARIANTS})")
     p.add_argument("--mis-prioritize", action="store_true",
                    help="FAULT INJECTION: run 'priority' cells with the "
                         "inverse (anti-critical-path) heap while "
@@ -273,6 +350,7 @@ def main(argv=None) -> int:
         QUICK_WORKERS if args.quick else DEFAULT_WORKERS
     )
     schedulers = args.schedulers or SCHEDULERS
+    variants = args.variants or VARIANTS
     repeats = args.repeats or (2 if args.quick else 3)
 
     if args.mis_prioritize:
@@ -287,21 +365,24 @@ def main(argv=None) -> int:
     for name in matrices:
         for nw in workers:
             for sched in schedulers:
-                cells.append(run_cell(
-                    name, sched, nw, scale=args.scale, repeats=repeats,
-                    mis_prioritize=args.mis_prioritize,
-                    verify=args.verify,
-                ))
-                c = cells[-1]
-                timer.note(
-                    f"{name} x{nw} {sched}: {c['wall_s']:.3f}s wall, "
-                    f"{c['model_makespan_s']:.4f}s model"
-                )
+                for var in variants:
+                    cells.append(run_cell(
+                        name, sched, nw, scale=args.scale,
+                        repeats=repeats, variant=var,
+                        mis_prioritize=args.mis_prioritize,
+                        verify=args.verify,
+                    ))
+                    c = cells[-1]
+                    timer.note(
+                        f"{name} x{nw} {sched} [{var}]: "
+                        f"{c['wall_s']:.3f}s wall, "
+                        f"{c['model_makespan_s']:.4f}s model"
+                    )
 
-    headers = ["matrix", "workers", "scheduler", "wall_s", "gflops",
-               "model_s", "model_cp_s"]
+    headers = ["matrix", "workers", "scheduler", "variant", "wall_s",
+               "gflops", "model_s", "model_cp_s"]
     rows = [
-        [c["matrix"], c["n_workers"], c["scheduler"],
+        [c["matrix"], c["n_workers"], c["scheduler"], c["variant"],
          f"{c['wall_s']:.3f}", f"{c['gflops']:.2f}",
          f"{c['model_makespan_s']:.4f}", f"{c['model_cp_s']:.4f}"]
         for c in cells
@@ -312,23 +393,37 @@ def main(argv=None) -> int:
     if summary:
         print()
         print(format_table(
-            ["matrix", "workers", "scheduler", "wall_speedup", "model_speedup"],
-            [[s["matrix"], s["n_workers"], s["scheduler"],
+            ["matrix", "workers", "scheduler", "variant",
+             "wall_speedup", "model_speedup"],
+            [[s["matrix"], s["n_workers"], s["scheduler"], s["variant"],
               f"{s['wall_speedup_vs_fifo']:.2f}x",
               f"{s['model_speedup_vs_fifo']:.2f}x"] for s in summary],
+        ))
+
+    variant_summary = summarize_variants(cells)
+    if variant_summary:
+        print()
+        print(format_table(
+            ["matrix", "workers", "scheduler",
+             "opt_wall_speedup", "opt_model_speedup"],
+            [[s["matrix"], s["n_workers"], s["scheduler"],
+              f"{s['wall_speedup_vs_base']:.2f}x",
+              f"{s['model_speedup_vs_base']:.2f}x"]
+             for s in variant_summary],
         ))
 
     import os
 
     payload = {
         "bench": "threaded",
-        "schema_version": 1,
+        "schema_version": 2,
         "quick": bool(args.quick),
         "n_cores": os.cpu_count(),
         "calib_gflops": calib,
         "replay_rate": REPLAY_RATE,
         "cells": cells,
         "summary": summary,
+        "variant_summary": variant_summary,
     }
     if args.out:
         out_path = Path(args.out)

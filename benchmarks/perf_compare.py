@@ -21,13 +21,22 @@ independently:
   Disable with ``--no-wall`` when comparing across very different
   machines.
 
+``--gate-variants`` adds a third, *within-report* check on the NEW
+report alone: every ``opt`` cell (cached scatter maps + fan-in
+accumulation + DLᵀ buffer) must not be slower than its ``base``
+(uncached) sibling, on replay makespan and on raw wall clock — same
+host, same run, so no calibration is needed.  This is the gate that
+keeps the hot-path optimizations actually optimizing (the cached path
+must never fall behind the path it exists to beat).
+
 Usage::
 
     python benchmarks/perf_compare.py BASELINE.json NEW.json
     python benchmarks/perf_compare.py --threshold 0.10 base.json new.json
+    python benchmarks/perf_compare.py --gate-variants base.json new.json
 
 ``make perf-smoke`` runs the quick sweep and gates it against the
-committed baseline.
+committed baseline (with ``--gate-variants``).
 """
 
 from __future__ import annotations
@@ -44,8 +53,17 @@ DEFAULT_THRESHOLD = 0.15
 #: Default wall-clock tolerance — deliberately lax (see module docstring).
 DEFAULT_WALL_THRESHOLD = 0.50
 
-#: Cell identity: one comparable configuration across runs.
-_KEY_FIELDS = ("matrix", "scheduler", "n_workers", "scale")
+#: Cell identity: one comparable configuration across runs.  ``variant``
+#: defaults to ``"base"`` so schema-1 baselines (no variant field, all
+#: cells uncached-era) keep comparing against today's base cells.
+_KEY_FIELDS = ("matrix", "scheduler", "n_workers", "scale", "variant")
+
+#: Tolerated opt-vs-base slowdown for ``--gate-variants``.  Tight on
+#: model (deterministic replay must show the win); wall gets the usual
+#: noise allowance but both cells ran on the same host in the same
+#: process, so the lax cross-host threshold is not needed.
+DEFAULT_VARIANT_THRESHOLD = 0.02
+DEFAULT_VARIANT_WALL_THRESHOLD = 0.25
 
 
 def load_report(path) -> dict:
@@ -58,7 +76,8 @@ def load_report(path) -> dict:
 
 def index_cells(report: dict) -> dict[tuple, dict]:
     return {
-        tuple(c[f] for f in _KEY_FIELDS): c for c in report["cells"]
+        tuple(c.get(f, "base") for f in _KEY_FIELDS): c
+        for c in report["cells"]
     }
 
 
@@ -120,6 +139,55 @@ def compare(
     return ok, rows
 
 
+def compare_variants(
+    report: dict,
+    *,
+    threshold: float = DEFAULT_VARIANT_THRESHOLD,
+    wall_threshold: float = DEFAULT_VARIANT_WALL_THRESHOLD,
+) -> tuple[bool, list[dict]]:
+    """Within one report: gate every ``opt`` cell against its ``base``.
+
+    Ratio is opt/base, so a ratio above ``1 + threshold`` means the
+    cached+accumulated path lost to the uncached path it replaces.
+    Both cells came from the same process on the same host, so wall
+    seconds are compared raw (no calibration) with a noise allowance.
+    Returns ``(ok, rows)``; ``ok`` is False on any regression — or when
+    the report has no base/opt pairs at all (an empty gate must not
+    pass).
+    """
+    cells = index_cells(report)
+    rows: list[dict] = []
+    ok = True
+    for key in sorted(cells, key=str):
+        if key[-1] != "opt":
+            continue
+        base = cells.get(key[:-1] + ("base",))
+        if base is None:
+            continue
+        c = cells[key]
+        model_ratio = (
+            c["model_makespan_s"] / base["model_makespan_s"]
+            if base["model_makespan_s"] > 0 else 1.0
+        )
+        wall_ratio = (
+            c["wall_s"] / base["wall_s"] if base["wall_s"] > 0 else 1.0
+        )
+        bad_model = model_ratio > 1.0 + threshold
+        bad_wall = wall_ratio > 1.0 + wall_threshold
+        if bad_model or bad_wall:
+            ok = False
+        rows.append({
+            "key": key[:-1],
+            "model_ratio": model_ratio,
+            "wall_ratio": wall_ratio,
+            "regression": bool(bad_model or bad_wall),
+            "gated_on": "model" if bad_model else "wall" if bad_wall else "",
+        })
+    if not rows:
+        ok = False
+    return ok, rows
+
+
 def main(argv=None) -> int:
     p = argparse.ArgumentParser(
         description="fail on >threshold slowdown vs the committed baseline"
@@ -138,6 +206,18 @@ def main(argv=None) -> int:
     p.add_argument("--no-wall", action="store_true",
                    help="gate only the deterministic replay metric "
                         "(use across very different hosts)")
+    p.add_argument("--gate-variants", action="store_true",
+                   help="also fail if, WITHIN the new report, any 'opt' "
+                        "cell is slower than its 'base' sibling "
+                        "(cached must not lose to uncached)")
+    p.add_argument("--variant-threshold", type=float,
+                   default=DEFAULT_VARIANT_THRESHOLD,
+                   help="tolerated opt-vs-base replay slowdown fraction "
+                        f"(default {DEFAULT_VARIANT_THRESHOLD:.2f})")
+    p.add_argument("--variant-wall-threshold", type=float,
+                   default=DEFAULT_VARIANT_WALL_THRESHOLD,
+                   help="tolerated opt-vs-base wall slowdown fraction "
+                        f"(default {DEFAULT_VARIANT_WALL_THRESHOLD:.2f})")
     args = p.parse_args(argv)
 
     baseline = load_report(args.baseline)
@@ -154,13 +234,13 @@ def main(argv=None) -> int:
               f"(keys: {', '.join(_KEY_FIELDS)})")
         return 1
 
-    headers = ["matrix", "sched", "workers", "scale",
+    headers = ["matrix", "sched", "workers", "scale", "variant",
                "model_ratio", "wall_ratio", "verdict"]
     table = []
     for r in rows:
-        matrix, sched, workers, scale = r["key"]
+        matrix, sched, workers, scale, variant = r["key"]
         table.append([
-            matrix, sched, workers, scale,
+            matrix, sched, workers, scale, variant,
             f"{r['model_ratio']:.3f}", f"{r['wall_ratio']:.3f}",
             f"REGRESSION({r['gated_on']})" if r["regression"] else "ok",
         ])
@@ -171,10 +251,49 @@ def main(argv=None) -> int:
     if ok:
         print(f"PASS: {len(rows)} cell(s) within the baseline limits "
               f"({limits})")
-        return 0
-    print(f"REGRESSION: {n_bad}/{len(rows)} cell(s) over the limits "
-          f"({limits})")
-    return 1
+    else:
+        print(f"REGRESSION: {n_bad}/{len(rows)} cell(s) over the limits "
+              f"({limits})")
+
+    if args.gate_variants:
+        v_ok, v_rows = compare_variants(
+            new,
+            threshold=args.variant_threshold,
+            wall_threshold=args.variant_wall_threshold,
+        )
+        print()
+        if not v_rows:
+            print("FAIL: --gate-variants found no base/opt cell pairs "
+                  "in the new report")
+        else:
+            v_table = []
+            for r in v_rows:
+                matrix, sched, workers, scale = r["key"]
+                v_table.append([
+                    matrix, sched, workers, scale,
+                    f"{r['model_ratio']:.3f}", f"{r['wall_ratio']:.3f}",
+                    f"REGRESSION({r['gated_on']})"
+                    if r["regression"] else "ok",
+                ])
+            print(format_table(
+                ["matrix", "sched", "workers", "scale",
+                 "opt/base_model", "opt/base_wall", "verdict"],
+                v_table,
+            ))
+            v_limits = (
+                f"model {1.0 + args.variant_threshold:.2f}x, "
+                f"wall {1.0 + args.variant_wall_threshold:.2f}x"
+            )
+            n_vbad = sum(1 for r in v_rows if r["regression"])
+            if v_ok:
+                print(f"PASS: opt beats base in {len(v_rows)} pair(s) "
+                      f"(limits {v_limits})")
+            else:
+                print(f"VARIANT REGRESSION: {n_vbad}/{len(v_rows)} "
+                      f"pair(s) over the limits ({v_limits})")
+        ok = ok and v_ok
+
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

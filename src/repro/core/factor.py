@@ -42,6 +42,16 @@ class NumericFactor:
     #: Optional :class:`repro.kernels.dense.PivotMonitor` enabling
     #: static-pivot perturbation during panel factorizations.
     pivot_monitor: Optional[object] = None
+    #: Optional :class:`repro.kernels.indexcache.CoupleMapCache` holding
+    #: the precomputed per-couple scatter maps; the panel kernels use it
+    #: when present instead of re-deriving the maps per update.
+    index_cache: Optional[object] = None
+    #: When True, ``panel_factorize`` fills ``DL[k] = L21 · D`` (LDLᵀ
+    #: only) so updates read the persistent DLᵀ buffer instead of
+    #: recomputing ``L·D`` per couple (paper §V-A, Figure 2).
+    dl_buffer: bool = False
+    #: The per-panel DLᵀ buffers (``None`` entries until factorized).
+    DL: Optional[list] = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -97,49 +107,51 @@ class NumericFactor:
         rows_all, cols_all, vals_all = matrix.to_coo()
         owner = col2cblk[cols_all]
         fcol = cblk_ptr[owner]
+        n = symbol.n
+        K = symbol.n_cblk
+
+        # One keyed row index over all panels: key(k, r) = k·n + r is
+        # strictly increasing along the concatenated per-panel row
+        # arrays, so a single global searchsorted localizes every entry
+        # (replacing the per-cblk searchsorted loop).
+        sizes = np.array([factor.rows[k].size for k in range(K)],
+                         dtype=np.int64)
+        row_ptr = np.zeros(K + 1, dtype=np.int64)
+        np.cumsum(sizes, out=row_ptr[1:])
+        keyed = (
+            np.concatenate(factor.rows)
+            + n * np.repeat(np.arange(K, dtype=np.int64), sizes)
+            if K else np.empty(0, dtype=np.int64)
+        )
+
+        def _scatter(panels, tgt, grow, gcol, gval):
+            """Grouped fancy-index assignment of (tgt, grow, gcol) = gval."""
+            order = np.argsort(tgt, kind="stable")
+            tgt, grow, gcol = tgt[order], grow[order], gcol[order]
+            gval = gval[order].astype(dtype, copy=False)
+            rloc = np.searchsorted(keyed, tgt * n + grow) - row_ptr[tgt]
+            cloc = gcol - cblk_ptr[tgt]
+            bounds = np.searchsorted(tgt, np.arange(K + 1))
+            for k in range(K):
+                s, e = bounds[k], bounds[k + 1]
+                if s == e:
+                    continue
+                panels[k][rloc[s:e], cloc[s:e]] = gval[s:e]
 
         # Lower-and-diagonal part: entries with row inside the owner's
         # factor rows (row >= first column of the owning cblk).
         low = rows_all >= fcol
-        tgt = owner[low]
-        order = np.argsort(tgt, kind="stable")
-        lr, lc, lv, lt = (
-            rows_all[low][order],
-            cols_all[low][order],
-            vals_all[low][order],
-            tgt[order],
-        )
-        bounds = np.searchsorted(lt, np.arange(symbol.n_cblk + 1))
-        for k in range(symbol.n_cblk):
-            s, e = bounds[k], bounds[k + 1]
-            if s == e:
-                continue
-            rloc = np.searchsorted(factor.rows[k], lr[s:e])
-            cloc = lc[s:e] - cblk_ptr[k]
-            factor.L[k][rloc, cloc] = lv[s:e].astype(dtype)
+        _scatter(factor.L, owner[low], rows_all[low], cols_all[low],
+                 vals_all[low])
 
         if factotype == "lu":
             # Strict upper cross-cblk entries go to the row-owner's U panel
             # (stored transposed).  In-diagonal-block upper entries were
             # already placed by the lower pass (row >= fcol covers them).
+            # Entry (i, j), i < j: U[i, j] -> Uᵀ panel row j, col i.
             up = ~low
-            towner = col2cblk[rows_all[up]]
-            order = np.argsort(towner, kind="stable")
-            ur, uc, uv, ut = (
-                rows_all[up][order],
-                cols_all[up][order],
-                vals_all[up][order],
-                towner[order],
-            )
-            bounds = np.searchsorted(ut, np.arange(symbol.n_cblk + 1))
-            for k in range(symbol.n_cblk):
-                s, e = bounds[k], bounds[k + 1]
-                if s == e:
-                    continue
-                # Entry (i, j), i < j: U[i, j] -> Uᵀ panel row j, col i.
-                rloc = np.searchsorted(factor.rows[k], uc[s:e])
-                cloc = ur[s:e] - cblk_ptr[k]
-                factor.U[k][rloc, cloc] = uv[s:e].astype(dtype)
+            _scatter(factor.U, col2cblk[rows_all[up]], cols_all[up],
+                     rows_all[up], vals_all[up])
         return factor
 
     # ------------------------------------------------------------------
@@ -161,7 +173,7 @@ class NumericFactor:
         return total
 
     def copy(self) -> "NumericFactor":
-        return NumericFactor(
+        out = NumericFactor(
             self.symbol,
             self.factotype,
             self.dtype,
@@ -170,6 +182,24 @@ class NumericFactor:
             None if self.D is None else [d.copy() for d in self.D],
             self.rows,
         )
+        out.index_cache = self.index_cache
+        out.dl_buffer = self.dl_buffer
+        if self.DL is not None:
+            out.DL = [None if p is None else p.copy() for p in self.DL]
+        return out
+
+    def enable_dl_buffer(self) -> None:
+        """Switch on the persistent DLᵀ buffer (LDLᵀ only; no-op else).
+
+        Allocates the per-panel slots; ``panel_factorize`` fills
+        ``DL[k]`` when it factorizes panel ``k``, and the update kernels
+        read it instead of recomputing ``L·D`` per couple.
+        """
+        if self.factotype != "ldlt":
+            return
+        self.dl_buffer = True
+        if self.DL is None:
+            self.DL = [None] * self.n_cblk
 
     # ------------------------------------------------------------------
     def lower_csc(self) -> SparseMatrixCSC:

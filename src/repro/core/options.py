@@ -31,6 +31,19 @@ class SolverOptions:
         Worker threads for the threaded runtime.
     workspace_update:
         CPU two-step update kernel (True) vs. direct-scatter GPU twin.
+    index_cache:
+        Precompute each couple's scatter maps once per symbolic
+        structure and reuse them in every update (bit-identical to the
+        uncached path; see :mod:`repro.kernels.indexcache`).
+    dl_buffer:
+        LDLᵀ only: keep the persistent DLᵀ buffer filled at panel
+        time instead of recomputing ``L·D`` inside each update (the
+        paper's generic-runtime penalty, §V-A).  Off by default so the
+        Figure-2 penalty curve stays reproducible.
+    accumulate:
+        Threaded runtime only: merge same-target update contributions
+        in a per-worker accumulator and take the target mutex once per
+        batch instead of once per couple (fan-in accumulation).
     refine:
         Run iterative refinement inside :meth:`SparseSolver.solve`.
     refine_tol / refine_max_iter:
@@ -46,6 +59,9 @@ class SolverOptions:
     runtime: str = "sequential"
     n_workers: int = 4
     workspace_update: bool = True
+    index_cache: bool = True
+    dl_buffer: bool = False
+    accumulate: bool = False
     refine: bool = True
     refine_tol: float = 1e-12
     refine_max_iter: int = 10

@@ -117,6 +117,8 @@ class SparseSolver:
                 opts.factotype,
                 workspace=opts.workspace_update,
                 pivot_threshold=opts.pivot_threshold,
+                index_cache=opts.index_cache,
+                dl_buffer=opts.dl_buffer,
             )
         elif opts.runtime == "threaded":
             from repro.runtime.threaded import factorize_threaded
@@ -128,6 +130,9 @@ class SparseSolver:
                 n_workers=opts.n_workers,
                 workspace=opts.workspace_update,
                 pivot_threshold=opts.pivot_threshold,
+                index_cache=opts.index_cache,
+                dl_buffer=opts.dl_buffer,
+                accumulate=opts.accumulate,
             )
         else:  # pragma: no cover - guarded by SolverOptions
             raise ValueError(f"unknown runtime {opts.runtime!r}")

@@ -23,8 +23,16 @@ __all__ = [
     "flops_panel",
     "flops_update",
     "flops_total",
+    "index_overhead_flops",
     "panel_bytes",
 ]
+
+#: Flop-equivalents charged per scalar index operation (a searchsorted
+#: comparison step or an index copy/rebase).  Integer bookkeeping is
+#: branchy and cache-unfriendly next to a BLAS GEMM, so one "op" is
+#: modelled as several flop-equivalents; 8 matches the measured ratio of
+#: the uncached index work to GEMM throughput on the bench hosts.
+INDEX_OP_FLOPS = 8.0
 
 
 def complex_multiplier(dtype) -> int:
@@ -109,6 +117,42 @@ def flops_update(
     if factotype == "lu":
         return flops_gemm(m, n, w) + flops_gemm(max(m - n, 0), n, w)
     raise ValueError(f"unknown factotype {factotype!r}")
+
+
+def index_overhead_flops(dag) -> np.ndarray:
+    """Modelled per-task cost (flop-equivalents) of *uncached* index work.
+
+    Each update task re-derives its scatter maps when no couple index
+    cache is attached: two binary searches locate the facing slice, one
+    ``searchsorted`` over the ``m`` tail rows maps them into the target
+    (each ``log2(h_t)`` comparisons against the target's ``h_t`` factor
+    rows), and the column rebase plus the int64 conversions copy
+    ``m + n`` indices twice.  With a cache all of it disappears, so the
+    replay/simulator duration of an uncached update is its GEMM flops
+    *plus* this overhead — the reduced-traffic count the benchmarks'
+    ``base`` vs ``opt`` variants compare.  Non-update tasks cost 0.
+
+    Returns a float array of length ``dag.n_tasks``.
+    """
+    out = np.zeros(dag.n_tasks, dtype=np.float64)
+    sym = dag.symbol
+    if sym is None or not dag.n_tasks:
+        return out
+    from repro.dag.tasks import TaskKind
+
+    heights = np.array(
+        [sym.cblk_height(k) for k in range(sym.n_cblk)], dtype=np.float64
+    )
+    is_upd = dag.kind == TaskKind.UPDATE
+    if not is_upd.any():
+        return out
+    m = dag.gemm_m[is_upd].astype(np.float64)
+    n = dag.gemm_n[is_upd].astype(np.float64)
+    h_t = heights[dag.target[is_upd]]
+    searches = (m + 2.0) * np.ceil(np.log2(np.maximum(h_t, 2.0)))
+    copies = 2.0 * (m + n)
+    out[is_upd] = INDEX_OP_FLOPS * (searches + copies)
+    return out
 
 
 def flops_total(symbol, factotype: str, dtype=np.float64) -> float:

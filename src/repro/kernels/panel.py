@@ -56,6 +56,12 @@ def panel_factorize(factor, k: int) -> None:
         if Lk.shape[0] > w:
             # L21 = A21 · L11^{-T} · D^{-1}
             Lk[w:, :] = trsm_lower_right(ld, Lk[w:, :], unit=True) / d
+        if getattr(factor, "dl_buffer", False):
+            # Persistent DLᵀ buffer (PaStiX's native LDLᵀ update path):
+            # (L·D) for the whole tail is formed once here, so no update
+            # task ever recomputes it.  The generic-runtime variant the
+            # paper penalizes in Figure 2 is dl_buffer=False.
+            factor.DL[k] = Lk[w:, :] * d
     elif factor.factotype == "lu":
         lu = getrf_nopiv(diag, monitor)
         Lk[:w, :w] = lu  # packed L\U diagonal block
@@ -102,36 +108,63 @@ def panel_update_compute(factor, k: int, t: int):
 
     Returns ``None`` when ``k`` does not actually face ``t``, else an
     opaque parts tuple for :func:`panel_update_scatter`.
+
+    When the factor carries a couple index cache
+    (:class:`repro.kernels.indexcache.CoupleMapCache`, attached as
+    ``factor.index_cache``) the symbolic bookkeeping — both
+    ``searchsorted`` maps and the column rebase — is looked up instead
+    of recomputed, leaving only the GEMM; the maps are identical arrays,
+    so cached and uncached runs produce bit-identical factors.
     """
     sym = factor.symbol
     w = sym.cblk_width(k)
-    i0, i1, rk = update_slice(factor, k, t)
-    if i0 == i1:
-        return None  # k does not actually face t
-
-    cols_local = (rk[i0:i1] - sym.cblk_ptr[t]).astype(np.int64)
-    rows_t = factor.rows[t]
+    cache = getattr(factor, "index_cache", None)
+    if cache is not None:
+        cm = cache.lookup(k, t)
+        if cm is None:
+            return None  # k does not actually face t
+        i0, i1 = cm.i0, cm.i1
+        rows_local = cm.rows_local
+        cols_local = cm.cols_local
+        rk_size = cm.rk_size
+    else:
+        i0, i1, rk = update_slice(factor, k, t)
+        if i0 == i1:
+            return None  # k does not actually face t
+        cols_local = (rk[i0:i1] - sym.cblk_ptr[t]).astype(
+            np.int64, copy=False
+        )
+        rows_local = np.searchsorted(factor.rows[t], rk[i0:]).astype(
+            np.int64, copy=False
+        )
+        rk_size = int(rk.size)
     Lk = factor.L[k]
 
     a_tail = Lk[w + i0:, :]
     b_mid = Lk[w + i0: w + i1, :]
     if factor.factotype == "ldlt":
-        # Recompute (L·D) for the facing rows — the generic-runtime
-        # variant the paper discusses (no persistent DLᵀ buffer).
-        b_mid = b_mid * factor.D[k]
+        DL = getattr(factor, "DL", None)
+        if DL is not None and DL[k] is not None:
+            # Persistent DLᵀ buffer filled at panel_factorize time.
+            b_mid = DL[k][i0:i1, :]
+        else:
+            # Recompute (L·D) for the facing rows — the generic-runtime
+            # variant the paper discusses (no persistent DLᵀ buffer).
+            b_mid = b_mid * factor.D[k]
     elif factor.factotype == "lu":
         b_mid = factor.U[k][w + i0: w + i1, :]
 
-    rows_local = np.searchsorted(rows_t, rk[i0:]).astype(np.int64)
     contrib = a_tail @ b_mid.T
 
     rows_local_u = None
     contrib_u = None
-    if factor.factotype == "lu" and i1 < rk.size:
+    if factor.factotype == "lu" and i1 < rk_size:
         # U-side update: strictly-below rows of the target's U panel.
+        # Its row map is the tail of the L-side map past the facing
+        # slice — no second searchsorted needed.
         u_tail = factor.U[k][w + i1:, :]
         l_mid = Lk[w + i0: w + i1, :]
-        rows_local_u = np.searchsorted(rows_t, rk[i1:]).astype(np.int64)
+        rows_local_u = rows_local[i1 - i0:]
         contrib_u = u_tail @ l_mid.T
     return rows_local, cols_local, contrib, rows_local_u, contrib_u
 
@@ -167,30 +200,46 @@ def panel_update(factor, k: int, t: int, *, workspace: bool = True) -> None:
 
     sym = factor.symbol
     w = sym.cblk_width(k)
-    i0, i1, rk = update_slice(factor, k, t)
-    if i0 == i1:
-        return  # k does not actually face t
-
-    cols_local = (rk[i0:i1] - sym.cblk_ptr[t]).astype(np.int64)
-    rows_t = factor.rows[t]
+    cache = getattr(factor, "index_cache", None)
+    if cache is not None:
+        cm = cache.lookup(k, t)
+        if cm is None:
+            return  # k does not actually face t
+        i0, i1 = cm.i0, cm.i1
+        rows_local = cm.rows_local
+        cols_local = cm.cols_local
+        rk_size = cm.rk_size
+    else:
+        i0, i1, rk = update_slice(factor, k, t)
+        if i0 == i1:
+            return  # k does not actually face t
+        cols_local = (rk[i0:i1] - sym.cblk_ptr[t]).astype(
+            np.int64, copy=False
+        )
+        rows_local = np.searchsorted(factor.rows[t], rk[i0:]).astype(
+            np.int64, copy=False
+        )
+        rk_size = int(rk.size)
     Lk = factor.L[k]
 
     a_tail = Lk[w + i0:, :]
     b_mid = Lk[w + i0: w + i1, :]
     if factor.factotype == "ldlt":
-        b_mid = b_mid * factor.D[k]
+        DL = getattr(factor, "DL", None)
+        if DL is not None and DL[k] is not None:
+            b_mid = DL[k][i0:i1, :]
+        else:
+            b_mid = b_mid * factor.D[k]
     elif factor.factotype == "lu":
         b_mid = factor.U[k][w + i0: w + i1, :]
 
-    rows_local = np.searchsorted(rows_t, rk[i0:]).astype(np.int64)
     from repro.kernels.sparse_gemm import sparse_gemm_scatter
 
     sparse_gemm_scatter(a_tail, b_mid, factor.L[t], rows_local, cols_local)
 
-    if factor.factotype == "lu" and i1 < rk.size:
+    if factor.factotype == "lu" and i1 < rk_size:
         u_tail = factor.U[k][w + i1:, :]
         l_mid = Lk[w + i0: w + i1, :]
-        rows_local_u = np.searchsorted(rows_t, rk[i1:]).astype(np.int64)
         sparse_gemm_scatter(
-            u_tail, l_mid, factor.U[t], rows_local_u, cols_local
+            u_tail, l_mid, factor.U[t], rows_local[i1 - i0:], cols_local
         )

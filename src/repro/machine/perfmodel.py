@@ -161,6 +161,8 @@ class CpuPerfModel:
     scatter_penalty: float = 0.88   # temp-buffer + dispatch of the update
     ldlt_recompute_penalty: float = 0.88  # full LDLᵀ op per update
     #                                       (generic runtimes, §V-A)
+    index_penalty: float = 0.93     # per-update scatter-map re-derivation
+    #                                 (runtimes without precomputed maps)
 
     def gemm_eff(self, m: float, n: float, k: float) -> float:
         """Efficiency of an ``m×n×k`` GEMM (geometric-mean size law)."""
@@ -171,11 +173,16 @@ class CpuPerfModel:
 
     def update_eff(
         self, m: float, n: float, k: float, *, factotype: str = "llt",
-        recompute_ld: bool = False,
+        recompute_ld: bool = False, index_cache: bool = True,
     ) -> float:
         eff = self.gemm_eff(m, n, k) * self.scatter_penalty
         if factotype == "ldlt" and recompute_ld:
             eff *= self.ldlt_recompute_penalty
+        if not index_cache:
+            # Symbolic index bookkeeping re-derived inside every task
+            # (searchsorted maps + rebases) — removed entirely when the
+            # runtime carries precomputed couple maps.
+            eff *= self.index_penalty
         return eff
 
     solve_eff_max: float = 0.12   # triangular solves / GEMV are

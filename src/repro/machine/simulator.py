@@ -248,6 +248,7 @@ class _Simulator:
                 eff = self.cpu_model.update_eff(
                     m, nn, kk, factotype=dag.factotype,
                     recompute_ld=traits.recompute_ld,
+                    index_cache=traits.index_cache,
                 )
                 cpu_dur[t] = dag.flops[t] / (peak * eff)
                 tgt = int(dag.target[t])
@@ -279,6 +280,7 @@ class _Simulator:
                 eff_u = self.cpu_model.update_eff(
                     float(below[k]), max(w, 1.0), w,
                     factotype=dag.factotype, recompute_ld=traits.recompute_ld,
+                    index_cache=traits.index_cache,
                 )
                 # Panel flops share vs update share within the fused task.
                 from repro.kernels.cost import complex_multiplier, flops_panel
@@ -315,6 +317,7 @@ class _Simulator:
                 eff = self.cpu_model.update_eff(
                     m, nn, w, factotype=self.dag.factotype,
                     recompute_ld=traits.recompute_ld,
+                    index_cache=traits.index_cache,
                 )
                 total += mult * flops_update(
                     m, nn, w, self.dag.factotype,

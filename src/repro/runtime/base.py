@@ -36,7 +36,11 @@ class PolicyTraits:
     * ``dedicated_gpu_workers`` — StarPU removes one CPU worker per GPU;
     * ``prefetch`` — StarPU starts input transfers at assignment time;
     * ``recompute_ld`` — generic runtimes recompute (L·D) inside each
-      LDLᵀ update instead of keeping PaStiX's temporary buffer.
+      LDLᵀ update instead of keeping PaStiX's temporary buffer;
+    * ``index_cache`` — whether the runtime's update kernels reuse
+      precomputed couple scatter maps (PaStiX's solver structures) or
+      re-derive the index bookkeeping inside every sparse-GEMM task
+      (the generic-runtime kernels the paper wraps, §V).
     """
 
     name: str
@@ -46,6 +50,7 @@ class PolicyTraits:
     dedicated_gpu_workers: bool = False
     prefetch: bool = False
     recompute_ld: bool = True
+    index_cache: bool = True
 
 
 class SchedulerPolicy(ABC):

@@ -40,6 +40,7 @@ class NativePolicy(SchedulerPolicy):
             dedicated_gpu_workers=False,
             prefetch=False,
             recompute_ld=False,  # PaStiX's temp-buffer LDLT update kernel
+            index_cache=True,    # solver structures precompute the maps
         )
 
     def setup(self) -> None:

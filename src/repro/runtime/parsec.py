@@ -42,6 +42,7 @@ class ParsecPolicy(SchedulerPolicy):
             dedicated_gpu_workers=False,
             prefetch=False,
             recompute_ld=True,
+            index_cache=False,  # generic sparse-GEMM re-derives its maps
         )
         self.gpu_flops_threshold = gpu_flops_threshold
 

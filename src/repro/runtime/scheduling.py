@@ -90,6 +90,19 @@ class ThreadScheduler:
     def on_complete(self, task: int, worker: int) -> None:
         """Bookkeeping hook after ``task`` finished on ``worker``."""
 
+    def pop_same_target(self, worker: int, target: int) -> Optional[int]:
+        """Pop another ready update task into panel ``target`` from
+        ``worker``'s own queue, if the policy tracks one.
+
+        The fan-in accumulation hook: when the threaded runtime batches
+        same-target updates it asks the scheduler for more of them
+        before taking the target mutex.  Policies without per-worker
+        queues (or that cannot answer cheaply) return ``None`` — the
+        batch simply stays at size one.  Must only return tasks that
+        ``pop`` could have returned to this worker.
+        """
+        return None
+
     def has_work(self) -> bool:
         """Approximate emptiness probe (used by the parking protocol)."""
         raise NotImplementedError
@@ -158,6 +171,7 @@ class WorkStealingScheduler(ThreadScheduler):
         self._seed_next = 0
         self._n_steals = [0] * n
         self._n_local = [0] * n
+        self._n_batched = [0] * n
 
     def _route(self, task: int, worker: int) -> int:
         """Which deque should ``task`` land on?"""
@@ -191,6 +205,48 @@ class WorkStealingScheduler(ThreadScheduler):
                         return self._local[v].popleft()  # FIFO: cold end
         return None
 
+    #: How many entries of a deque the batching probe inspects; bounds
+    #: the cost of :meth:`pop_same_target` on long queues.
+    _BATCH_SCAN = 32
+
+    def _pop_matching(self, owner: int, worker: int, target: int,
+                      from_lifo: bool) -> Optional[int]:
+        """Remove one ready update into ``target`` from ``owner``'s
+        deque, scanning from the LIFO (hot) or FIFO (cold) end."""
+        dag = self.dag
+        upd = int(TaskKind.UPDATE)
+        with self._locks[owner]:
+            q = self._local[owner]
+            span = min(len(q), self._BATCH_SCAN)
+            idx = (
+                range(len(q) - 1, len(q) - 1 - span, -1)
+                if from_lifo else range(span)
+            )
+            for i in idx:
+                t = q[i]
+                if (int(dag.kind[t]) == upd
+                        and int(dag.target[t]) == target):
+                    del q[i]
+                    self._n_batched[worker] += 1
+                    return int(t)
+        return None
+
+    def pop_same_target(self, worker: int, target: int) -> Optional[int]:
+        """Find a ready update into panel ``target``: this worker's own
+        deque first (LIFO end — the hot path), then each victim's FIFO
+        end (a targeted steal; same-target updates released by other
+        panels' owners usually live there)."""
+        t = self._pop_matching(worker, worker, target, from_lifo=True)
+        if t is not None:
+            return t
+        for v in self._victims[worker]:
+            if not self._local[v]:
+                continue
+            t = self._pop_matching(v, worker, target, from_lifo=False)
+            if t is not None:
+                return t
+        return None
+
     def has_work(self) -> bool:
         return any(len(q) > 0 for q in self._local)
 
@@ -207,6 +263,7 @@ class WorkStealingScheduler(ThreadScheduler):
         return {
             "steals": int(sum(self._n_steals)),
             "local_pops": int(sum(self._n_local)),
+            "batched_pops": int(sum(self._n_batched)),
         }
 
 

@@ -43,6 +43,7 @@ class StarPUPolicy(SchedulerPolicy):
             dedicated_gpu_workers=True,
             prefetch=True,
             recompute_ld=True,
+            index_cache=False,  # generic sparse-GEMM re-derives its maps
         )
 
     def setup(self) -> None:

@@ -118,11 +118,17 @@ class _PoolRun:
             trace.meta["scheduler"] = self.scheduler.name
             trace.meta["n_workers"] = self.n_workers
         for t in dag.sources():
-            self.scheduler.push(int(t), -1)
+            self._push(int(t), -1)
 
     # -- task body (subclass surface) ----------------------------------
     def _run_task(self, t: int, worker: int) -> None:
         raise NotImplementedError
+
+    def _push(self, t: int, worker: int) -> int:
+        """Make ``t`` ready.  Subclass hook wrapping ``scheduler.push``
+        so runs that need ready-task accounting can observe every
+        enqueue (the fan-in batching guard)."""
+        return self.scheduler.push(t, worker)
 
     def _execute(self, t: int, worker: int) -> None:
         start = time.perf_counter() - self.t0
@@ -190,7 +196,7 @@ class _PoolRun:
         # local/shared task offers a parked peer the chance to steal it.
         surplus = len(released) - 1
         for s in released:
-            hint = self.scheduler.push(s, worker)
+            hint = self._push(s, worker)
             if 0 <= hint < self.n_workers and hint != worker:
                 self.wakeups[hint].set()
             elif surplus > 0:
@@ -215,7 +221,7 @@ class _PoolRun:
             if not retry:
                 self._quarantine_locked(t, exc)
         if retry:
-            hint = self.scheduler.push(t, worker)
+            hint = self._push(t, worker)
             self._wake(hint, worker)
         else:
             self._wake_all()
@@ -233,6 +239,19 @@ class _PoolRun:
                 return
         ev.wait(timeout=_PARK_TIMEOUT_S)
 
+    def _process(self, t: int, worker: int) -> None:
+        """Run one popped task through execute/success/failure.
+
+        Subclass hook: the factorization override batches same-target
+        updates here (fan-in accumulation) before completing them.
+        """
+        try:
+            self._execute(t, worker)
+        except BaseException as exc:
+            self._on_failure(t, worker, exc)
+            return
+        self._on_success(t, worker)
+
     def _worker(self, worker: int) -> None:
         while True:
             with self.state:
@@ -245,12 +264,7 @@ class _PoolRun:
             with self.state:
                 if t in self.abandoned:
                     continue
-            try:
-                self._execute(t, worker)
-            except BaseException as exc:
-                self._on_failure(t, worker, exc)
-                continue
-            self._on_success(t, worker)
+            self._process(t, worker)
 
     # -- diagnostics ---------------------------------------------------
     def _watchdog_message(self) -> str:
@@ -338,11 +352,31 @@ class _ThreadedRun(_PoolRun):
 
     phase_label = "factorization"
 
+    #: Bound on a fan-in batch (first task + drained extras).  Small:
+    #: a batch delays its members' completion notifications until the
+    #: flush, so unbounded draining would serialize the frontier.
+    batch_limit = 8
+
     def __init__(self, factor: NumericFactor, dag, n_workers: int,
                  workspace: bool, trace: Optional[ExecutionTrace],
                  max_retries: int = 0,
                  watchdog_s: float | None = None,
-                 scheduler: ThreadScheduler | str = "ws") -> None:
+                 scheduler: ThreadScheduler | str = "ws",
+                 accumulate: bool = False) -> None:
+        # Accumulation state first: the base __init__ seeds the ready
+        # queue through the _push hook below, which consults it.
+        self.accumulate = accumulate
+        if accumulate:
+            from repro.kernels.accumulate import FanInAccumulator
+
+            self._accum = [FanInAccumulator() for _ in range(n_workers)]
+            # Per-target count of *queued* ready updates, maintained by
+            # the _push/_process hooks.  Best-effort (GIL-racy +=/-=
+            # drift at worst skips a batch or wastes one scan): its job
+            # is to keep the pop_same_target deque scans off the hot
+            # path when no sibling update is queued — without it every
+            # update pays a full victim sweep that mostly finds nothing.
+            self._ready_upd = [0] * dag.symbol.n_cblk
         super().__init__(dag, n_workers, trace, scheduler,
                          max_retries=max_retries, watchdog_s=watchdog_s)
         self.factor = factor
@@ -350,6 +384,11 @@ class _ThreadedRun(_PoolRun):
         self.panel_locks = [
             threading.Lock() for _ in range(dag.symbol.n_cblk)
         ]
+
+    def _push(self, t: int, worker: int) -> int:
+        if self.accumulate and int(self.dag.kind[t]) == int(TaskKind.UPDATE):
+            self._ready_upd[int(self.dag.target[t])] += 1
+        return super()._push(t, worker)
 
     def _run_task(self, t: int, worker: int) -> None:
         dag = self.dag
@@ -368,6 +407,73 @@ class _ThreadedRun(_PoolRun):
         else:
             with self.panel_locks[tgt]:
                 panel_update(self.factor, src, tgt, workspace=False)
+
+    # -- fan-in accumulation -------------------------------------------
+    def _process(self, t: int, worker: int) -> None:
+        if (
+            not self.accumulate
+            or not self.workspace
+            or TaskKind(int(self.dag.kind[t])) != TaskKind.UPDATE
+        ):
+            super()._process(t, worker)
+            return
+        self._process_update_batch(t, worker)
+
+    def _process_update_batch(self, first: int, worker: int) -> None:
+        """Batch ready same-target updates behind one mutex acquisition.
+
+        The popped update's target panel is probed for further *ready*
+        updates on this worker's own queue (``pop_same_target``); their
+        GEMMs all run lock-free, the contributions merge in the worker's
+        accumulator, and one locked slab subtraction commits the batch.
+        Completions are only published after the flush — a batched
+        update's successors (the target's panel task) must not start
+        while its contribution sits in the accumulator.
+        """
+        dag = self.dag
+        tgt = int(dag.target[first])
+        self._ready_upd[tgt] -= 1  # `first` left the queue via pop()
+        batch = [first]
+        while len(batch) < self.batch_limit and self._ready_upd[tgt] > 0:
+            extra = self.scheduler.pop_same_target(worker, tgt)
+            if extra is None:
+                break
+            self._ready_upd[tgt] -= 1
+            with self.state:
+                if extra in self.abandoned:
+                    continue
+            batch.append(extra)
+
+        computed: list[list] = []  # [task, parts, start, end]
+        for u in batch:
+            start = time.perf_counter() - self.t0
+            try:
+                parts = panel_update_compute(
+                    self.factor, int(dag.cblk[u]), tgt
+                )
+            except BaseException as exc:
+                self._on_failure(u, worker, exc)
+                continue
+            computed.append([u, parts, start, time.perf_counter() - self.t0])
+
+        live = [c for c in computed if c[1] is not None]
+        if len(live) == 1:
+            with self.panel_locks[tgt]:
+                panel_update_scatter(self.factor, tgt, live[0][1])
+        elif live:
+            acc = self._accum[worker]
+            acc.load(self.factor, tgt, [c[1] for c in live])
+            with self.panel_locks[tgt]:
+                acc.apply(self.factor, tgt)
+        if live:
+            # The flush belongs to the batch's last task's window, so
+            # per-resource trace rows stay sequential and disjoint.
+            live[-1][3] = time.perf_counter() - self.t0
+
+        for u, _parts, start, end in computed:
+            if self.trace is not None:
+                self._trace_rows[worker].append((u, start, end))
+            self._on_success(u, worker)
 
 
 class _ThreadedSolve:
@@ -516,8 +622,22 @@ def factorize_threaded(
     watchdog_s: float | None = None,
     scheduler: ThreadScheduler | str = "ws",
     pivot_threshold: float = 0.0,
+    index_cache: bool = True,
+    accumulate: bool = False,
+    dl_buffer: bool = False,
 ) -> NumericFactor:
     """Factorize on a thread pool; returns the :class:`NumericFactor`.
+
+    The hot-path optimization toggles mirror the sequential driver's:
+    ``index_cache`` reuses the symbol's precomputed couple scatter maps
+    (bit-identical numerics), ``dl_buffer`` keeps the persistent LDLᵀ
+    ``DLᵀ`` buffer (bit-identical numerics, per-update ``L·D``
+    recompute removed — paper §V-A), and ``accumulate`` merges ready
+    same-target updates in per-worker fan-in accumulators so the target
+    mutex is taken once per batch (changes the floating-point reduction
+    order like any cross-thread reordering, hence opt-in; results agree
+    with the sequential factor to roundoff).  The effective settings
+    and the cache/accumulator counters are stamped into ``trace.meta``.
 
     ``scheduler`` selects the ready-queue policy by registry name
     (``"ws"`` work stealing — the default, ``"priority"`` critical-path
@@ -535,6 +655,12 @@ ThreadScheduler` instance; the choice is stamped into ``trace.meta``.
     counter is thread-safe).
     """
     factor = NumericFactor.assemble(symbol, matrix, factotype, dtype=dtype)
+    if index_cache:
+        from repro.kernels.indexcache import get_couple_cache
+
+        factor.index_cache = get_couple_cache(symbol)
+    if dl_buffer:
+        factor.enable_dl_buffer()
     if pivot_threshold > 0.0:
         from repro.kernels.dense import PivotMonitor
 
@@ -544,6 +670,18 @@ ThreadScheduler` instance; the choice is stamped into ``trace.meta``.
     )
     run = _ThreadedRun(factor, dag, n_workers, workspace, trace,
                        max_retries=max_retries, watchdog_s=watchdog_s,
-                       scheduler=scheduler)
+                       scheduler=scheduler, accumulate=accumulate)
     run.run()
+    if trace is not None:
+        trace.meta["index_cache"] = bool(index_cache)
+        trace.meta["accumulate"] = bool(accumulate)
+        trace.meta["dl_buffer"] = bool(factor.dl_buffer)
+        if factor.index_cache is not None:
+            trace.meta["index_cache_stats"] = factor.index_cache.stats()
+        if accumulate:
+            agg: dict[str, int] = {}
+            for acc in run._accum:
+                for key, val in acc.stats().items():
+                    agg[key] = agg.get(key, 0) + val
+            trace.meta["accumulate_stats"] = agg
     return factor

@@ -60,6 +60,8 @@ from repro.verify.schedule import (
 from repro.verify.symbols import (
     derive_couples_by_target,
     skew_flops,
+    stale_couple_map,
+    verify_couple_cache,
     verify_dag_costs,
     verify_symbolic,
 )
@@ -86,8 +88,10 @@ __all__ = [
     "double_complete",
     "verify_symbolic",
     "verify_dag_costs",
+    "verify_couple_cache",
     "derive_couples_by_target",
     "skew_flops",
+    "stale_couple_map",
     "lint_paths",
     "lint_sources",
     "lint_report",

@@ -82,7 +82,7 @@ def add_verify_arguments(p: argparse.ArgumentParser) -> None:
         "--inject", default="none",
         choices=["none", "drop-edge", "overlap-trace", "break-mutex",
                  "drop-transfer", "overflow-residency", "skew-flops",
-                 "drop-recovery", "double-complete"],
+                 "stale-cache", "drop-recovery", "double-complete"],
         help="fault injection self-test (expected to FAIL the run)",
     )
     p.add_argument("-v", "--verbose", action="store_true",
@@ -338,9 +338,12 @@ def _resilience_pass(args: argparse.Namespace, symbol: Any,
 def _symbolic_pass(args: argparse.Namespace, matrix: Any, res: Any,
                    reports: list[Report]) -> None:
     from repro.dag import build_dag
+    from repro.kernels.indexcache import CoupleMapCache
     from repro.symbolic import SymbolicOptions, analyze
     from repro.verify.symbols import (
         skew_flops,
+        stale_couple_map,
+        verify_couple_cache,
         verify_dag_costs,
         verify_symbolic,
     )
@@ -370,6 +373,19 @@ def _symbolic_pass(args: argparse.Namespace, matrix: Any, res: Any,
         label += f"+skew-flops(task {task})"
     t0 = time.perf_counter()
     rep = verify_dag_costs(dag, name=f"dag-costs[{label}]")
+    rep.stats["seconds"] = time.perf_counter() - t0
+    reports.append(rep)
+
+    # Couple-index-cache audit: the scatter maps the numeric hot path
+    # reuses must agree with an independent re-derivation (N507/N508).
+    cache = CoupleMapCache(res.symbol)
+    clabel = "fresh"
+    if args.inject == "stale-cache":
+        cache, couple = stale_couple_map(cache)
+        clabel = f"stale-cache({couple[0]} -> {couple[1]})"
+    t0 = time.perf_counter()
+    rep = verify_couple_cache(res.symbol, cache,
+                              name=f"couple-cache[{clabel}]")
     rep.stats["seconds"] = time.perf_counter() - t0
     reports.append(rep)
 

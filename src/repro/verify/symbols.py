@@ -37,6 +37,18 @@ Checks (``verify_dag_costs``):
   per-source ``update_couples``;
 * **N506 total flops** — the DAG's flop total matches the independent
   total (any granularity, both LDLᵀ update conventions accepted).
+
+Checks (``verify_couple_cache``):
+
+* **N507 map contents** — every cached couple's ``(i0, i1, rows_local,
+  cols_local)`` equals a re-derivation from the symbol through
+  *different primitives* (``count_nonzero``/``isin`` instead of the
+  builder's ``searchsorted``), so a shared bug cannot hide;
+* **N508 couple coverage** — the cache holds exactly the couples the
+  facing index enumerates (per target), and each panel's cached facing
+  list matches.  A cache that silently went stale against its symbol —
+  the one failure mode that would corrupt factors without any schedule
+  looking wrong — fails here (``make selftest`` injects one).
 """
 
 from __future__ import annotations
@@ -54,8 +66,10 @@ from repro.verify.report import Report
 __all__ = [
     "verify_symbolic",
     "verify_dag_costs",
+    "verify_couple_cache",
     "derive_couples_by_target",
     "skew_flops",
+    "stale_couple_map",
 ]
 
 _REL_TOL = 1e-9
@@ -350,8 +364,118 @@ def verify_dag_costs(
 
 
 # ----------------------------------------------------------------------
+# Couple-index-cache audit
+# ----------------------------------------------------------------------
+def verify_couple_cache(
+    symbol: SymbolMatrix,
+    cache,
+    *,
+    max_reported: int = 25,
+    name: str = "couple-cache",
+) -> Report:
+    """Audit a :class:`repro.kernels.indexcache.CoupleMapCache`.
+
+    The cache's scatter maps steer every numeric scatter-add, so a
+    stale or corrupted entry writes contributions to the wrong factor
+    entries while every schedule still looks feasible.  This re-derives
+    each map from ``symbol`` through primitives disjoint from the
+    builder's (``count_nonzero`` for the slice bounds, ``isin`` +
+    ``flatnonzero`` for the row maps — the builder uses
+    ``searchsorted``), and re-enumerates the couple set per *target*
+    through the facing index (the builder walks per source).
+    """
+    report = Report(name)
+    ptr = symbol.cblk_ptr
+    rows_of = [symbol.cblk_rows(k) for k in range(symbol.n_cblk)]
+
+    # N508: coverage — cached couples vs the facing-index enumeration.
+    derived = derive_couples_by_target(symbol)
+    want = set(derived.keys())
+    have = set(cache.maps.keys())
+    for k, t in sorted(have - want):
+        report.add(
+            "N508",
+            f"cache holds couple {k} -> {t} but the facing index "
+            "enumerates no such couple",
+        )
+    for k, t in sorted(want - have):
+        report.add(
+            "N508",
+            f"facing index enumerates couple {k} -> {t} but the cache "
+            "has no map for it",
+        )
+    for k in range(symbol.n_cblk):
+        expect = np.sort(np.array(
+            [t for (s, t) in sorted(want) if s == k], dtype=np.int64
+        ))
+        got = np.sort(np.asarray(cache.facing[k], dtype=np.int64))
+        if not np.array_equal(expect, got):
+            report.add(
+                "N508",
+                f"panel {k}'s cached facing list {got.tolist()} differs "
+                f"from the facing-index targets {expect.tolist()}",
+            )
+
+    # N507: per-couple map contents, re-derived by different means.
+    n_bad = 0
+    for (k, t) in sorted(have & want):
+        cm = cache.maps[(k, t)]
+        w = symbol.cblk_width(k)
+        rk = rows_of[k][w:]
+        i0 = int(np.count_nonzero(rk < ptr[t]))
+        i1 = int(np.count_nonzero(rk < ptr[t + 1]))
+        rows_t = rows_of[t]
+        exp_rows = np.flatnonzero(np.isin(rows_t, rk[i0:]))
+        exp_cols = rk[i0:i1] - ptr[t]
+        bad = (
+            cm.i0 != i0
+            or cm.i1 != i1
+            or cm.rk_size != rk.size
+            or not np.array_equal(cm.rows_local, exp_rows)
+            or not np.array_equal(cm.cols_local, exp_cols)
+        )
+        if bad:
+            n_bad += 1
+            if n_bad <= max_reported:
+                report.add(
+                    "N507",
+                    f"couple {k} -> {t}: cached maps (i0={cm.i0}, "
+                    f"i1={cm.i1}, rk_size={cm.rk_size}) disagree with "
+                    f"the re-derivation (i0={i0}, i1={i1}, "
+                    f"rk_size={rk.size}) or the row/column maps differ",
+                )
+            elif n_bad == max_reported + 1:
+                report.add("N507", "... further map findings suppressed")
+    report.stats["couples_cached"] = len(have)
+    report.stats["couples_derived"] = len(want)
+    report.stats["map_mismatches"] = n_bad
+    return report
+
+
+# ----------------------------------------------------------------------
 # Fault injection (for --inject self-tests)
 # ----------------------------------------------------------------------
+def stale_couple_map(cache) -> tuple[object, tuple[int, int]]:
+    """Return a corrupted clone of ``cache`` (stale-map injection).
+
+    Shifts one entry of the largest couple's ``rows_local`` by one —
+    exactly the drift a symbol rebuilt after a cache was attached would
+    produce, and the corruption N507 exists to catch.  Returns the
+    corrupted cache and the affected couple.
+    """
+    from repro.kernels.indexcache import CoupleMap
+
+    if not cache.maps:
+        raise ValueError("cache holds no couples to corrupt")
+    key = max(cache.maps, key=lambda kt: cache.maps[kt].rows_local.size)
+    cm = cache.maps[key]
+    rows = cm.rows_local.copy()
+    rows[rows.size // 2] += 1
+    out = cache.clone()
+    out.maps[key] = CoupleMap(cm.i0, cm.i1, rows, cm.cols_local, cm.rk_size)
+    return out, key
+
+
 def skew_flops(dag: TaskDAG, factor: float = 1.5) -> tuple[TaskDAG, int]:
     """Return a copy of ``dag`` with one update task's flops skewed.
 

@@ -205,7 +205,9 @@ def test_bench_threaded_quick(bench_env, capsys):
     data = json.loads(out_path.read_text())
     assert data["bench"] == "threaded"
     assert data["calib_gflops"] > 0
-    assert len(data["cells"]) == 4
+    # 4 schedulers x 2 hot-path variants (base/opt).
+    assert len(data["cells"]) == 8
+    assert {c["variant"] for c in data["cells"]} == {"base", "opt"}
     for c in data["cells"]:
         assert c["wall_s"] > 0
         assert c["model_makespan_s"] >= c["model_cp_s"] > 0
@@ -214,6 +216,12 @@ def test_bench_threaded_quick(bench_env, capsys):
     assert {s["scheduler"] for s in data["summary"]} == {
         "ws", "priority", "affinity",
     }
+    # Every scheduler gets an opt-vs-base pairing.
+    assert {s["scheduler"] for s in data["variant_summary"]} == {
+        "fifo", "ws", "priority", "affinity",
+    }
+    for s in data["variant_summary"]:
+        assert s["model_speedup_vs_base"] > 0
 
 
 def test_perf_compare_pass_and_regression(bench_env, capsys):
@@ -281,9 +289,59 @@ def test_bench_threaded_mis_prioritize_is_caught(bench_env, capsys):
     mis_path = tmp / "mis.json"
     common_args = ["--scale", "0.75", "--matrices", "audi",
                    "--workers", "4", "--repeats", "1",
-                   "--schedulers", "priority"]
+                   "--schedulers", "priority", "--variants", "opt"]
     bt.main(common_args + ["--out", str(base_path)])
     bt.main(common_args + ["--mis-prioritize", "--out", str(mis_path)])
     capsys.readouterr()
     assert pc.main(["--no-wall", str(base_path), str(mis_path)]) == 1
     assert "REGRESSION(model)" in capsys.readouterr().out
+
+
+def test_perf_compare_gate_variants(bench_env, capsys):
+    """--gate-variants: an opt cell slower than its base sibling fails."""
+    import copy
+    import json
+
+    load, tmp = bench_env
+    bt = load("bench_threaded")
+    pc = load("perf_compare")
+    rep_path = tmp / "rep.json"
+    bt.main(["--scale", "0.3", "--matrices", "audi", "--workers", "2",
+             "--repeats", "1", "--schedulers", "ws",
+             "--out", str(rep_path)])
+    capsys.readouterr()
+
+    # Doctor the pair so opt clearly wins: the gate must pass.
+    data = json.loads(rep_path.read_text())
+    for c in data["cells"]:
+        if c["variant"] == "opt":
+            c["model_makespan_s"] *= 0.8
+            c["wall_s"] *= 0.8
+    good_path = tmp / "good.json"
+    good_path.write_text(json.dumps(data))
+    assert pc.main(["--gate-variants", "--no-wall",
+                    str(good_path), str(good_path)]) == 0
+    assert "opt beats base" in capsys.readouterr().out
+
+    # Doctor the opt cell to lose to base: the gate must fail even
+    # though the baseline diff itself is clean.
+    bad = copy.deepcopy(data)
+    for c in bad["cells"]:
+        if c["variant"] == "opt":
+            c["model_makespan_s"] *= 2.0
+    bad_path = tmp / "bad.json"
+    bad_path.write_text(json.dumps(bad))
+    assert pc.main(["--gate-variants", "--no-wall", "--threshold", "3.0",
+                    str(bad_path), str(bad_path)]) == 1
+    assert "VARIANT REGRESSION" in capsys.readouterr().out
+
+    # A report with no base/opt pairs must not silently pass the gate.
+    only_base = copy.deepcopy(data)
+    only_base["cells"] = [
+        c for c in only_base["cells"] if c["variant"] == "base"
+    ]
+    ob_path = tmp / "only_base.json"
+    ob_path.write_text(json.dumps(only_base))
+    assert pc.main(["--gate-variants", "--no-wall",
+                    str(ob_path), str(ob_path)]) == 1
+    assert "no base/opt cell pairs" in capsys.readouterr().out
