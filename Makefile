@@ -7,7 +7,7 @@ PYTHONPATH := src
 export PYTHONPATH
 
 .PHONY: test verify lint hazards typecheck bench figures selftest chaos \
-	perf-smoke ci
+	perf-smoke race-smoke ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -25,7 +25,8 @@ verify: lint hazards typecheck test
 selftest:
 	@for inj in drop-edge overlap-trace break-mutex skew-flops stale-cache; do \
 		if $(PYTHON) -m repro verify --matrix lap2d --size 20 \
-			--no-lint --no-resilience --inject $$inj >/dev/null 2>&1; then \
+			--no-lint --no-resilience --no-concurrency \
+			--inject $$inj >/dev/null 2>&1; then \
 			echo "inject $$inj: NOT caught"; exit 1; \
 		else \
 			echo "inject $$inj: caught"; \
@@ -34,7 +35,7 @@ selftest:
 	@for inj in drop-transfer overflow-residency; do \
 		if $(PYTHON) -m repro verify --matrix lap2d --size 32 \
 			--no-lint --no-hazards --no-symbolic --no-resilience \
-			--inject $$inj >/dev/null 2>&1; then \
+			--no-concurrency --inject $$inj >/dev/null 2>&1; then \
 			echo "inject $$inj: NOT caught"; exit 1; \
 		else \
 			echo "inject $$inj: caught"; \
@@ -43,7 +44,16 @@ selftest:
 	@for inj in drop-recovery double-complete; do \
 		if $(PYTHON) -m repro verify --matrix lap2d --size 16 \
 			--no-lint --no-hazards --no-symbolic --no-schedule \
-			--inject $$inj >/dev/null 2>&1; then \
+			--no-concurrency --inject $$inj >/dev/null 2>&1; then \
+			echo "inject $$inj: NOT caught"; exit 1; \
+		else \
+			echo "inject $$inj: caught"; \
+		fi; \
+	done
+	@for inj in drop-sync-event unlocked-scatter swallow-wakeup; do \
+		if $(PYTHON) -m repro verify --matrix lap2d --size 16 \
+			--no-lint --no-hazards --no-schedule --no-symbolic \
+			--no-resilience --inject $$inj >/dev/null 2>&1; then \
 			echo "inject $$inj: NOT caught"; exit 1; \
 		else \
 			echo "inject $$inj: caught"; \
@@ -84,13 +94,26 @@ perf-smoke:
 		results/BENCH_threaded.json results/_perfsmoke.json; \
 	status=$$?; rm -f results/_perfsmoke.json; exit $$status
 
+# Quick concurrency gate: a real threaded sweep (every scheduler, both
+# fan-in accumulation variants) with sync tracing on, every traced run
+# checked by the C7xx happens-before auditor (bench_threaded --verify).
+race-smoke:
+	@PYTHONPATH=src:benchmarks $(PYTHON) benchmarks/bench_threaded.py \
+		--quick --verify --repeats 1 --out results/_racesmoke.json \
+		>/dev/null; \
+	status=$$?; rm -f results/_racesmoke.json; \
+	if [ $$status -eq 0 ]; then echo "race-smoke: clean"; \
+	else echo "race-smoke: FAILED"; fi; exit $$status
+
 # Everything CI runs: tier-1 tests, the static-analysis gate
-# (lint/hazards/schedule/memory/symbolic + ruff/mypy when installed),
-# the fault-injection self-tests, and the perf-regression gate.
-ci: verify selftest perf-smoke
+# (lint/hazards/schedule/memory/symbolic/concurrency + ruff/mypy when
+# installed), the fault-injection self-tests, the live-race gate, and
+# the perf-regression gate.
+ci: verify selftest race-smoke perf-smoke
 
 lint:
-	$(PYTHON) -m repro verify --no-hazards --no-schedule --no-resilience
+	$(PYTHON) -m repro verify --no-hazards --no-schedule --no-resilience \
+		--no-concurrency
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src tests benchmarks examples; \
 	else \

@@ -218,10 +218,22 @@ def run_cell(
             res.symbol, permuted, ft, n_workers=n_workers, dtype=dt,
             trace=trace, scheduler=sched,
             index_cache=opt, accumulate=opt, dl_buffer=opt,
+            record_sync=verify,
         )
         wall = time.perf_counter() - t0
         del factor
         best_wall = min(best_wall, wall)
+        if verify:
+            # C7xx happens-before audit on *every* traced run (not just
+            # the best one): a race is a bug whichever repeat it bit.
+            from repro.verify.concurrency import verify_concurrency
+
+            crep = verify_concurrency(dag, trace)
+            if not crep.ok:
+                raise RuntimeError(
+                    f"{name}/{scheduler} x{n_workers} [{variant}] "
+                    "failed the concurrency audit:\n" + crep.format()
+                )
         model = replay_makespan(dag, trace, n_workers, costs=costs)
         if model < best_model:
             best_model = model

@@ -28,7 +28,22 @@ That is why the threaded runtime keeps it opt-in (``accumulate=True``).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Optional, Sequence
+
 import numpy as np
+
+if TYPE_CHECKING:
+    from numpy.typing import DTypeLike
+
+    from repro.core.factor import NumericFactor
+
+    #: One ``panel_update_compute`` result: ``(rows_local, cols_local,
+    #: contrib, rows_u, contrib_u)`` — the U-side pair is ``None``/empty
+    #: for factorizations without a distinct U.
+    UpdateParts = tuple[
+        np.ndarray, np.ndarray, np.ndarray, np.ndarray,
+        Optional[np.ndarray],
+    ]
 
 __all__ = ["WorkspacePool", "FanInAccumulator"]
 
@@ -46,7 +61,7 @@ class WorkspacePool:
         self._arena: np.ndarray | None = None
         self.n_grows = 0
 
-    def get(self, shape: tuple[int, int], dtype) -> np.ndarray:
+    def get(self, shape: tuple[int, int], dtype: DTypeLike) -> np.ndarray:
         size = int(shape[0]) * int(shape[1])
         arena = self._arena
         if arena is None or arena.size < size or arena.dtype != dtype:
@@ -71,7 +86,8 @@ class FanInAccumulator:
         self.n_merged = 0
 
     # -- phase 1: outside the target lock ------------------------------
-    def load(self, factor, t: int, parts_list) -> None:
+    def load(self, factor: NumericFactor, t: int,
+             parts_list: Sequence[UpdateParts]) -> None:
         """Merge a batch of ``panel_update_compute`` parts locally."""
         shape = factor.L[t].shape
         dtype = factor.L[t].dtype
@@ -95,11 +111,11 @@ class FanInAccumulator:
         self.n_merged += len(parts_list)
 
     # -- phase 2: under the target lock --------------------------------
-    def apply(self, factor, t: int) -> None:
+    def apply(self, factor: NumericFactor, t: int) -> None:
         """Commit the loaded batch into panel ``t`` (caller holds its
         mutex): one contiguous row-slab subtraction per side."""
         r0, r1 = self._span
-        if r1 > r0:
+        if r1 > r0 and self._acc_l is not None:
             factor.L[t][r0:r1, :] -= self._acc_l[r0:r1, :]
         if self._acc_u is not None:
             u0, u1 = self._span_u

@@ -41,7 +41,7 @@ import heapq
 import random
 import threading
 from collections import deque
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.dag.tasks import TaskDAG, TaskKind
 
@@ -66,6 +66,17 @@ class ThreadScheduler:
     #: Registry key; also stamped into ``ExecutionTrace.meta`` so the
     #: S2xx verifier can audit which policy produced a trace.
     name = "abstract"
+
+    #: Optional instrumentation callback installed by the runtime:
+    #: ``observer(kind, worker, victim, task)`` with ``kind="steal"``
+    #: and ``task=-1`` for a failed probe.  Lets the C7xx concurrency
+    #: auditor see steal traffic without the scheduler importing any
+    #: tracing machinery; ``None`` (the default) costs one attribute
+    #: read on the steal path and nothing on the local path.
+    observer: Optional[Callable[[str, int, int, int], None]] = None
+
+    dag: TaskDAG
+    n_workers: int
 
     def bind(self, dag: TaskDAG, n_workers: int) -> None:
         """Attach to one run.  Re-binding resets all internal state."""
@@ -199,10 +210,16 @@ class WorkStealingScheduler(ThreadScheduler):
             for v in order:
                 if not self._local[v]:
                     continue
+                t: Optional[int] = None
                 with self._locks[v]:
                     if self._local[v]:
                         self._n_steals[worker] += 1
-                        return self._local[v].popleft()  # FIFO: cold end
+                        t = self._local[v].popleft()  # FIFO: cold end
+                obs = self.observer
+                if obs is not None:
+                    obs("steal", worker, v, -1 if t is None else int(t))
+                if t is not None:
+                    return t
         return None
 
     #: How many entries of a deque the batching probe inspects; bounds
@@ -217,6 +234,15 @@ class WorkStealingScheduler(ThreadScheduler):
         upd = int(TaskKind.UPDATE)
         with self._locks[owner]:
             q = self._local[owner]
+            # Emptiness and target match are decided together *under*
+            # the owner's lock.  The victim scan used to pre-probe
+            # ``self._local[v]`` unlocked and skip "empty" victims — a
+            # TOCTOU window in which a concurrent push could land a
+            # matching update that the batch probe then never saw
+            # (and the probe itself was an unlocked read of a deque
+            # mid-mutation, safe only by CPython accident).
+            if not q:
+                return None
             span = min(len(q), self._BATCH_SCAN)
             idx = (
                 range(len(q) - 1, len(q) - 1 - span, -1)
@@ -235,15 +261,23 @@ class WorkStealingScheduler(ThreadScheduler):
         """Find a ready update into panel ``target``: this worker's own
         deque first (LIFO end — the hot path), then each victim's FIFO
         end (a targeted steal; same-target updates released by other
-        panels' owners usually live there)."""
+        panels' owners usually live there).
+
+        The victim scan takes each victim's deque lock unconditionally
+        and lets :meth:`_pop_matching` decide emptiness under it; the
+        runtime's ``_ready_upd`` guard already keeps this sweep off the
+        no-sibling hot path, so the per-victim lock acquisition is the
+        price of a race-free probe (see the TOCTOU note in
+        :meth:`_pop_matching`)."""
         t = self._pop_matching(worker, worker, target, from_lifo=True)
         if t is not None:
             return t
         for v in self._victims[worker]:
-            if not self._local[v]:
-                continue
             t = self._pop_matching(v, worker, target, from_lifo=False)
             if t is not None:
+                obs = self.observer
+                if obs is not None:
+                    obs("steal", worker, v, t)
                 return t
         return None
 
@@ -296,7 +330,9 @@ class LastPanelAffinityScheduler(WorkStealingScheduler):
             owner = self._owner[int(self.dag.target[task])]
             if 0 <= owner < self.n_workers:
                 if 0 <= worker < self.n_workers:
-                    self._n_affine[worker] += 1
+                    # Best-effort counter: a lost increment only skews a
+                    # benchmark stat, never routing.
+                    self._n_affine[worker] += 1  # noqa: RV401
                 return owner
         return super()._route(task, worker)
 
@@ -378,7 +414,9 @@ THREAD_SCHEDULERS: dict[str, type[ThreadScheduler]] = {
 }
 
 
-def get_thread_scheduler(spec) -> ThreadScheduler:
+def get_thread_scheduler(
+    spec: ThreadScheduler | type[ThreadScheduler] | str,
+) -> ThreadScheduler:
     """Resolve a scheduler: registry name, instance, or subclass."""
     if isinstance(spec, ThreadScheduler):
         return spec

@@ -91,7 +91,8 @@ class _PoolRun:
                  trace: Optional[ExecutionTrace],
                  scheduler: ThreadScheduler | str,
                  max_retries: int = 0,
-                 watchdog_s: float | None = None) -> None:
+                 watchdog_s: float | None = None,
+                 record_sync: bool = False) -> None:
         self.dag = dag
         self.n_workers = max(1, int(n_workers))
         self.trace = trace
@@ -109,6 +110,15 @@ class _PoolRun:
         self._trace_rows: list[list[tuple[int, float, float]]] = [
             [] for _ in range(self.n_workers)
         ]
+        # Sync instrumentation is all-or-nothing: when off, every hook
+        # is a single `is None` branch — no clock reads, no buffers, no
+        # observer — so untraced runs stay bit-identical.  Buffers are
+        # per worker (slot -1 = the driver thread) and lock-free; they
+        # merge into the trace at run() exit like the task rows.
+        self._sync_rows: Optional[list[list[tuple]]] = (
+            [[] for _ in range(self.n_workers + 1)]
+            if (record_sync and trace is not None) else None
+        )
         self.attempts: dict[int, int] = {}
         self.quarantined: dict[int, BaseException] = {}
         self.abandoned: set[int] = set()
@@ -117,8 +127,32 @@ class _PoolRun:
         if trace is not None:
             trace.meta["scheduler"] = self.scheduler.name
             trace.meta["n_workers"] = self.n_workers
+            if self._sync_rows is not None:
+                trace.meta["sync_trace"] = True
+        if self._sync_rows is not None:
+            self.scheduler.observer = self._observe_steal
         for t in dag.sources():
             self._push(int(t), -1)
+
+    # -- sync instrumentation ------------------------------------------
+    def _now(self) -> float:
+        return time.perf_counter() - self.t0
+
+    def _sync(self, kind: str, worker: int, obj: str, task: int,
+              start: float, end: float, wait_s: float = 0.0,
+              n: int = 1) -> None:
+        """Buffer one sync event (caller checked ``_sync_rows``)."""
+        assert self._sync_rows is not None
+        self._sync_rows[worker].append(
+            (kind, worker, obj, task, start, end, wait_s, n)
+        )
+
+    def _observe_steal(self, kind: str, worker: int, victim: int,
+                       task: int) -> None:
+        """Scheduler observer: steal probes land in the thief's buffer."""
+        if self._sync_rows is not None:
+            now = self._now()
+            self._sync(kind, worker, f"worker{victim}", task, now, now)
 
     # -- task body (subclass surface) ----------------------------------
     def _run_task(self, t: int, worker: int) -> None:
@@ -166,6 +200,9 @@ class _PoolRun:
         if 0 <= hint < self.n_workers:
             if hint != me:
                 self.wakeups[hint].set()
+                if self._sync_rows is not None:
+                    now = self._now()
+                    self._sync("wake", me, f"worker{hint}", -1, now, now)
             return
         self._wake_any(me)
 
@@ -173,6 +210,9 @@ class _PoolRun:
         for w in range(self.n_workers):
             if w != me and not self.wakeups[w].is_set():
                 self.wakeups[w].set()
+                if self._sync_rows is not None:
+                    now = self._now()
+                    self._sync("wake", me, f"worker{w}", -1, now, now)
                 return
 
     def _on_success(self, t: int, worker: int) -> None:
@@ -185,6 +225,13 @@ class _PoolRun:
                 if self.deps_left[s] == 0 and s not in self.abandoned:
                     released.append(int(s))
             terminal = self._settled() >= self.dag.n_tasks
+            # Publish timestamp is taken *inside* the state lock: the
+            # lock serializes completions, so every predecessor's
+            # publish time provably precedes the successor-releasing
+            # decrement — the C702 ordering the auditor re-checks.
+            pub = self._now() if self._sync_rows is not None else 0.0
+        if self._sync_rows is not None:
+            self._sync("publish", worker, "pool", t, pub, pub)
         # Affinity bookkeeping first, so freshly released successors
         # route to the worker whose cache just touched the panel.
         self.scheduler.on_complete(t, worker)
@@ -199,6 +246,9 @@ class _PoolRun:
             hint = self._push(s, worker)
             if 0 <= hint < self.n_workers and hint != worker:
                 self.wakeups[hint].set()
+                if self._sync_rows is not None:
+                    now = self._now()
+                    self._sync("wake", worker, f"worker{hint}", s, now, now)
             elif surplus > 0:
                 self._wake_any(worker)
                 surplus -= 1
@@ -237,7 +287,13 @@ class _PoolRun:
         with self.state:
             if self._settled() >= self.dag.n_tasks:
                 return
-        ev.wait(timeout=_PARK_TIMEOUT_S)
+        if self._sync_rows is None:
+            ev.wait(timeout=_PARK_TIMEOUT_S)
+        else:
+            t_park = self._now()
+            ev.wait(timeout=_PARK_TIMEOUT_S)
+            self._sync("park", worker, f"worker{worker}", -1,
+                       t_park, self._now())
 
     def _process(self, t: int, worker: int) -> None:
         """Run one popped task through execute/success/failure.
@@ -295,6 +351,35 @@ class _PoolRun:
             for t, start, end in self._trace_rows[w]:
                 self.trace.record(t, f"cpu{w}", start, end)
         self._trace_rows = [[] for _ in range(self.n_workers)]
+        if self._sync_rows is not None:
+            for rows in self._sync_rows:
+                for r in rows:
+                    self.trace.record_sync(*r)
+            self._sync_rows = [[] for _ in range(self.n_workers + 1)]
+            self.scheduler.observer = None
+            self._stamp_sync_stats()
+
+    def _stamp_sync_stats(self) -> None:
+        """Summarize the merged sync events into ``trace.meta``.
+
+        Counts per kind plus total lock-held/lock-wait seconds — the
+        benchmark's tuning signal and the C707 provenance anchor: the
+        concurrency auditor recomputes these from the events and a
+        mismatch means the trace was edited after the run.
+        """
+        assert self.trace is not None
+        counts: dict[str, int] = {}
+        held = wait = 0.0
+        for e in self.trace.sync_events:
+            counts[e.kind] = counts.get(e.kind, 0) + 1
+            if e.kind == "lock":
+                held += e.duration
+                wait += e.wait_s
+        self.trace.meta["sync_stats"] = {
+            "counts": counts,
+            "lock_held_s": held,
+            "lock_wait_s": wait,
+        }
 
     # -- driver --------------------------------------------------------
     def run(self) -> None:
@@ -362,7 +447,8 @@ class _ThreadedRun(_PoolRun):
                  max_retries: int = 0,
                  watchdog_s: float | None = None,
                  scheduler: ThreadScheduler | str = "ws",
-                 accumulate: bool = False) -> None:
+                 accumulate: bool = False,
+                 record_sync: bool = False) -> None:
         # Accumulation state first: the base __init__ seeds the ready
         # queue through the _push hook below, which consults it.
         self.accumulate = accumulate
@@ -378,7 +464,8 @@ class _ThreadedRun(_PoolRun):
             # update pays a full victim sweep that mostly finds nothing.
             self._ready_upd = [0] * dag.symbol.n_cblk
         super().__init__(dag, n_workers, trace, scheduler,
-                         max_retries=max_retries, watchdog_s=watchdog_s)
+                         max_retries=max_retries, watchdog_s=watchdog_s,
+                         record_sync=record_sync)
         self.factor = factor
         self.workspace = workspace
         self.panel_locks = [
@@ -387,8 +474,29 @@ class _ThreadedRun(_PoolRun):
 
     def _push(self, t: int, worker: int) -> int:
         if self.accumulate and int(self.dag.kind[t]) == int(TaskKind.UPDATE):
-            self._ready_upd[int(self.dag.target[t])] += 1
+            # Best-effort guard counter; a GIL-racy lost update only
+            # skips a batch or wastes a scan.  noqa: RV401
+            self._ready_upd[int(self.dag.target[t])] += 1  # noqa: RV401
         return super()._push(t, worker)
+
+    def _locked_scatter(self, t: int, tgt: int, worker: int,
+                        body, obj: Optional[str] = None) -> None:
+        """Run ``body()`` under panel ``tgt``'s mutex, recording the
+        hold window (acquire wait, acquire, release) when sync tracing
+        is on.  The window is measured *inside* the lock, so measured
+        windows on one panel are disjoint exactly when the real holds
+        are — the C701 mutual-exclusion check stays sound."""
+        if self._sync_rows is None:
+            with self.panel_locks[tgt]:
+                body()
+            return
+        t_req = self._now()
+        with self.panel_locks[tgt]:
+            t_acq = self._now()
+            body()
+            t_rel = self._now()
+        self._sync("lock", worker, obj or f"panel{tgt}", t,
+                   t_acq, t_rel, wait_s=t_acq - t_req)
 
     def _run_task(self, t: int, worker: int) -> None:
         dag = self.dag
@@ -402,11 +510,21 @@ class _ThreadedRun(_PoolRun):
         if self.workspace:
             parts = panel_update_compute(self.factor, src, tgt)
             if parts is not None:
-                with self.panel_locks[tgt]:
-                    panel_update_scatter(self.factor, tgt, parts)
+                self._locked_scatter(
+                    t, tgt, worker,
+                    lambda: panel_update_scatter(self.factor, tgt, parts),
+                )
+            elif self._sync_rows is not None:
+                # No facing contribution: nothing was scattered, so no
+                # lock was (or needed to be) taken — exempt from C703.
+                now = self._now()
+                self._sync("noop", worker, f"panel{tgt}", t, now, now)
         else:
-            with self.panel_locks[tgt]:
-                panel_update(self.factor, src, tgt, workspace=False)
+            self._locked_scatter(
+                t, tgt, worker,
+                lambda: panel_update(self.factor, src, tgt,
+                                     workspace=False),
+            )
 
     # -- fan-in accumulation -------------------------------------------
     def _process(self, t: int, worker: int) -> None:
@@ -432,13 +550,13 @@ class _ThreadedRun(_PoolRun):
         """
         dag = self.dag
         tgt = int(dag.target[first])
-        self._ready_upd[tgt] -= 1  # `first` left the queue via pop()
+        self._ready_upd[tgt] -= 1  # `first` left the queue  # noqa: RV401
         batch = [first]
         while len(batch) < self.batch_limit and self._ready_upd[tgt] > 0:
             extra = self.scheduler.pop_same_target(worker, tgt)
             if extra is None:
                 break
-            self._ready_upd[tgt] -= 1
+            self._ready_upd[tgt] -= 1  # noqa: RV401
             with self.state:
                 if extra in self.abandoned:
                     continue
@@ -458,13 +576,38 @@ class _ThreadedRun(_PoolRun):
 
         live = [c for c in computed if c[1] is not None]
         if len(live) == 1:
-            with self.panel_locks[tgt]:
-                panel_update_scatter(self.factor, tgt, live[0][1])
+            self._locked_scatter(
+                live[0][0], tgt, worker,
+                lambda: panel_update_scatter(self.factor, tgt, live[0][1]),
+            )
         elif live:
             acc = self._accum[worker]
             acc.load(self.factor, tgt, [c[1] for c in live])
-            with self.panel_locks[tgt]:
-                acc.apply(self.factor, tgt)
+            if self._sync_rows is None:
+                with self.panel_locks[tgt]:
+                    acc.apply(self.factor, tgt)
+            else:
+                t_req = self._now()
+                with self.panel_locks[tgt]:
+                    t_acq = self._now()
+                    acc.apply(self.factor, tgt)
+                    t_rel = self._now()
+                # One lock window for the whole batch, plus one "flush"
+                # event per member sharing its coordinates: the C7xx
+                # auditor needs to see that every batched contribution
+                # committed inside a mutex hold, and C704 needs each
+                # member's publish to postdate this window's end.
+                self._sync("lock", worker, f"panel{tgt}", live[-1][0],
+                           t_acq, t_rel, wait_s=t_acq - t_req,
+                           n=len(live))
+                for c in live:
+                    self._sync("flush", worker, f"panel{tgt}", c[0],
+                               t_acq, t_rel, n=len(live))
+        if self._sync_rows is not None:
+            for c in computed:
+                if c[1] is None:
+                    self._sync("noop", worker, f"panel{tgt}", c[0],
+                               c[3], c[3])
         if live:
             # The flush belongs to the batch's last task's window, so
             # per-resource trace rows stay sequential and disjoint.
@@ -564,9 +707,11 @@ class _ThreadedSolveRun(_PoolRun):
                  n_workers: int,
                  trace: Optional[ExecutionTrace] = None,
                  watchdog_s: float | None = None,
-                 scheduler: ThreadScheduler | str = "fifo") -> None:
+                 scheduler: ThreadScheduler | str = "fifo",
+                 record_sync: bool = False) -> None:
         super().__init__(dag, n_workers, trace, scheduler,
-                         max_retries=0, watchdog_s=watchdog_s)
+                         max_retries=0, watchdog_s=watchdog_s,
+                         record_sync=record_sync)
         self.body = _ThreadedSolve(factor, x)
         self.mutex_locks = [
             threading.Lock() for _ in range(2 * factor.symbol.n_cblk)
@@ -574,11 +719,20 @@ class _ThreadedSolveRun(_PoolRun):
 
     def _run_task(self, t: int, worker: int) -> None:
         grp = int(self.dag.mutex[t])
-        if grp >= 0:
+        if grp < 0:
+            self.body.run_task(self.dag, t)
+            return
+        if self._sync_rows is None:
             with self.mutex_locks[grp]:
                 self.body.run_task(self.dag, t)
-        else:
+            return
+        t_req = self._now()
+        with self.mutex_locks[grp]:
+            t_acq = self._now()
             self.body.run_task(self.dag, t)
+            t_rel = self._now()
+        self._sync("lock", worker, f"mutex{grp}", t, t_acq, t_rel,
+                   wait_s=t_acq - t_req)
 
 
 def solve_threaded(
@@ -589,6 +743,7 @@ def solve_threaded(
     watchdog_s: float | None = None,
     scheduler: ThreadScheduler | str = "fifo",
     trace: Optional[ExecutionTrace] = None,
+    record_sync: bool = False,
 ) -> np.ndarray:
     """Parallel triangular solve of the factored system on threads.
 
@@ -604,7 +759,8 @@ def solve_threaded(
     x = np.array(b, dtype=factor.dtype, copy=True)
     dag = build_solve_dag(factor.symbol, factor.factotype, dtype=factor.dtype)
     run = _ThreadedSolveRun(factor, x, dag, n_workers, trace=trace,
-                            watchdog_s=watchdog_s, scheduler=scheduler)
+                            watchdog_s=watchdog_s, scheduler=scheduler,
+                            record_sync=record_sync)
     run.run()
     return x
 
@@ -625,6 +781,7 @@ def factorize_threaded(
     index_cache: bool = True,
     accumulate: bool = False,
     dl_buffer: bool = False,
+    record_sync: bool = False,
 ) -> NumericFactor:
     """Factorize on a thread pool; returns the :class:`NumericFactor`.
 
@@ -653,6 +810,15 @@ ThreadScheduler` instance; the choice is stamped into ``trace.meta``.
     unbounded ``join()``.  ``pivot_threshold`` > 0 enables the same
     static-pivot perturbation as the sequential driver (the monitor's
     counter is thread-safe).
+
+    ``record_sync=True`` (requires a trace) additionally records
+    first-class :class:`~repro.runtime.tracing.SyncEvent` rows — panel
+    mutex hold windows, worker park/wake, steal probes, accumulator
+    flushes, completion publishes — that the C7xx concurrency auditor
+    (:func:`repro.verify.concurrency.verify_concurrency`) replays to
+    prove the run race-free.  Off (the default) the instrumentation is
+    a dead branch: no clock reads, and the produced trace is
+    bit-identical to an uninstrumented run's.
     """
     factor = NumericFactor.assemble(symbol, matrix, factotype, dtype=dtype)
     if index_cache:
@@ -670,7 +836,8 @@ ThreadScheduler` instance; the choice is stamped into ``trace.meta``.
     )
     run = _ThreadedRun(factor, dag, n_workers, workspace, trace,
                        max_retries=max_retries, watchdog_s=watchdog_s,
-                       scheduler=scheduler, accumulate=accumulate)
+                       scheduler=scheduler, accumulate=accumulate,
+                       record_sync=record_sync)
     run.run()
     if trace is not None:
         trace.meta["index_cache"] = bool(index_cache)

@@ -17,6 +17,7 @@ __all__ = [
     "DataEvent",
     "FaultEvent",
     "RecoveryEvent",
+    "SyncEvent",
     "ExecutionTrace",
 ]
 
@@ -115,6 +116,55 @@ class RecoveryEvent:
     delay_s: float = 0.0
 
 
+@dataclass(frozen=True)
+class SyncEvent:
+    """One synchronization action of the real threaded runtime.
+
+    ``kind`` names the action; ``worker`` the thread that performed it
+    (``-1`` for the driver); ``obj`` the object involved; ``task`` the
+    DAG task the action served (``-1`` when none).  ``[start, end]`` is
+    the wall-clock window on the run's clock (instantaneous actions
+    have ``start == end``).  The C7xx concurrency auditor replays these
+    together with the task events, so the runtime must emit every
+    mutual-exclusion window when sync recording is on:
+
+    * ``"lock"`` — a mutex hold window: ``obj`` is the lock name
+      (``"panel{t}"`` for the factorization's target-panel mutex,
+      ``"mutex{g}"`` for a solve mutex group), ``start`` the moment the
+      lock was *acquired*, ``end`` its release, ``wait_s`` how long the
+      acquire blocked, ``n`` how many scatters the window covered;
+    * ``"flush"`` — one batched update's contribution committing inside
+      an accumulator flush; it shares the batch's ``"lock"`` window
+      coordinates (``n`` is the batch size) so the auditor can tell a
+      fan-in commit from a plain scatter;
+    * ``"noop"`` — an update whose compute half produced no facing
+      contribution; no lock was (or needed to be) taken;
+    * ``"publish"`` — a task's completion became visible to the pool
+      (dependency counters decremented); for batched updates this
+      happens strictly after their flush;
+    * ``"park"`` — a worker's idle nap window (``obj`` =
+      ``"worker{w}"``), bounded by the runtime's park timeout;
+    * ``"wake"`` — this worker set ``obj`` = ``"worker{v}"``'s wakeup
+      event (instantaneous);
+    * ``"steal"`` — a scheduler steal probe against ``obj`` =
+      ``"worker{victim}"``: ``task`` is the stolen task, or ``-1``
+      for a failed attempt (instantaneous).
+    """
+
+    kind: str
+    worker: int
+    obj: str
+    task: int
+    start: float
+    end: float
+    wait_s: float = 0.0
+    n: int = 1
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
 @dataclass
 class ExecutionTrace:
     """A complete schedule: task executions plus optional transfers.
@@ -130,6 +180,7 @@ class ExecutionTrace:
     data_events: list[DataEvent] = field(default_factory=list)
     fault_events: list[FaultEvent] = field(default_factory=list)
     recovery_events: list[RecoveryEvent] = field(default_factory=list)
+    sync_events: list[SyncEvent] = field(default_factory=list)
     meta: dict = field(default_factory=dict)
 
     def record(self, task: int, resource: str, start: float, end: float) -> None:
@@ -190,6 +241,35 @@ class ExecutionTrace:
         self.recovery_events.append(
             RecoveryEvent(kind, task, cblk, resource, time, attempt, delay_s)
         )
+
+    def record_sync(
+        self,
+        kind: str,
+        worker: int,
+        obj: str,
+        task: int,
+        start: float,
+        end: float,
+        wait_s: float = 0.0,
+        n: int = 1,
+    ) -> None:
+        """Record one synchronization action (see :class:`SyncEvent`)."""
+        self.sync_events.append(
+            SyncEvent(kind, worker, obj, task, start, end, wait_s, n)
+        )
+
+    def sorted_sync_events(self) -> list[SyncEvent]:
+        """Sync events ordered by (start, end, worker) — the C7xx view."""
+        return sorted(self.sync_events,
+                      key=lambda e: (e.start, e.end, e.worker, e.obj))
+
+    def lock_held_time(self) -> dict[str, float]:
+        """Total seconds each lock object was held (``"lock"`` windows)."""
+        out: dict[str, float] = {}
+        for e in self.sync_events:
+            if e.kind == "lock":
+                out[e.obj] = out.get(e.obj, 0.0) + e.duration
+        return out
 
     def sorted_fault_events(self) -> list[FaultEvent]:
         """Fault events ordered by (end, start, task) — the auditor's view."""

@@ -24,6 +24,17 @@ exposed through ``python -m repro verify``:
   fault paired with a recovery, no double completions without an
   interleaved fault, backoff delays actually paid, no activity on a
   lost device (R6xx);
+* :func:`repro.verify.concurrency.verify_concurrency` — a vector-clock
+  happens-before checker over the ``SyncEvent`` stream the threaded
+  runtime records (``record_sync=True``): unordered conflicting
+  writes, reads of unpublished completions, scatters outside the
+  update lock, accumulator flush/drain races, lost wakeups, lock-order
+  cycles, and sync-stats provenance (C7xx);
+* :func:`repro.verify.lockdiscipline.lockdiscipline_paths` — the static
+  shadow of the same discipline: an AST lint over ``repro.runtime`` and
+  ``repro.kernels.accumulate`` for unlocked shared writes, condition
+  waits without a predicate loop, inconsistent lock acquisition order,
+  and sleep-as-synchronization (RV4xx);
 * :func:`repro.verify.lint.lint_paths` — an AST linter enforcing the
   project's simulation invariants (no frozen-dataclass mutation, no
   float-equality on times, ``traits`` on every policy, no ambiguous
@@ -37,6 +48,12 @@ invariant — fails tier-1 rather than silently corrupting a panel.
 """
 
 from repro.verify.access import ACCUM, READ, WRITE, AccessSets, derive_accesses
+from repro.verify.concurrency import (
+    drop_sync_event,
+    swallow_wakeup,
+    unlocked_scatter,
+    verify_concurrency,
+)
 from repro.verify.hazards import (
     analyze_hazards,
     drop_edge,
@@ -44,6 +61,11 @@ from repro.verify.hazards import (
     find_redundant_edges,
 )
 from repro.verify.lint import LintFinding, lint_paths, lint_report, lint_sources
+from repro.verify.lockdiscipline import (
+    lockdiscipline_paths,
+    lockdiscipline_report,
+    lockdiscipline_sources,
+)
 from repro.verify.memory import drop_transfer, overflow_residency, verify_memory
 from repro.verify.reach import ReachabilityOracle
 from repro.verify.report import ERROR, INFO, WARNING, Finding, Report
@@ -92,6 +114,13 @@ __all__ = [
     "derive_couples_by_target",
     "skew_flops",
     "stale_couple_map",
+    "verify_concurrency",
+    "drop_sync_event",
+    "unlocked_scatter",
+    "swallow_wakeup",
+    "lockdiscipline_paths",
+    "lockdiscipline_sources",
+    "lockdiscipline_report",
     "lint_paths",
     "lint_sources",
     "lint_report",

@@ -1,20 +1,23 @@
 """Driver behind ``python -m repro verify``.
 
-Runs the six static-analysis passes — DAG hazard coverage, simulated
+Runs the seven static-analysis passes — DAG hazard coverage, simulated
 schedule feasibility, the M4xx memory/data-movement audit, the N5xx
 symbolic-structure audit, the R6xx resilience audit (a seeded
 fault-injection run whose recovered trace must satisfy the fault/
-recovery pairing rules *and* the schedule and memory audits), and the
-project linter — on a chosen matrix and prints one report per pass.
-Exit status is 0 iff every pass is clean, which is what the
-``make verify`` gate and CI consume.
+recovery pairing rules *and* the schedule and memory audits), the C7xx
+concurrency audit (a live sync-instrumented threaded factorization
+whose trace must satisfy the happens-before race checks, plus the
+RV4xx lock-discipline lint over the runtime sources), and the project
+linter — on a chosen matrix and prints one report per pass.  Exit
+status is 0 iff every pass is clean, which is what the ``make verify``
+gate and CI consume.
 
 ``--inject`` deliberately corrupts the artifact under test (drops a DAG
-edge, an h2d transfer, or a recovery event; overlaps two trace events;
-breaks a mutex window; overflows device residency; skews a task's flop
-count; records a completion twice) to demonstrate that the passes
-actually catch what they claim to catch; an injected run is *expected*
-to exit non-zero.
+edge, an h2d transfer, a recovery event, or a sync event; overlaps two
+trace events; breaks a mutex window; overflows device residency; skews
+a task's flop count; records a completion twice; unlocks a scatter;
+swallows a wakeup) to demonstrate that the passes actually catch what
+they claim to catch; an injected run is *expected* to exit non-zero.
 """
 
 from __future__ import annotations
@@ -73,6 +76,9 @@ def add_verify_arguments(p: argparse.ArgumentParser) -> None:
                    help="skip the N5xx symbolic-structure audit")
     p.add_argument("--no-resilience", action="store_true",
                    help="skip the R6xx fault-injection/recovery audit")
+    p.add_argument("--no-concurrency", action="store_true",
+                   help="skip the C7xx happens-before / RV4xx "
+                        "lock-discipline concurrency audit")
     p.add_argument("--no-lint", action="store_true")
     p.add_argument("--redundant", action="store_true",
                    help="also report transitive (redundant) DAG edges")
@@ -82,7 +88,8 @@ def add_verify_arguments(p: argparse.ArgumentParser) -> None:
         "--inject", default="none",
         choices=["none", "drop-edge", "overlap-trace", "break-mutex",
                  "drop-transfer", "overflow-residency", "skew-flops",
-                 "stale-cache", "drop-recovery", "double-complete"],
+                 "stale-cache", "drop-recovery", "double-complete",
+                 "drop-sync-event", "unlocked-scatter", "swallow-wakeup"],
         help="fault injection self-test (expected to FAIL the run)",
     )
     p.add_argument("-v", "--verbose", action="store_true",
@@ -335,6 +342,61 @@ def _resilience_pass(args: argparse.Namespace, symbol: Any,
             reports.append(brep)
 
 
+_CONCURRENCY_INJECTS = ("drop-sync-event", "unlocked-scatter",
+                        "swallow-wakeup")
+
+
+def _concurrency_pass(args: argparse.Namespace, matrix: Any, res: Any,
+                      reports: list[Report]) -> None:
+    """C7xx + RV4xx: audit a live sync-instrumented threaded run.
+
+    Unlike the other passes this one executes the *real* threaded
+    runtime (``record_sync=True``) rather than the simulator, once per
+    fan-in accumulation mode, and feeds the recorded ``SyncEvent``
+    stream to the happens-before checker.  (The static shadow of the
+    same discipline — the RV4xx lock-discipline lint — runs with the
+    project linter in :func:`_lint_pass`.)
+    """
+    from repro.dag import build_dag
+    from repro.runtime.threaded import factorize_threaded
+    from repro.runtime.tracing import ExecutionTrace
+    from repro.verify.concurrency import (
+        drop_sync_event,
+        swallow_wakeup,
+        unlocked_scatter,
+        verify_concurrency,
+    )
+
+    permuted = matrix.permute(res.perm.perm)
+    dag = build_dag(res.symbol, args.factotype, granularity="2d")
+    for accumulate in (False, True):
+        trace = ExecutionTrace()
+        factorize_threaded(
+            res.symbol, permuted, args.factotype,
+            n_workers=args.cores, trace=trace, record_sync=True,
+            accumulate=accumulate,
+        )
+        label = "accumulate" if accumulate else "plain"
+        if args.inject in _CONCURRENCY_INJECTS:
+            try:
+                if args.inject == "drop-sync-event":
+                    trace = drop_sync_event(trace)
+                elif args.inject == "unlocked-scatter":
+                    trace = unlocked_scatter(trace)
+                else:
+                    trace = swallow_wakeup(trace, dag)
+            except ValueError as exc:
+                raise SystemExit(
+                    f"--inject {args.inject}: {exc}"
+                ) from exc
+            label += f"+{args.inject}"
+        t0 = time.perf_counter()
+        rep = verify_concurrency(dag, trace)
+        rep.name = f"concurrency[{label}]"
+        rep.stats["seconds"] = time.perf_counter() - t0
+        reports.append(rep)
+
+
 def _symbolic_pass(args: argparse.Namespace, matrix: Any, res: Any,
                    reports: list[Report]) -> None:
     from repro.dag import build_dag
@@ -394,11 +456,19 @@ def _lint_pass(args: argparse.Namespace,
                reports: list[Report]) -> None:
     import repro
     from repro.verify.lint import lint_report
+    from repro.verify.lockdiscipline import lockdiscipline_report
 
     root = Path(args.lint_path) if args.lint_path else Path(repro.__file__).parent
     rep = lint_report([root])
     rep.name = f"lint[{root}]"
     reports.append(rep)
+
+    # RV4xx lock-discipline lint over the threaded-runtime scope (the
+    # static counterpart of the C7xx trace audit).
+    t0 = time.perf_counter()
+    lrep = lockdiscipline_report()
+    lrep.stats["seconds"] = time.perf_counter() - t0
+    reports.append(lrep)
 
 
 def run_verify(args: argparse.Namespace) -> int:
@@ -411,9 +481,15 @@ def run_verify(args: argparse.Namespace) -> int:
             f"--inject {args.inject} corrupts the resilience pass; "
             "drop --no-resilience to run it"
         )
+    if args.inject in _CONCURRENCY_INJECTS and args.no_concurrency:
+        raise SystemExit(
+            f"--inject {args.inject} corrupts the concurrency pass; "
+            "drop --no-concurrency to run it"
+        )
     reports: list[Report] = []
     needs_matrix = not (args.no_hazards and args.no_schedule
-                        and args.no_symbolic and args.no_resilience)
+                        and args.no_symbolic and args.no_resilience
+                        and args.no_concurrency)
     if needs_matrix:
         matrix = _load(args)
         res = analyze(matrix, SymbolicOptions(split_max_width=args.split))
@@ -424,6 +500,8 @@ def run_verify(args: argparse.Namespace) -> int:
             _schedule_pass(args, symbol, reports)
         if not args.no_resilience:
             _resilience_pass(args, symbol, reports)
+        if not args.no_concurrency:
+            _concurrency_pass(args, matrix, res, reports)
         if not args.no_symbolic:
             _symbolic_pass(args, matrix, res, reports)
     if not args.no_lint:

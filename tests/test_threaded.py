@@ -254,3 +254,171 @@ class TestThreadedSolve:
             solve_factored(factor, b),
             atol=1e-11,
         )
+
+
+class TestInversePriorityHardening:
+    """Watchdog + quarantine under the inverse-priority scheduler with
+    fan-in accumulation on: the anti-critical-path heap maximizes how
+    long failed work's descendants linger ready, and batching adds the
+    drain/flush machinery to the failure path — the hardening must hold
+    regardless."""
+
+    @staticmethod
+    def _run_parts(mat):
+        from repro.core.factor import NumericFactor
+
+        res, permuted = _setup(mat, "llt")
+        ref = factorize_sequential(res.symbol, permuted, "llt")
+        factor = NumericFactor.assemble(res.symbol, permuted, "llt")
+        dag = build_dag(res.symbol, "llt", granularity="2d",
+                        dtype=factor.dtype)
+        return ref, factor, dag
+
+    def test_retry_recovers_with_accumulate(self, grid2d_small):
+        from repro.runtime.threaded import _ThreadedRun
+
+        ref, factor, dag = self._run_parts(grid2d_small)
+        run = _ThreadedRun(factor, dag, 3, True, None, max_retries=2,
+                           scheduler="inverse-priority", accumulate=True)
+        original = run._execute
+        fails = {"left": 2}
+
+        def execute(t, worker):
+            if t == dag.n_tasks // 3 and fails["left"] > 0:
+                fails["left"] -= 1
+                raise RuntimeError("transient failure")
+            original(t, worker)
+
+        run._execute = execute
+        run.run()
+        assert run.n_done == dag.n_tasks
+        assert not run.quarantined
+        for a, b in zip(ref.L, factor.L):
+            assert np.allclose(a, b, atol=1e-10)
+
+    def test_quarantine_spares_independent_tasks(self, grid2d_small):
+        from repro.runtime.threaded import _ThreadedRun
+
+        _, factor, dag = self._run_parts(grid2d_small)
+        run = _ThreadedRun(factor, dag, 3, True, None, max_retries=1,
+                           scheduler="inverse-priority", accumulate=True)
+        original = run._execute
+
+        def execute(t, worker):
+            if t == 0:
+                raise RuntimeError("permanent failure on task 0")
+            original(t, worker)
+
+        run._execute = execute
+        with pytest.raises(RuntimeError, match="permanent failure"):
+            run.run()
+        assert 0 in run.abandoned
+        assert run.n_done + len(run.abandoned) == dag.n_tasks
+        assert run.n_done > 0
+
+    def test_watchdog_names_the_wedge(self, grid2d_small):
+        import threading
+
+        from repro.runtime.threaded import _ThreadedRun
+
+        _, factor, dag = self._run_parts(grid2d_small)
+        release = threading.Event()
+        run = _ThreadedRun(factor, dag, 2, True, None, watchdog_s=0.25,
+                           scheduler="inverse-priority", accumulate=True)
+        original = run._execute
+
+        def execute(t, worker):
+            if t == 0:
+                release.wait(timeout=10.0)
+            original(t, worker)
+
+        run._execute = execute
+        try:
+            with pytest.raises(RuntimeError, match="no progress"):
+                run.run()
+        finally:
+            release.set()
+        assert "factorization" in run._watchdog_message()
+
+
+class TestPopSameTargetProbe:
+    """Regression tests for the batching probe's victim scan: emptiness
+    must be decided under the victim's deque lock (the unlocked
+    pre-probe had a TOCTOU window that hid freshly pushed siblings)."""
+
+    @staticmethod
+    def _bound_scheduler(mat, n_workers=2):
+        from repro.runtime.scheduling import WorkStealingScheduler
+
+        res, _ = _setup(mat, "llt")
+        dag = build_dag(res.symbol, "llt", granularity="2d")
+        sched = WorkStealingScheduler()
+        sched.bind(dag, n_workers)
+        return dag, sched
+
+    @staticmethod
+    def _updates_by_target(dag):
+        from collections import Counter
+
+        from repro.dag.tasks import TaskKind
+
+        upd = [t for t in range(dag.n_tasks)
+               if int(dag.kind[t]) == int(TaskKind.UPDATE)]
+        tgt, _ = Counter(
+            int(dag.target[t]) for t in upd).most_common(1)[0]
+        return tgt, [t for t in upd if int(dag.target[t]) == tgt]
+
+    def test_probe_sees_victim_work(self, grid2d_small):
+        dag, sched = self._bound_scheduler(grid2d_small)
+        tgt, siblings = self._updates_by_target(dag)
+        assert len(siblings) >= 2
+        mine, theirs = siblings[0], siblings[1]
+        sched.push(mine, 0)
+        sched.push(theirs, 1)          # lives on the victim's deque
+        assert sched.pop_same_target(0, tgt) == mine   # own LIFO first
+        assert sched.pop_same_target(0, tgt) == theirs  # victim steal
+        assert sched.pop_same_target(0, tgt) is None    # drained: None
+
+    def test_probe_ignores_other_targets(self, grid2d_small):
+        dag, sched = self._bound_scheduler(grid2d_small)
+        tgt, siblings = self._updates_by_target(dag)
+        other = next(
+            t for t in range(dag.n_tasks)
+            if int(dag.target[t]) not in (-1, tgt)
+        )
+        sched.push(other, 1)
+        assert sched.pop_same_target(0, tgt) is None
+        assert sched.pop(1) == other   # still there for a normal pop
+
+    def test_concurrent_push_is_never_missed(self, grid2d_small):
+        """Hammer the probe while a victim's deque flaps between empty
+        and one matching update: with the locked probe, every pushed
+        sibling is eventually found and returned exactly once."""
+        import threading
+
+        dag, sched = self._bound_scheduler(grid2d_small)
+        tgt, siblings = self._updates_by_target(dag)
+        n_rounds = 400
+        fed = [siblings[i % len(siblings)] for i in range(n_rounds)]
+
+        def pusher():
+            for t in fed:
+                sched.push(t, 1)
+
+        got = []
+
+        def popper():
+            while len(got) < n_rounds:
+                t = sched.pop_same_target(0, tgt)
+                if t is not None:
+                    got.append(t)
+
+        threads = [threading.Thread(target=pusher),
+                   threading.Thread(target=popper)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join(timeout=30.0)
+        assert not any(th.is_alive() for th in threads)
+        assert got == fed              # exactly once, FIFO per victim
+        assert not sched.has_work()

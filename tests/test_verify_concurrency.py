@@ -1,0 +1,408 @@
+"""C7xx concurrency auditor + RV4xx lock-discipline lint tests.
+
+Live coverage: sync-instrumented threaded runs must come out clean for
+every scheduler and both fan-in accumulation modes, and instrumentation
+off must mean *off* (no events, no meta, unchanged numerics).  Checker
+coverage: each C7xx code is triggered either by one of the shipped
+fault injectors or by a surgical hand-corruption of a real trace.
+RV4xx coverage: each lint rule on synthetic sources, plus the
+noqa-stripped real runtime tree.
+"""
+
+import re
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.dag import build_dag
+from repro.runtime.threaded import factorize_threaded
+from repro.runtime.tracing import ExecutionTrace, SyncEvent
+from repro.symbolic import analyze
+from repro.verify.concurrency import (
+    _restamp,
+    drop_sync_event,
+    swallow_wakeup,
+    unlocked_scatter,
+    verify_concurrency,
+)
+from repro.verify.lockdiscipline import (
+    lockdiscipline_paths,
+    lockdiscipline_report,
+    lockdiscipline_sources,
+)
+
+
+def _traced_run(mat, factotype="llt", *, accumulate=False,
+                scheduler="ws", n_workers=3, record_sync=True):
+    res = analyze(mat)
+    permuted = mat.permute(res.perm.perm)
+    trace = ExecutionTrace()
+    factor = factorize_threaded(
+        res.symbol, permuted, factotype, n_workers=n_workers,
+        trace=trace, scheduler=scheduler, accumulate=accumulate,
+        record_sync=record_sync,
+    )
+    dag = build_dag(res.symbol, factotype, granularity="2d",
+                    dtype=factor.dtype)
+    return dag, trace, factor
+
+
+def _codes(report, errors_only=True):
+    return {f.code for f in report.findings
+            if not errors_only or f.severity == "error"}
+
+
+# ----------------------------------------------------------------------
+# clean runs
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("scheduler",
+                         ["fifo", "ws", "priority", "affinity",
+                          "inverse-priority"])
+@pytest.mark.parametrize("accumulate", [False, True])
+def test_clean_run_passes(grid2d_small, scheduler, accumulate):
+    dag, trace, _ = _traced_run(grid2d_small, accumulate=accumulate,
+                                scheduler=scheduler)
+    rep = verify_concurrency(dag, trace)
+    assert rep.ok, rep.format()
+    assert rep.stats["sync_events"] > 0
+    assert rep.stats["lock_windows"] > 0
+    assert rep.stats["mutex_groups"] > 0
+
+
+def test_solve_run_passes(grid2d_small):
+    from repro.core.triangular import solve_factored
+    from repro.dag.solve_builder import build_solve_dag
+    from repro.runtime.threaded import solve_threaded
+
+    res = analyze(grid2d_small)
+    permuted = grid2d_small.permute(res.perm.perm)
+    factor = factorize_threaded(res.symbol, permuted, "llt", n_workers=3)
+    b = np.random.default_rng(7).standard_normal(permuted.n_rows)
+    trace = ExecutionTrace()
+    x = solve_threaded(factor, b, n_workers=3, trace=trace,
+                       record_sync=True)
+    assert np.allclose(x, solve_factored(factor, b), atol=1e-11)
+    dag = build_solve_dag(res.symbol, "llt", dtype=factor.dtype)
+    rep = verify_concurrency(dag, trace)
+    assert rep.ok, rep.format()
+
+
+def test_ldlt_accumulate_run_passes(grid2d_small):
+    dag, trace, _ = _traced_run(grid2d_small, "ldlt", accumulate=True)
+    rep = verify_concurrency(dag, trace)
+    assert rep.ok, rep.format()
+
+
+# ----------------------------------------------------------------------
+# zero-overhead-when-off
+# ----------------------------------------------------------------------
+def test_off_records_nothing(grid2d_small):
+    dag, trace, _ = _traced_run(grid2d_small, record_sync=False)
+    assert trace.sync_events == []
+    assert "sync_trace" not in trace.meta
+    assert "sync_stats" not in trace.meta
+    rep = verify_concurrency(dag, trace)
+    # Uninstrumented: the auditor abstains with an INFO, not a failure.
+    assert rep.ok
+    assert "C700" in _codes(rep, errors_only=False)
+
+
+def test_instrumentation_does_not_change_numerics(grid2d_small):
+    """One-worker runs are deterministic, so the factors with tracing
+    on and off must agree *bitwise* — instrumentation reads clocks but
+    never reorders or perturbs the numeric schedule."""
+    _, _, off = _traced_run(grid2d_small, n_workers=1,
+                            record_sync=False)
+    _, _, on = _traced_run(grid2d_small, n_workers=1, record_sync=True)
+    for a, b in zip(off.L, on.L):
+        assert np.array_equal(a, b)
+
+
+# ----------------------------------------------------------------------
+# meta provenance (sync_stats stamp)
+# ----------------------------------------------------------------------
+def test_meta_sync_stats_match_events(grid2d_small):
+    _, trace, _ = _traced_run(grid2d_small, accumulate=True)
+    assert trace.meta["sync_trace"] is True
+    stats = trace.meta["sync_stats"]
+    counts = {}
+    held = wait = 0.0
+    for e in trace.sync_events:
+        counts[e.kind] = counts.get(e.kind, 0) + 1
+        if e.kind == "lock":
+            held += e.duration
+            wait += e.wait_s
+    assert stats["counts"] == counts
+    assert stats["lock_held_s"] == pytest.approx(held, abs=1e-9)
+    assert stats["lock_wait_s"] == pytest.approx(wait, abs=1e-9)
+    # The per-object aggregation agrees with the stamped total.
+    assert sum(trace.lock_held_time().values()) == pytest.approx(
+        held, abs=1e-9)
+
+
+def test_stale_meta_is_convicted(grid2d_small):
+    dag, trace, _ = _traced_run(grid2d_small)
+    trace.meta["sync_stats"] = dict(trace.meta["sync_stats"],
+                                    lock_held_s=123.0)
+    assert "C707" in _codes(verify_concurrency(dag, trace))
+
+
+# ----------------------------------------------------------------------
+# the shipped injectors
+# ----------------------------------------------------------------------
+def test_drop_sync_event_caught(grid2d_small):
+    dag, trace, _ = _traced_run(grid2d_small)
+    bad = drop_sync_event(trace)
+    codes = _codes(verify_concurrency(dag, bad))
+    assert "C707" in codes
+    # The original trace is untouched (injectors clone).
+    assert verify_concurrency(dag, trace).ok
+
+
+def test_unlocked_scatter_caught(grid2d_small):
+    dag, trace, _ = _traced_run(grid2d_small)
+    bad = unlocked_scatter(trace)
+    rep = verify_concurrency(dag, bad)
+    codes = _codes(rep)
+    assert "C703" in codes
+    assert "C707" not in codes      # counts/totals were preserved
+    assert verify_concurrency(dag, trace).ok
+
+
+def test_swallow_wakeup_caught(grid2d_small):
+    dag, trace, _ = _traced_run(grid2d_small)
+    bad = swallow_wakeup(trace, dag)
+    rep = verify_concurrency(dag, bad)
+    assert _codes(rep) == {"C705"}  # a *runtime* bug: only C705 convicts
+    assert verify_concurrency(dag, trace).ok
+
+
+def test_injectors_raise_when_impossible(grid2d_small):
+    dag, trace, _ = _traced_run(grid2d_small, record_sync=False)
+    with pytest.raises(ValueError):
+        drop_sync_event(trace)
+    with pytest.raises(ValueError):
+        unlocked_scatter(trace)
+
+
+# ----------------------------------------------------------------------
+# hand-built corruptions for the remaining codes
+# ----------------------------------------------------------------------
+def test_c701_overlapping_holds(grid2d_small):
+    """Two overlapping hold windows of one panel mutex on different
+    workers: mutual exclusion provably failed."""
+    dag, trace, _ = _traced_run(grid2d_small)
+    hold = next(e for e in trace.sorted_sync_events()
+                if e.kind == "lock" and e.obj.startswith("panel"))
+    # A phantom second hold of the same object, same window, from a
+    # worker index far outside the pool (keeps program order and the
+    # nesting scan out of the picture).
+    trace.sync_events.append(SyncEvent(
+        "lock", hold.worker + 100, hold.obj, -5, hold.start, hold.end))
+    _restamp(trace)
+    assert "C701" in _codes(verify_concurrency(dag, trace))
+
+
+def test_c702_unpublished_read(grid2d_small):
+    """Delay one interior task's publish past a successor's start: the
+    successor read a completion nobody had published yet."""
+    dag, trace, _ = _traced_run(grid2d_small)
+    pred = succ = None
+    for e in trace.sorted_events():
+        succs = dag.successors(int(e.task))
+        if len(succs):
+            pred, succ = int(e.task), int(succs[0])
+            break
+    assert pred is not None
+    succ_start = next(e.start for e in trace.events if e.task == succ)
+    trace.sync_events = [
+        (SyncEvent(e.kind, e.worker, e.obj, e.task, succ_start + 1.0,
+                   succ_start + 1.0)
+         if e.kind == "publish" and e.task == pred else e)
+        for e in trace.sync_events
+    ]
+    _restamp(trace)
+    assert "C702" in _codes(verify_concurrency(dag, trace))
+
+
+def test_c704_flush_after_publish(grid2d_small):
+    """A batched update whose locked flush lands *after* its completion
+    was published: successors could read the panel too early."""
+    dag, trace, _ = _traced_run(grid2d_small)
+    mutex = dag.mutex
+    victim = next(t for t in (e.task for e in trace.sorted_events())
+                  if int(mutex[t]) >= 0)
+    pub = next(e for e in trace.sync_events
+               if e.kind == "publish" and e.task == victim)
+    obj = f"panel{int(mutex[victim])}"
+    trace.sync_events.append(SyncEvent(
+        "flush", 0, obj, victim, pub.start + 0.5, pub.start + 1.0, n=2))
+    _restamp(trace)
+    assert "C704" in _codes(verify_concurrency(dag, trace))
+
+
+def test_c706_lock_order_cycle(grid2d_small):
+    """Hand-crafted nested holds in opposite orders on two (phantom)
+    workers: nesting warns, the A->B->A cycle errors."""
+    dag, trace, _ = _traced_run(grid2d_small)
+    t0 = max(e.end for e in trace.events) + 1.0
+    for w, (first, second) in ((50, ("lkA", "lkB")),
+                               (51, ("lkB", "lkA"))):
+        trace.sync_events.append(SyncEvent(
+            "lock", w, first, -5, t0, t0 + 1.0))
+        trace.sync_events.append(SyncEvent(
+            "lock", w, second, -5, t0 + 0.2, t0 + 0.4))
+    _restamp(trace)
+    rep = verify_concurrency(dag, trace)
+    errors = [f for f in rep.findings
+              if f.code == "C706" and f.severity == "error"]
+    warnings = [f for f in rep.findings
+                if f.code == "C706" and f.severity == "warning"]
+    assert errors and "lkA" in errors[0].message
+    assert len(warnings) == 2       # each nesting is itself warned
+
+
+# ----------------------------------------------------------------------
+# RV4xx lock-discipline lint
+# ----------------------------------------------------------------------
+_SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def test_real_tree_is_clean():
+    findings = lockdiscipline_paths()
+    assert findings == []
+    rep = lockdiscipline_report()
+    assert rep.ok
+
+
+def test_noqa_stripped_tree_flags_the_counters():
+    """The four best-effort counters are deliberate and carry ``noqa``;
+    stripping the suppressions must expose exactly them (the linter
+    sees the sites, the tree just vouches for them)."""
+    sources = {}
+    for name in ("runtime/threaded.py", "runtime/scheduling.py"):
+        p = _SRC / name
+        sources[str(p)] = re.sub(r"#\s*noqa: RV401", "", p.read_text())
+    findings = lockdiscipline_sources(sources)
+    assert [f.code for f in findings] == ["RV401"] * 4
+    by_file = {}
+    for f in findings:
+        by_file.setdefault(Path(f.path).name, 0)
+        by_file[Path(f.path).name] += 1
+    assert by_file == {"threaded.py": 3, "scheduling.py": 1}
+
+
+def test_rv401_unlocked_shared_write():
+    src = """
+import threading
+class Pool:
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.n_done = 0
+        self.n_done += 1          # setup method: exempt
+    def good(self):
+        with self.lock:
+            self.n_done += 1
+    def bad(self):
+        self.n_done += 1
+    def vouched(self):
+        self.n_done += 1  # noqa: RV401
+    def local_ok(self):
+        n = 0
+        n += 1
+"""
+    findings = lockdiscipline_sources({"m.py": src})
+    assert [(f.code, f.line) for f in findings] == [("RV401", 12)]
+
+
+def test_rv401_inherited_locks_and_lock_tables():
+    src = """
+import threading
+class Base:
+    def setup(self):
+        self.locks = [threading.Lock() for _ in range(4)]
+        self.count = 0
+class Child(Base):
+    def bad(self):
+        self.count += 1
+    def good(self):
+        with self.locks[0]:
+            self.count += 1
+class NoLocks:
+    def fine(self):
+        self.count += 1
+"""
+    findings = lockdiscipline_sources({"m.py": src})
+    assert [(f.code, f.line) for f in findings] == [("RV401", 9)]
+
+
+def test_rv402_wait_without_predicate_loop():
+    src = """
+import threading
+class Waiter:
+    def __init__(self):
+        self.cv = threading.Condition()
+        self.ready = False
+    def bad(self):
+        with self.cv:
+            self.cv.wait()
+    def good(self):
+        with self.cv:
+            while not self.ready:
+                self.cv.wait()
+"""
+    findings = lockdiscipline_sources({"m.py": src})
+    assert [(f.code, f.line) for f in findings] == [("RV402", 9)]
+
+
+def test_rv403_inconsistent_lock_order():
+    src = """
+import threading
+class TwoLocks:
+    def __init__(self):
+        self.a = threading.Lock()
+        self.b = threading.Lock()
+    def one(self):
+        with self.a:
+            with self.b:
+                pass
+    def two(self):
+        with self.b:
+            with self.a:
+                pass
+"""
+    findings = lockdiscipline_sources({"m.py": src})
+    assert [f.code for f in findings] == ["RV403"]
+    assert "->" in findings[0].message
+
+
+def test_rv403_consistent_order_is_clean():
+    src = """
+import threading
+class TwoLocks:
+    def __init__(self):
+        self.a = threading.Lock()
+        self.b = threading.Lock()
+    def one(self):
+        with self.a:
+            with self.b:
+                pass
+    def two(self):
+        with self.a:
+            with self.b:
+                pass
+"""
+    assert lockdiscipline_sources({"m.py": src}) == []
+
+
+def test_rv404_sleep_as_synchronization():
+    src = """
+import time
+def poll():
+    time.sleep(0.05)
+def vouched():
+    time.sleep(0.05)  # noqa: RV404
+"""
+    findings = lockdiscipline_sources({"m.py": src})
+    assert [(f.code, f.line) for f in findings] == [("RV404", 4)]
