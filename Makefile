@@ -7,7 +7,7 @@ PYTHONPATH := src
 export PYTHONPATH
 
 .PHONY: test verify lint hazards typecheck bench figures selftest chaos \
-	perf-smoke race-smoke ci
+	perf-smoke race-smoke determinism-smoke ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -25,7 +25,7 @@ verify: lint hazards typecheck test
 selftest:
 	@for inj in drop-edge overlap-trace break-mutex skew-flops stale-cache; do \
 		if $(PYTHON) -m repro verify --matrix lap2d --size 20 \
-			--no-lint --no-resilience --no-concurrency \
+			--no-lint --no-resilience --no-concurrency --no-determinism \
 			--inject $$inj >/dev/null 2>&1; then \
 			echo "inject $$inj: NOT caught"; exit 1; \
 		else \
@@ -35,7 +35,8 @@ selftest:
 	@for inj in drop-transfer overflow-residency; do \
 		if $(PYTHON) -m repro verify --matrix lap2d --size 32 \
 			--no-lint --no-hazards --no-symbolic --no-resilience \
-			--no-concurrency --inject $$inj >/dev/null 2>&1; then \
+			--no-concurrency --no-determinism \
+			--inject $$inj >/dev/null 2>&1; then \
 			echo "inject $$inj: NOT caught"; exit 1; \
 		else \
 			echo "inject $$inj: caught"; \
@@ -44,7 +45,8 @@ selftest:
 	@for inj in drop-recovery double-complete; do \
 		if $(PYTHON) -m repro verify --matrix lap2d --size 16 \
 			--no-lint --no-hazards --no-symbolic --no-schedule \
-			--no-concurrency --inject $$inj >/dev/null 2>&1; then \
+			--no-concurrency --no-determinism \
+			--inject $$inj >/dev/null 2>&1; then \
 			echo "inject $$inj: NOT caught"; exit 1; \
 		else \
 			echo "inject $$inj: caught"; \
@@ -53,7 +55,18 @@ selftest:
 	@for inj in drop-sync-event unlocked-scatter swallow-wakeup; do \
 		if $(PYTHON) -m repro verify --matrix lap2d --size 16 \
 			--no-lint --no-hazards --no-schedule --no-symbolic \
-			--no-resilience --inject $$inj >/dev/null 2>&1; then \
+			--no-resilience --no-determinism \
+			--inject $$inj >/dev/null 2>&1; then \
+			echo "inject $$inj: NOT caught"; exit 1; \
+		else \
+			echo "inject $$inj: caught"; \
+		fi; \
+	done
+	@for inj in reorder-ties reseed-midrun drop-seq; do \
+		if $(PYTHON) -m repro verify --matrix lap2d --size 16 \
+			--no-lint --no-hazards --no-schedule --no-symbolic \
+			--no-resilience --no-concurrency \
+			--inject $$inj >/dev/null 2>&1; then \
 			echo "inject $$inj: NOT caught"; exit 1; \
 		else \
 			echo "inject $$inj: caught"; \
@@ -105,15 +118,27 @@ race-smoke:
 	if [ $$status -eq 0 ]; then echo "race-smoke: clean"; \
 	else echo "race-smoke: FAILED"; fi; exit $$status
 
+# D8xx determinism gate: a seeded same-seed double-run of the machine
+# simulator (with the fault scenario) and of the stream-burst simulator
+# on a small matrix; their canonical trace fingerprints must match
+# bit-for-bit and every tie-break/provenance audit must pass.
+determinism-smoke:
+	@$(PYTHON) -m repro verify --matrix lap2d --size 16 \
+		--no-lint --no-hazards --no-schedule --no-symbolic \
+		--no-resilience --no-concurrency >/dev/null; \
+	status=$$?; \
+	if [ $$status -eq 0 ]; then echo "determinism-smoke: clean"; \
+	else echo "determinism-smoke: FAILED"; fi; exit $$status
+
 # Everything CI runs: tier-1 tests, the static-analysis gate
-# (lint/hazards/schedule/memory/symbolic/concurrency + ruff/mypy when
-# installed), the fault-injection self-tests, the live-race gate, and
-# the perf-regression gate.
-ci: verify selftest race-smoke perf-smoke
+# (lint/hazards/schedule/memory/symbolic/concurrency/determinism +
+# ruff/mypy when installed), the fault-injection self-tests, the
+# live-race gate, the determinism gate, and the perf-regression gate.
+ci: verify selftest race-smoke determinism-smoke perf-smoke
 
 lint:
 	$(PYTHON) -m repro verify --no-hazards --no-schedule --no-resilience \
-		--no-concurrency
+		--no-concurrency --no-determinism
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src tests benchmarks examples; \
 	else \

@@ -269,6 +269,10 @@ def run_cell(
                 + rep.format()
             )
         cell["verified"] = True
+        # Wall-clock trace: the fingerprint covers the task set and
+        # fault/recovery decisions only (meta["clock"] == "wall"), so
+        # same-seed reruns of the report remain comparable.
+        cell["fingerprint"] = best_trace.fingerprint()
     return cell
 
 

@@ -130,6 +130,9 @@ def simulate_cell(
                     + rep.format()
                 )
         cell["verified"] = True
+        # Canonical same-seed replay fingerprint (D8xx): lets a later
+        # run diff this cell's schedule bit-for-bit against the report.
+        cell["fingerprint"] = sim.trace.fingerprint()
     return cell
 
 

@@ -23,7 +23,6 @@ the sender, receives at the receiver.
 from __future__ import annotations
 
 import heapq
-import itertools
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -34,6 +33,7 @@ from repro.distributed.cluster import ClusterSpec
 from repro.machine.perfmodel import CpuPerfModel
 from repro.resilience import FaultModel, RecoveryPolicy, UnrecoverableError
 from repro.runtime.base import bottom_levels
+from repro.runtime.seq import monotonic_counter
 from repro.runtime.tracing import ExecutionTrace
 from repro.symbolic.structures import SymbolMatrix
 
@@ -105,6 +105,10 @@ class _DistSim:
         self.cpu_model = cpu_model or CpuPerfModel()
         self.overhead = task_overhead_s
         self.trace = ExecutionTrace() if collect_trace else None
+        if self.trace is not None:
+            self.trace.meta["producer"] = "distributed.simulator"
+            self.trace.meta["clock"] = "virtual"
+            self.trace.meta["fanin"] = bool(fanin)
 
         # Resilience.  Every fault hook below is gated on
         # ``self.faults is not None`` so a run without a fault model goes
@@ -208,7 +212,7 @@ class _DistSim:
         n_nodes = self.cluster.n_nodes
         self.time = 0.0
         self._heap: list = []
-        self._seq = itertools.count()
+        self._seq = monotonic_counter()
         self.ready: list[list[tuple[float, int, tuple]]] = [
             [] for _ in range(n_nodes)
         ]
@@ -223,7 +227,7 @@ class _DistSim:
         self.n_messages = 0
         self.bytes_on_wire = 0.0
         self.panels_done = 0
-        self._tick = itertools.count()
+        self._tick = monotonic_counter()
         # Resilience bookkeeping (only consulted when faults are armed).
         self.node_up = [True] * n_nodes
         self.node_epoch = [0] * n_nodes
@@ -246,7 +250,8 @@ class _DistSim:
                 continue
             if grp is not None:
                 self.mutex_held.add(grp)
-            core = self.idle[node].pop()
+            core = min(self.idle[node])
+            self.idle[node].discard(core)
             self._start(node, core, task)
 
     def _mutex_group(self, task: tuple) -> int | None:
@@ -560,6 +565,12 @@ class _DistSim:
             raise RuntimeError(
                 f"distributed simulation stalled: "
                 f"{self.panels_done}/{self.symbol.n_cblk} panels"
+            )
+        if self.trace is not None:
+            # D8xx provenance: the run's single RNG and its consumption.
+            self.trace.meta["rng"] = (
+                {"seed": self.faults.seed, "draws": self.faults.n_draws}
+                if self.faults is not None else None
             )
         return DistributedResult(
             cluster=self.cluster,

@@ -25,7 +25,6 @@ compute-heavy GEMM updates, §V-B).
 from __future__ import annotations
 
 import heapq
-import itertools
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Optional
@@ -36,6 +35,7 @@ from repro.dag.tasks import TaskDAG, TaskKind
 from repro.machine.model import MachineSpec
 from repro.machine.perfmodel import CpuPerfModel, GpuKernelModel
 from repro.resilience import FaultModel, RecoveryPolicy, UnrecoverableError
+from repro.runtime.seq import monotonic_counter
 from repro.runtime.tracing import ExecutionTrace
 
 __all__ = ["simulate", "SimulationResult"]
@@ -146,6 +146,10 @@ class _Simulator:
         self.cpu_model = cpu_model or CpuPerfModel()
         self.gpu_model = gpu_model or GpuKernelModel("sparse")
         self.trace = ExecutionTrace() if collect_trace else None
+        if self.trace is not None:
+            self.trace.meta["producer"] = "machine.simulator"
+            self.trace.meta["clock"] = "virtual"
+            self.trace.meta["policy"] = policy.traits.name
 
         # Resilience.  Every fault hook below is gated on
         # ``self.faults is not None`` so a run without a fault model goes
@@ -166,7 +170,7 @@ class _Simulator:
 
         self.time = 0.0
         self._heap: list = []
-        self._seq = itertools.count()
+        self._seq = monotonic_counter()
 
         n = dag.n_tasks
         self.deps_left = dag.n_deps.copy()
@@ -359,6 +363,14 @@ class _Simulator:
                     "resource can run the CPU-only frontier"
                 )
             raise RuntimeError(self._stall_message())
+        if self.trace is not None:
+            # D8xx provenance: the one RNG every stochastic decision of
+            # this run came from, and how many draws it served (ties are
+            # broken by self._seq, whose total is the trace's next_seq).
+            self.trace.meta["rng"] = (
+                {"seed": self.faults.seed, "draws": self.faults.n_draws}
+                if self.faults is not None else None
+            )
         busy = self.trace.busy_time() if self.trace else {}
         return SimulationResult(
             policy=self.policy.traits.name,

@@ -22,6 +22,7 @@ from repro.machine.perfmodel import (
     gemm_occupancy,
     sparse_astra_rate,
 )
+from repro.runtime.tracing import ExecutionTrace
 
 __all__ = ["simulate_kernel_burst", "BurstResult"]
 
@@ -66,13 +67,23 @@ def simulate_kernel_burst(
     n_calls: int = 100,
     height_ratio: float = 2.0,
     launch_overhead_s: float = 4e-6,
+    trace: ExecutionTrace | None = None,
 ) -> BurstResult:
     """Simulate ``n_calls`` identical kernels round-robin over ``streams``.
 
     ``height_ratio`` only affects the ``sparse`` kernel (the paper's
     Fig. 3 uses a destination panel twice as tall as the product).
     Returns the average achieved GFlop/s, the paper's y-axis.
+
+    ``trace`` (optional) receives one event per kernel call — task id =
+    submission index, resource = ``"stream{s}"`` — plus the D8xx
+    provenance stamps, so a seeded double-run of the burst can be
+    fingerprint-compared like the other simulators' traces.
     """
+    if trace is not None:
+        trace.meta["producer"] = "machine.streamsim"
+        trace.meta["clock"] = "virtual"
+        trace.meta["rng"] = None    # the burst makes no stochastic choices
     flops = 2.0 * m * n * k
     rate = _solo_rate(kernel, m, n, k, streams, height_ratio) * 1e9
     occ = gemm_occupancy(m, n, k)
@@ -86,11 +97,15 @@ def simulate_kernel_burst(
     # Active head kernel per stream: remaining flops, start time.
     active: dict[int, float] = {}
     started: dict[int, float] = {}
+    call_id: dict[int, int] = {}
+    n_submitted = 0
     time = 0.0
     for s in range(streams):
         if remaining[s]:
             active[s] = flops
             started[s] = time + launch_overhead_s * s
+            call_id[s] = n_submitted
+            n_submitted += 1
             remaining[s] -= 1
 
     from repro.machine.perfmodel import STREAM_OVERLAP_DECAY
@@ -113,10 +128,14 @@ def simulate_kernel_burst(
             if active[s] <= flops * 1e-12:
                 finished.append(s)
         for s in finished:
+            if trace is not None:
+                trace.record(call_id[s], f"stream{s}", started[s], time)
             del active[s]
             if remaining[s]:
                 active[s] = flops
                 started[s] = time + launch_overhead_s
+                call_id[s] = n_submitted
+                n_submitted += 1
                 remaining[s] -= 1
 
     total_flops = flops * n_calls

@@ -44,7 +44,7 @@ def minimum_degree(graph: Graph, *, tie_break: str = "index") -> Permutation:
 
     def reach(v: int) -> set[int]:
         r = set(nbr[v])
-        for e in elems[v]:
+        for e in sorted(elems[v]):
             r |= elem_vars[e]
         r.discard(v)
         return r

@@ -100,6 +100,15 @@ class FaultModel:
         self.straggler_rate = straggler_rate
         self.straggler_factor = straggler_factor
         self._rng = np.random.default_rng(seed)
+        #: Rate draws consumed so far — stamped into trace meta as
+        #: ``{"rng": {"seed": ..., "draws": ...}}`` so the D803 audit can
+        #: check that a replay consumed the RNG identically.
+        self.n_draws = 0
+
+    def _draw(self) -> float:
+        """One Bernoulli draw from the run's single seeded RNG."""
+        self.n_draws += 1
+        return float(self._rng.random())
 
     def fresh(self) -> "FaultModel":
         """A new model with the same configuration and no consumed state."""
@@ -159,7 +168,7 @@ class FaultModel:
         if spec is not None:
             return "task-fault"
         if self.task_fail_rate > 0.0 and \
-                self._rng.random() < self.task_fail_rate:
+                self._draw() < self.task_fail_rate:
             return "task-fault"
         return None
 
@@ -170,7 +179,7 @@ class FaultModel:
                       now=now) is not None:
             return True
         return self.transfer_fail_rate > 0.0 and \
-            self._rng.random() < self.transfer_fail_rate
+            self._draw() < self.transfer_fail_rate
 
     def straggler(self, task: int, now: float) -> float:
         """Slowdown factor for this task attempt (1.0 = none)."""
@@ -178,6 +187,6 @@ class FaultModel:
         if spec is not None:
             return max(spec.factor, 1.0)
         if self.straggler_rate > 0.0 and \
-                self._rng.random() < self.straggler_rate:
+                self._draw() < self.straggler_rate:
             return max(self.straggler_factor, 1.0)
         return 1.0

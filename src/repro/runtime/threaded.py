@@ -125,6 +125,11 @@ class _PoolRun:
         self.aborted = False
         self.t0 = time.perf_counter()
         if trace is not None:
+            trace.meta["producer"] = "runtime.threaded"
+            # Wall clock: timings and thread placement vary run to run,
+            # so ExecutionTrace.fingerprint() only digests the
+            # order-insensitive deterministic content (see tracing.py).
+            trace.meta["clock"] = "wall"
             trace.meta["scheduler"] = self.scheduler.name
             trace.meta["n_workers"] = self.n_workers
             if self._sync_rows is not None:

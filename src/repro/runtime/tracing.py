@@ -19,6 +19,7 @@ __all__ = [
     "RecoveryEvent",
     "SyncEvent",
     "ExecutionTrace",
+    "META_FINGERPRINT_KEYS",
 ]
 
 #: DataEvent kinds.
@@ -26,15 +27,41 @@ H2D = "h2d"
 D2H = "d2h"
 EVICT = "evict"
 
+#: ``meta`` keys that are run *provenance* (and therefore fingerprinted),
+#: as opposed to measured statistics (timing-dependent, excluded).
+META_FINGERPRINT_KEYS = (
+    "producer",
+    "clock",
+    "policy",
+    "scheduler",
+    "n_workers",
+    "fanin",
+    "seed",
+    "rng",
+    "index_cache",
+    "accumulate",
+    "dl_buffer",
+)
+
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One task execution: ``resource`` is e.g. ``"cpu3"`` or ``"gpu1"``."""
+    """One task execution: ``resource`` is e.g. ``"cpu3"`` or ``"gpu1"``.
+
+    ``seq`` is the trace-global record sequence number stamped by
+    :meth:`ExecutionTrace.record` — the order the producer *emitted*
+    events, independent of their timestamps.  Simulators derive it from
+    the same monotonic counters that break their heap ties, so the D8xx
+    determinism auditor can check that simultaneous events have a total,
+    reproducible order.  ``-1`` means "not stamped" (hand-built traces);
+    it is excluded from equality so existing comparisons are unaffected.
+    """
 
     task: int
     resource: str
     start: float
     end: float
+    seq: int = field(default=-1, compare=False)
 
     @property
     def duration(self) -> float:
@@ -182,12 +209,23 @@ class ExecutionTrace:
     recovery_events: list[RecoveryEvent] = field(default_factory=list)
     sync_events: list[SyncEvent] = field(default_factory=list)
     meta: dict = field(default_factory=dict)
+    #: Next record-order sequence number (see :attr:`TraceEvent.seq`).
+    next_seq: int = 0
+
+    def _stamp_seq(self) -> int:
+        s = self.next_seq
+        self.next_seq = s + 1
+        return s
 
     def record(self, task: int, resource: str, start: float, end: float) -> None:
-        self.events.append(TraceEvent(task, resource, start, end))
+        self.events.append(
+            TraceEvent(task, resource, start, end, self._stamp_seq())
+        )
 
     def record_transfer(self, tag: int, resource: str, start: float, end: float) -> None:
-        self.transfers.append(TraceEvent(tag, resource, start, end))
+        self.transfers.append(
+            TraceEvent(tag, resource, start, end, self._stamp_seq())
+        )
 
     def record_data(
         self,
@@ -289,6 +327,88 @@ class ExecutionTrace:
     def bytes_moved(self, kind: str) -> float:
         """Total transferred bytes of one kind (``"h2d"`` or ``"d2h"``)."""
         return sum(e.nbytes for e in self.data_events if e.kind == kind)
+
+    # ------------------------------------------------------------------
+    def fingerprint_lines(self) -> list[str]:
+        """Canonical line-per-fact rendering backing :meth:`fingerprint`.
+
+        The D8xx determinism auditor diffs these lines directly to
+        localize the first divergence between two runs, so the rendering
+        must be stable: events are listed in their canonical sorted
+        order, times as ``float.hex()`` (no rounding), and only the
+        provenance subset of ``meta`` (:data:`META_FINGERPRINT_KEYS`)
+        is included — measured statistics would differ run to run.
+
+        Two clock domains (``meta["clock"]``):
+
+        * ``"virtual"`` (simulators, the default) — simulated time is
+          part of the deterministic contract, so every event tuple
+          enters verbatim, including its record-order ``seq`` stamp:
+          a tie resolved differently *is* a divergence;
+        * ``"wall"`` (the real threaded runtime) — wall-clock timings
+          and thread placement legitimately vary run to run, so only
+          the order-insensitive deterministic content enters: the
+          sorted set of executed tasks and the fault/recovery
+          *decisions* ``(kind, task, cblk, attempt)``.
+        """
+        import json
+
+        clock = str(self.meta.get("clock", "virtual"))
+        lines = [f"clock={clock}"]
+        for key in META_FINGERPRINT_KEYS:
+            if key in self.meta:
+                val = json.dumps(self.meta[key], sort_keys=True, default=str)
+                lines.append(f"meta:{key}={val}")
+        if clock == "wall":
+            tasks = ",".join(str(t) for t in sorted(e.task for e in self.events))
+            lines.append(f"tasks={tasks}")
+            lines.extend(sorted(
+                f"fa|{e.kind}|{e.task}|{e.cblk}|{e.attempt}"
+                for e in self.fault_events
+            ))
+            lines.extend(sorted(
+                f"re|{e.kind}|{e.task}|{e.cblk}|{e.attempt}"
+                for e in self.recovery_events
+            ))
+            return lines
+        for e in self.sorted_events():
+            lines.append(f"ev|{e.task}|{e.resource}|{float(e.start).hex()}|"
+                         f"{float(e.end).hex()}|{e.seq}")
+        for tr in sorted(self.transfers,
+                         key=lambda e: (e.start, e.end, e.resource, e.task)):
+            lines.append(f"tr|{tr.task}|{tr.resource}|{float(tr.start).hex()}|"
+                         f"{float(tr.end).hex()}|{tr.seq}")
+        for d in self.sorted_data_events():
+            lines.append(f"da|{d.kind}|{d.cblk}|{d.gpu}|{d.nbytes!r}|"
+                         f"{float(d.start).hex()}|{float(d.end).hex()}|{d.reason}")
+        for f in self.sorted_fault_events():
+            lines.append(f"fa|{f.kind}|{f.task}|{f.cblk}|{f.resource}|"
+                         f"{float(f.start).hex()}|{float(f.end).hex()}|{f.attempt}|"
+                         f"{f.nbytes!r}")
+        for r in self.sorted_recovery_events():
+            lines.append(f"re|{r.kind}|{r.task}|{r.cblk}|{r.resource}|"
+                         f"{float(r.time).hex()}|{r.attempt}|{r.delay_s!r}")
+        for s in self.sorted_sync_events():
+            lines.append(f"sy|{s.kind}|{s.worker}|{s.obj}|{s.task}|"
+                         f"{float(s.start).hex()}|{float(s.end).hex()}|{s.wait_s!r}|{s.n}")
+        return lines
+
+    def fingerprint(self) -> str:
+        """Order-sensitive sha256 digest of the canonical trace content.
+
+        Two same-seed runs of any simulator must produce identical
+        fingerprints (the D801 replay check); any reordering of
+        simultaneous events, dropped tie-break, or edited provenance
+        changes the digest.  See :meth:`fingerprint_lines` for what is
+        (and deliberately is not) covered per clock domain.
+        """
+        import hashlib
+
+        h = hashlib.sha256()
+        for line in self.fingerprint_lines():
+            h.update(line.encode())
+            h.update(b"\n")
+        return h.hexdigest()
 
     # ------------------------------------------------------------------
     @property

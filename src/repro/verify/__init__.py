@@ -1,7 +1,7 @@
 """Static-analysis subsystem: hazard coverage, schedule verification, lint.
 
-Three passes, each returning a :class:`repro.verify.report.Report` and
-exposed through ``python -m repro verify``:
+Each pass returns a :class:`repro.verify.report.Report` and is exposed
+through ``python -m repro verify``:
 
 * :func:`repro.verify.hazards.analyze_hazards` — re-derives every task's
   panel read/write sets from the symbolic structure and checks that each
@@ -35,6 +35,18 @@ exposed through ``python -m repro verify``:
   ``repro.kernels.accumulate`` for unlocked shared writes, condition
   waits without a predicate loop, inconsistent lock acquisition order,
   and sleep-as-synchronization (RV4xx);
+* :func:`repro.verify.determinism.verify_determinism` — replays a
+  seeded run and convicts divergence: same-seed fingerprint mismatch,
+  event-time monotonicity and tie-break totality, RNG-draw provenance,
+  first-divergence localization, and meta/seed stamping completeness
+  (D8xx) over the canonical order-sensitive trace fingerprint
+  (:meth:`~repro.runtime.tracing.ExecutionTrace.fingerprint`);
+* :func:`repro.verify.eventloop.eventloop_paths` — the static shadow
+  of the same discipline: an AST lint over the three discrete-event
+  simulators and the fault layer for heap pushes without a monotonic
+  tie-breaker, float equality on simulated clocks, unordered-set
+  choices feeding the event order, and wall clocks or unseeded RNGs
+  inside a simulation step (RV5xx);
 * :func:`repro.verify.lint.lint_paths` — an AST linter enforcing the
   project's simulation invariants (no frozen-dataclass mutation, no
   float-equality on times, ``traits`` on every policy, no ambiguous
@@ -53,6 +65,18 @@ from repro.verify.concurrency import (
     swallow_wakeup,
     unlocked_scatter,
     verify_concurrency,
+)
+from repro.verify.determinism import (
+    drop_seq,
+    reorder_ties,
+    reseed_midrun,
+    trace_diff,
+    verify_determinism,
+)
+from repro.verify.eventloop import (
+    eventloop_paths,
+    eventloop_report,
+    eventloop_sources,
 )
 from repro.verify.hazards import (
     analyze_hazards,
@@ -118,6 +142,14 @@ __all__ = [
     "drop_sync_event",
     "unlocked_scatter",
     "swallow_wakeup",
+    "verify_determinism",
+    "trace_diff",
+    "reorder_ties",
+    "reseed_midrun",
+    "drop_seq",
+    "eventloop_paths",
+    "eventloop_sources",
+    "eventloop_report",
     "lockdiscipline_paths",
     "lockdiscipline_sources",
     "lockdiscipline_report",

@@ -7,17 +7,23 @@ fault-injection run whose recovered trace must satisfy the fault/
 recovery pairing rules *and* the schedule and memory audits), the C7xx
 concurrency audit (a live sync-instrumented threaded factorization
 whose trace must satisfy the happens-before race checks, plus the
-RV4xx lock-discipline lint over the runtime sources), and the project
-linter — on a chosen matrix and prints one report per pass.  Exit
-status is 0 iff every pass is clean, which is what the ``make verify``
-gate and CI consume.
+RV4xx lock-discipline lint over the runtime sources), the D8xx
+determinism audit (a seeded same-seed double-run of the machine
+simulator and a kernel burst whose canonical trace fingerprints must
+match bit-for-bit, with tie-break totality and RNG-draw provenance
+checks on top), and the project linters (RV3xx plus the RV5xx
+event-loop-discipline lint over the simulator sources) — on a chosen
+matrix and prints one report per pass.  Exit status is 0 iff every
+pass is clean, which is what the ``make verify`` gate and CI consume.
 
 ``--inject`` deliberately corrupts the artifact under test (drops a DAG
 edge, an h2d transfer, a recovery event, or a sync event; overlaps two
 trace events; breaks a mutex window; overflows device residency; skews
 a task's flop count; records a completion twice; unlocks a scatter;
-swallows a wakeup) to demonstrate that the passes actually catch what
-they claim to catch; an injected run is *expected* to exit non-zero.
+swallows a wakeup; collapses a heap tie-break; forges the replay RNG
+provenance; erases the sequence stamps) to demonstrate that the passes
+actually catch what they claim to catch; an injected run is *expected*
+to exit non-zero.
 """
 
 from __future__ import annotations
@@ -79,6 +85,9 @@ def add_verify_arguments(p: argparse.ArgumentParser) -> None:
     p.add_argument("--no-concurrency", action="store_true",
                    help="skip the C7xx happens-before / RV4xx "
                         "lock-discipline concurrency audit")
+    p.add_argument("--no-determinism", action="store_true",
+                   help="skip the D8xx same-seed replay/fingerprint "
+                        "determinism audit")
     p.add_argument("--no-lint", action="store_true")
     p.add_argument("--redundant", action="store_true",
                    help="also report transitive (redundant) DAG edges")
@@ -89,7 +98,8 @@ def add_verify_arguments(p: argparse.ArgumentParser) -> None:
         choices=["none", "drop-edge", "overlap-trace", "break-mutex",
                  "drop-transfer", "overflow-residency", "skew-flops",
                  "stale-cache", "drop-recovery", "double-complete",
-                 "drop-sync-event", "unlocked-scatter", "swallow-wakeup"],
+                 "drop-sync-event", "unlocked-scatter", "swallow-wakeup",
+                 "reorder-ties", "reseed-midrun", "drop-seq"],
         help="fault injection self-test (expected to FAIL the run)",
     )
     p.add_argument("-v", "--verbose", action="store_true",
@@ -345,6 +355,87 @@ def _resilience_pass(args: argparse.Namespace, symbol: Any,
 _CONCURRENCY_INJECTS = ("drop-sync-event", "unlocked-scatter",
                         "swallow-wakeup")
 
+_DETERMINISM_INJECTS = ("reorder-ties", "reseed-midrun", "drop-seq")
+
+
+def _determinism_pass(args: argparse.Namespace, symbol: Any,
+                      reports: list[Report]) -> None:
+    """D8xx: same-seed replay of the machine simulator and a burst.
+
+    Runs the R6xx fault scenario's simulator configuration twice from
+    the same seed (``FaultModel.fresh()`` rebuilds the RNG per run) and
+    demands bit-identical canonical trace fingerprints, monotone and
+    total tie-breaks, and matching RNG-draw provenance.  A second,
+    cheap audit double-runs the stream-burst simulator the same way.
+    """
+    from repro.dag import build_dag
+    from repro.machine import mirage, simulate
+    from repro.machine.streamsim import simulate_kernel_burst
+    from repro.resilience import FaultModel, FaultSpec, RecoveryPolicy
+    from repro.runtime import get_policy
+    from repro.runtime.tracing import ExecutionTrace
+    from repro.verify.determinism import (
+        drop_seq,
+        reorder_ties,
+        reseed_midrun,
+        verify_determinism,
+    )
+
+    name = args.policy if args.policy != "all" else "parsec"
+    machine = mirage(
+        n_cores=args.cores, n_gpus=args.gpus,
+        streams_per_gpu=args.streams if args.gpus else 1,
+    )
+
+    def _policy():
+        if name == "native":
+            return get_policy(name)
+        return get_policy(name, gpu_flops_threshold=1e3)
+
+    dag = build_dag(
+        symbol, args.factotype,
+        granularity=_policy().traits.granularity,
+        recompute_ld=_policy().traits.recompute_ld,
+    )
+    specs = [
+        FaultSpec("worker-crash", time=0.0, resource=0),
+        FaultSpec("straggler", time=0.0, factor=3.0),
+    ]
+    base = FaultModel(specs, seed=args.seed, task_fail_rate=0.02)
+
+    def run_sim() -> Any:
+        r = simulate(dag, machine, _policy(),
+                     faults=base.fresh(), recovery=RecoveryPolicy())
+        return r.trace
+
+    trace = run_sim()
+    label = f"{name}+faults"
+    if args.inject in _DETERMINISM_INJECTS:
+        corrupt = {"reorder-ties": reorder_ties,
+                   "reseed-midrun": reseed_midrun,
+                   "drop-seq": drop_seq}[args.inject]
+        try:
+            trace = corrupt(trace)
+        except ValueError as exc:
+            raise SystemExit(f"--inject {args.inject}: {exc}") from exc
+        label += f"+{args.inject}"
+    t0 = time.perf_counter()
+    rep = verify_determinism(run_sim, trace=trace,
+                             name=f"determinism[{label}]")
+    rep.stats["seconds"] = time.perf_counter() - t0
+    reports.append(rep)
+
+    def run_burst() -> Any:
+        tr = ExecutionTrace()
+        simulate_kernel_burst("cublas", 600, streams=max(args.streams, 2),
+                              n_calls=64, trace=tr)
+        return tr
+
+    t0 = time.perf_counter()
+    rep = verify_determinism(run_burst, name="determinism[burst]")
+    rep.stats["seconds"] = time.perf_counter() - t0
+    reports.append(rep)
+
 
 def _concurrency_pass(args: argparse.Namespace, matrix: Any, res: Any,
                       reports: list[Report]) -> None:
@@ -458,10 +549,19 @@ def _lint_pass(args: argparse.Namespace,
     from repro.verify.lint import lint_report
     from repro.verify.lockdiscipline import lockdiscipline_report
 
+    from repro.verify.eventloop import eventloop_report
+
     root = Path(args.lint_path) if args.lint_path else Path(repro.__file__).parent
     rep = lint_report([root])
     rep.name = f"lint[{root}]"
     reports.append(rep)
+
+    # RV5xx event-loop-discipline lint over the simulator sources (the
+    # static counterpart of the D8xx replay audit).
+    t0 = time.perf_counter()
+    erep = eventloop_report()
+    erep.stats["seconds"] = time.perf_counter() - t0
+    reports.append(erep)
 
     # RV4xx lock-discipline lint over the threaded-runtime scope (the
     # static counterpart of the C7xx trace audit).
@@ -486,10 +586,15 @@ def run_verify(args: argparse.Namespace) -> int:
             f"--inject {args.inject} corrupts the concurrency pass; "
             "drop --no-concurrency to run it"
         )
+    if args.inject in _DETERMINISM_INJECTS and args.no_determinism:
+        raise SystemExit(
+            f"--inject {args.inject} corrupts the determinism pass; "
+            "drop --no-determinism to run it"
+        )
     reports: list[Report] = []
     needs_matrix = not (args.no_hazards and args.no_schedule
                         and args.no_symbolic and args.no_resilience
-                        and args.no_concurrency)
+                        and args.no_concurrency and args.no_determinism)
     if needs_matrix:
         matrix = _load(args)
         res = analyze(matrix, SymbolicOptions(split_max_width=args.split))
@@ -502,6 +607,8 @@ def run_verify(args: argparse.Namespace) -> int:
             _resilience_pass(args, symbol, reports)
         if not args.no_concurrency:
             _concurrency_pass(args, matrix, res, reports)
+        if not args.no_determinism:
+            _determinism_pass(args, symbol, reports)
         if not args.no_symbolic:
             _symbolic_pass(args, matrix, res, reports)
     if not args.no_lint:

@@ -26,7 +26,12 @@ a stable code so findings can be suppressed inline with ``# noqa: RV3xx``
 * **RV306 unordered-iteration** — no bare ``for``/comprehension over a
   ``set``-typed collection: set order varies across processes (hash
   randomization), so any schedule decision derived from it is
-  nondeterministic.  Wrap the iterable in ``sorted(...)``.
+  nondeterministic.  Wrap the iterable in ``sorted(...)``.  Covers
+  plain set-typed names, subscripts of containers *of* sets
+  (``elems[v]`` where ``elems: list[set[int]]``, ``defaultdict(set)``
+  values), and zero-argument ``.pop()`` on any of those — ``set.pop()``
+  removes a hash-ordered arbitrary element; pick deterministically with
+  ``min(...)`` then ``.discard(...)``.
 * **RV307 unseeded-random** — no draws from hidden global RNG state
   (legacy ``np.random.<sampler>(...)`` module calls, stdlib
   ``random.<sampler>(...)``) and no RNG constructed without an explicit
@@ -104,6 +109,15 @@ class LintFinding:
         return f"{self.path}:{self.line}"
 
 
+def _terminal_name(node: ast.expr) -> str | None:
+    """The rightmost simple name of a ``Name``/``Attribute`` chain."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
 def _is_time_like(node: ast.expr) -> bool:
     """Heuristic: does this expression name a simulation time?"""
     terminal: str | None = None
@@ -164,6 +178,59 @@ def _annotation_is_set(ann: ast.expr | None) -> bool:
     return False
 
 
+def _annotation_contains_set(ann: ast.expr | None) -> bool:
+    """Any set base anywhere inside the annotation (``list[set[int]]``)."""
+    if ann is None:
+        return False
+    if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+        return any(
+            tok in _SET_ANNOTATIONS
+            for tok in re.split(r"[^A-Za-z_.]+", ann.value) if tok
+        )
+    for node in ast.walk(ann):
+        if isinstance(node, ast.Name) and node.id in _SET_ANNOTATIONS:
+            return True
+        if isinstance(node, ast.Attribute) and node.attr in _SET_ANNOTATIONS:
+            return True
+    return False
+
+
+def _set_container_names(tree: ast.Module) -> set[str]:
+    """Names holding containers *of* sets (RV306 subscript checks).
+
+    ``idle: list[set[int]]``, ``valid: dict[int, set[str]]`` and
+    ``defaultdict(set)`` assignments all qualify: subscripting one
+    yields a set, so iterating (or ``.pop()``-ing) the element is
+    hash-ordered even though the container itself is ordered.
+    """
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.AnnAssign):
+            if (
+                _annotation_contains_set(node.annotation)
+                and not _annotation_is_set(node.annotation)
+            ):
+                targets = [node.target]
+        elif isinstance(node, ast.Assign):
+            v = node.value
+            if (
+                isinstance(v, ast.Call)
+                and isinstance(v.func, ast.Name)
+                and v.func.id == "defaultdict"
+                and v.args
+                and isinstance(v.args[0], ast.Name)
+                and v.args[0].id in ("set", "frozenset")
+            ):
+                targets = list(node.targets)
+        for t in targets:
+            if isinstance(t, ast.Name):
+                names.add(t.id)
+            elif isinstance(t, ast.Attribute):
+                names.add(t.attr)
+    return names
+
+
 def _set_typed_names(tree: ast.Module) -> set[str]:
     """Variable/attribute names declared or assigned as sets (RV306)."""
     names: set[str] = set()
@@ -218,11 +285,13 @@ class _FileLinter(ast.NodeVisitor):
         source: str,
         frozen: set[str],
         set_names: set[str] | None = None,
+        set_container_names: set[str] | None = None,
     ) -> None:
         self.path = path
         self.lines = source.splitlines()
         self.frozen = frozen
         self.set_names = set_names or set()
+        self.set_container_names = set_container_names or set()
         self.findings: list[LintFinding] = []
         #: var name -> frozen class name, per enclosing function scope.
         self._scopes: list[dict[str, str]] = []
@@ -328,6 +397,7 @@ class _FileLinter(ast.NodeVisitor):
                     "methods bypasses immutability",
                 )
         self._check_unseeded_random(node)
+        self._check_set_pop(node)
         self.generic_visit(node)
 
     # -- RV307 unseeded randomness ------------------------------------
@@ -471,16 +541,56 @@ class _FileLinter(ast.NodeVisitor):
                 "wrap in sorted(...)",
             )
             return
-        name = None
-        if isinstance(itr, ast.Name):
-            name = itr.id
-        elif isinstance(itr, ast.Attribute):
-            name = itr.attr
+        if isinstance(itr, ast.Subscript):
+            base = _terminal_name(itr.value)
+            if base is not None and base in self.set_container_names:
+                self._emit(
+                    itr, "RV306",
+                    f"iteration over set-valued element `{base}[...]` is "
+                    "hash-ordered; wrap in sorted(...) before deriving "
+                    "schedule decisions",
+                )
+            return
+        name = _terminal_name(itr)
         if name is not None and name in self.set_names:
             self._emit(
                 itr, "RV306",
                 f"iteration over set `{name}` is hash-ordered; wrap in "
                 "sorted(...) before deriving schedule decisions",
+            )
+
+    def _check_set_pop(self, node: ast.Call) -> None:
+        f = node.func
+        if not (
+            isinstance(f, ast.Attribute)
+            and f.attr == "pop"
+            and not node.args
+            and not node.keywords
+        ):
+            return
+        recv = f.value
+        is_set = False
+        label = "set"
+        if isinstance(recv, ast.Subscript):
+            base = _terminal_name(recv.value)
+            if base is not None and base in self.set_container_names:
+                is_set, label = True, f"{base}[...]"
+        elif (
+            isinstance(recv, ast.Call)
+            and isinstance(recv.func, ast.Name)
+            and recv.func.id in ("set", "frozenset")
+        ):
+            is_set, label = True, f"{recv.func.id}(...)"
+        else:
+            name = _terminal_name(recv)
+            if name is not None and name in self.set_names:
+                is_set, label = True, name
+        if is_set:
+            self._emit(
+                node, "RV306",
+                f"`{label}.pop()` removes a hash-ordered arbitrary "
+                "element; pick deterministically (min(...) then "
+                ".discard(...))",
             )
 
     def visit_For(self, node: ast.For) -> None:
@@ -558,7 +668,8 @@ def lint_sources(sources: dict[str, str]) -> list[LintFinding]:
     findings: list[LintFinding] = []
     for path, tree in trees.items():
         linter = _FileLinter(path, sources[path], frozen,
-                             _set_typed_names(tree))
+                             _set_typed_names(tree),
+                             _set_container_names(tree))
         linter.visit(tree)
         findings.extend(linter.findings)
     findings.sort(key=lambda f: (f.path, f.line, f.col))

@@ -198,3 +198,52 @@ def test_resilience_inject_without_resilience_pass_refused():
     with pytest.raises(SystemExit, match="resilience"):
         main(["verify", "--matrix", "lap2d", "--size", "12", "--no-lint",
               "--no-resilience", "--inject", "drop-recovery"])
+
+
+_DET_BASE = ["verify", "--matrix", "lap2d", "--size", "12",
+             "--no-hazards", "--no-schedule", "--no-symbolic",
+             "--no-resilience", "--no-concurrency", "--no-lint",
+             "--policy", "native", "--cores", "2", "--gpus", "0"]
+
+
+def test_determinism_pass_runs_clean(capsys):
+    code, out = run(list(_DET_BASE), capsys)
+    assert code == 0
+    assert "determinism[native+faults]" in out
+    assert "determinism[burst]" in out
+    assert "rng_draws" in out
+
+
+def test_inject_reorder_ties_fails(capsys):
+    code, out = run(_DET_BASE + ["--inject", "reorder-ties"], capsys)
+    assert code == 1
+    assert "reorder-ties" in out
+    assert "D802" in out and "D801" in out
+
+
+def test_inject_reseed_midrun_fails(capsys):
+    code, out = run(_DET_BASE + ["--inject", "reseed-midrun"], capsys)
+    assert code == 1
+    assert "reseed-midrun" in out
+    assert "D801" in out or "D803" in out
+
+
+def test_inject_drop_seq_fails(capsys):
+    code, out = run(_DET_BASE + ["--inject", "drop-seq"], capsys)
+    assert code == 1
+    assert "drop-seq" in out
+    assert "D802" in out
+
+
+def test_determinism_inject_without_pass_refused():
+    with pytest.raises(SystemExit, match="determinism"):
+        main(["verify", "--matrix", "lap2d", "--size", "12", "--no-lint",
+              "--no-determinism", "--inject", "drop-seq"])
+
+
+def test_lint_pass_includes_eventloop(capsys):
+    code, out = run(["verify", "--no-hazards", "--no-schedule",
+                     "--no-symbolic", "--no-resilience",
+                     "--no-concurrency", "--no-determinism"], capsys)
+    assert code == 0
+    assert "eventloop" in out
