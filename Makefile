@@ -7,7 +7,7 @@ PYTHONPATH := src
 export PYTHONPATH
 
 .PHONY: test verify lint hazards typecheck bench figures selftest chaos \
-	perf-smoke race-smoke determinism-smoke ci
+	chaos-smoke perf-smoke race-smoke determinism-smoke ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -25,7 +25,8 @@ verify: lint hazards typecheck test
 selftest:
 	@for inj in drop-edge overlap-trace break-mutex skew-flops stale-cache; do \
 		if $(PYTHON) -m repro verify --matrix lap2d --size 20 \
-			--no-lint --no-resilience --no-concurrency --no-determinism \
+			--no-lint --no-resilience --no-health --no-concurrency \
+			--no-determinism \
 			--inject $$inj >/dev/null 2>&1; then \
 			echo "inject $$inj: NOT caught"; exit 1; \
 		else \
@@ -35,7 +36,7 @@ selftest:
 	@for inj in drop-transfer overflow-residency; do \
 		if $(PYTHON) -m repro verify --matrix lap2d --size 32 \
 			--no-lint --no-hazards --no-symbolic --no-resilience \
-			--no-concurrency --no-determinism \
+			--no-health --no-concurrency --no-determinism \
 			--inject $$inj >/dev/null 2>&1; then \
 			echo "inject $$inj: NOT caught"; exit 1; \
 		else \
@@ -45,7 +46,7 @@ selftest:
 	@for inj in drop-recovery double-complete; do \
 		if $(PYTHON) -m repro verify --matrix lap2d --size 16 \
 			--no-lint --no-hazards --no-symbolic --no-schedule \
-			--no-concurrency --no-determinism \
+			--no-health --no-concurrency --no-determinism \
 			--inject $$inj >/dev/null 2>&1; then \
 			echo "inject $$inj: NOT caught"; exit 1; \
 		else \
@@ -55,7 +56,7 @@ selftest:
 	@for inj in drop-sync-event unlocked-scatter swallow-wakeup; do \
 		if $(PYTHON) -m repro verify --matrix lap2d --size 16 \
 			--no-lint --no-hazards --no-schedule --no-symbolic \
-			--no-resilience --no-determinism \
+			--no-resilience --no-health --no-determinism \
 			--inject $$inj >/dev/null 2>&1; then \
 			echo "inject $$inj: NOT caught"; exit 1; \
 		else \
@@ -65,7 +66,18 @@ selftest:
 	@for inj in reorder-ties reseed-midrun drop-seq; do \
 		if $(PYTHON) -m repro verify --matrix lap2d --size 16 \
 			--no-lint --no-hazards --no-schedule --no-symbolic \
-			--no-resilience --no-concurrency \
+			--no-resilience --no-health --no-concurrency \
+			--inject $$inj >/dev/null 2>&1; then \
+			echo "inject $$inj: NOT caught"; exit 1; \
+		else \
+			echo "inject $$inj: caught"; \
+		fi; \
+	done
+	@for inj in double-commit-hedge steal-from-quarantined \
+			illegal-transition; do \
+		if $(PYTHON) -m repro verify --matrix lap2d --size 20 \
+			--no-lint --no-hazards --no-schedule --no-symbolic \
+			--no-resilience --no-concurrency --no-determinism \
 			--inject $$inj >/dev/null 2>&1; then \
 			echo "inject $$inj: NOT caught"; exit 1; \
 		else \
@@ -88,10 +100,20 @@ selftest:
 	fi
 
 # Chaos matrix: every (fault kind x scheduler policy) cell must finish
-# all tasks and produce a trace the R6xx resilience auditor and the
-# S2xx schedule verifier both accept.
+# all tasks and produce a trace the R6xx resilience auditor, the S2xx
+# schedule verifier, and (limplock cells) the R7xx degradation auditor
+# all accept; the run ends with the asserted hedging A/B.
 chaos:
 	$(PYTHON) benchmarks/bench_resilience.py --chaos --verify
+
+# Bounded chaos gate for CI: the same matrix + hedging A/B on a smaller
+# problem so the whole run stays in smoke-test territory.
+chaos-smoke:
+	@$(PYTHON) benchmarks/bench_resilience.py --chaos --verify \
+		--grid 32 >/dev/null; \
+	status=$$?; \
+	if [ $$status -eq 0 ]; then echo "chaos-smoke: clean"; \
+	else echo "chaos-smoke: FAILED"; fi; exit $$status
 
 # Perf-regression gate: quick threaded-scheduler sweep, diffed against
 # the committed baseline.  The deterministic replay-makespan metric is
@@ -125,7 +147,7 @@ race-smoke:
 determinism-smoke:
 	@$(PYTHON) -m repro verify --matrix lap2d --size 16 \
 		--no-lint --no-hazards --no-schedule --no-symbolic \
-		--no-resilience --no-concurrency >/dev/null; \
+		--no-resilience --no-health --no-concurrency >/dev/null; \
 	status=$$?; \
 	if [ $$status -eq 0 ]; then echo "determinism-smoke: clean"; \
 	else echo "determinism-smoke: FAILED"; fi; exit $$status
@@ -133,12 +155,13 @@ determinism-smoke:
 # Everything CI runs: tier-1 tests, the static-analysis gate
 # (lint/hazards/schedule/memory/symbolic/concurrency/determinism +
 # ruff/mypy when installed), the fault-injection self-tests, the
-# live-race gate, the determinism gate, and the perf-regression gate.
-ci: verify selftest race-smoke determinism-smoke perf-smoke
+# live-race gate, the determinism gate, the bounded chaos gate, and
+# the perf-regression gate.
+ci: verify selftest race-smoke determinism-smoke chaos-smoke perf-smoke
 
 lint:
 	$(PYTHON) -m repro verify --no-hazards --no-schedule --no-resilience \
-		--no-concurrency --no-determinism
+		--no-health --no-concurrency --no-determinism
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src tests benchmarks examples; \
 	else \

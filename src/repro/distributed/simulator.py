@@ -22,6 +22,7 @@ the sender, receives at the receiver.
 
 from __future__ import annotations
 
+import dataclasses
 import heapq
 from dataclasses import dataclass, field
 from typing import Optional
@@ -31,7 +32,14 @@ import numpy as np
 from repro.dag.builder import build_dag, update_couples
 from repro.distributed.cluster import ClusterSpec
 from repro.machine.perfmodel import CpuPerfModel
-from repro.resilience import FaultModel, RecoveryPolicy, UnrecoverableError
+from repro.resilience import (
+    FaultModel,
+    HealthMonitor,
+    HealthPolicy,
+    RecoveryPolicy,
+    UnrecoverableError,
+    window_factor,
+)
 from repro.runtime.base import bottom_levels
 from repro.runtime.seq import monotonic_counter
 from repro.runtime.tracing import ExecutionTrace
@@ -61,6 +69,8 @@ class DistributedResult:
     n_reexecuted: int = 0
     #: Bytes of failed/lost messages that had to be re-sent.
     bytes_retransferred: float = 0.0
+    #: Health state transitions taken (0 when monitoring is off).
+    n_health_transitions: int = 0
 
     @property
     def gflops(self) -> float:
@@ -95,6 +105,7 @@ class _DistSim:
         collect_trace: bool,
         faults: FaultModel | None = None,
         recovery: RecoveryPolicy | None = None,
+        health: HealthPolicy | None = None,
     ) -> None:
         self.symbol = symbol
         self.owner = np.asarray(owner, dtype=np.int64)
@@ -120,6 +131,22 @@ class _DistSim:
         self.n_reexecuted = 0
         self.bytes_retransferred = 0.0
 
+        # Health monitoring.  Tasks are owner-bound here (the factorized
+        # panel never travels), so quarantining a node outright would
+        # starve its panels and deadlock the run: quarantine is forced
+        # off and *backpressure* (capping concurrent dispatch on a
+        # degraded node, see ``_kick``) is the strongest reaction.
+        # Hedged re-execution is likewise not applicable — there is no
+        # healthy peer that could run an owner-bound duplicate.
+        self.health: HealthMonitor | None = None
+        if health is not None:
+            policy = dataclasses.replace(
+                health, allow_quarantine=False, hedge=False)
+            self.health = HealthMonitor(
+                (f"n{n}" for n in range(cluster.n_nodes)), policy=policy)
+            if self.trace is not None:
+                self.trace.meta["health"] = {"hedge": False}
+
         K = symbol.n_cblk
         if self.owner.shape != (K,):
             raise ValueError("owner array must have one entry per cblk")
@@ -131,12 +158,31 @@ class _DistSim:
         self._precompute()
         self._init_state()
 
+        # Persistent slowdown windows (consumed whole at init; they are
+        # declarative state, not per-attempt draws).
+        self._limp: dict[int, list] = {}
+        self._linkdeg: dict[int, list] = {}
+
         if faults is not None:
             # Node failures are purely time-driven: pre-schedule them.
             for spec in faults.pop_timed("node-fail"):
                 nidx = spec.resource if spec.resource >= 0 else 0
                 if nidx < cluster.n_nodes:
                     self._schedule(spec.time, self._node_loss, nidx)
+            # Persistent conditions: pre-schedule the onset events so
+            # the limp/degradation is trace-visible as a fault the R6xx
+            # auditor can pair.  A limplock resource index is a node; a
+            # degraded-link index is the sending node's NIC.
+            self._limp = faults.pop_windows("limplock")
+            self._linkdeg = faults.pop_windows("degraded-link")
+            for n, spans in sorted(self._limp.items()):
+                for (t0, _t1, _f) in spans:
+                    self._schedule(t0, self._limp_onset, "limplock",
+                                   f"n{n}", t0)
+            for n, spans in sorted(self._linkdeg.items()):
+                for (t0, _t1, _f) in spans:
+                    self._schedule(t0, self._limp_onset, "degraded-link",
+                                   f"net{n}", t0)
 
     # ------------------------------------------------------------------
     def _precompute(self) -> None:
@@ -233,6 +279,9 @@ class _DistSim:
         self.node_epoch = [0] * n_nodes
         self.node_restore_at = [0.0] * n_nodes
         self.running: dict[tuple[int, int], tuple] = {}
+        # Health bookkeeping: (node, core) -> start time of the attempt
+        # whose completion the monitor will observe.
+        self._hstart: dict[tuple[int, int], float] = {}
 
     # ------------------------------------------------------------------
     def _push_ready(self, node: int, prio: float, task: tuple) -> None:
@@ -242,7 +291,19 @@ class _DistSim:
     def _kick(self, node: int) -> None:
         if self.faults is not None and not self.node_up[node]:
             return  # the node is down; _node_restored re-kicks it
+        cap = None
+        if self.health is not None and self.health.rank(f"n{node}") >= 1:
+            # Backpressure: a degraded node runs at most
+            # ``backpressure_limit`` tasks at once, so a limping node
+            # drains its owner-bound queue slowly instead of hogging a
+            # full complement of (slow) cores while remote consumers
+            # starve.  The cap is >= 1, so progress is never lost.
+            cap = max(1, self.health.policy.backpressure_limit)
         while self.idle[node] and self.ready[node]:
+            if cap is not None and (
+                    self.cluster.cores_per_node - len(self.idle[node])
+                    >= cap):
+                break
             _, _, task = heapq.heappop(self.ready[node])
             grp = self._mutex_group(task)
             if grp is not None and grp in self.mutex_held:
@@ -272,13 +333,26 @@ class _DistSim:
         return self.overhead + task[3] / (_ACCUMULATE_GBPS * 1e9)
 
     def _tid(self, task: tuple) -> int:
-        """The trace task id of one (kind, index, ...) task tuple."""
-        return {"panel": 0, "update": 1, "acc": 2}[task[0]] * 10**8 + int(
-            task[1]
-        )
+        """The trace task id of one (kind, index, ...) task tuple.
+
+        Accumulate tasks are keyed by (sender, target) — keying by
+        sender alone would alias every acc from one node to a single
+        id, and the R602 double-completion audit (rightly) rejects a
+        task id that completes twice without an interleaved fault.
+        """
+        kind = task[0]
+        if kind == "panel":
+            return int(task[1])
+        if kind == "update":
+            return 10**8 + int(task[1])
+        # ("acc", sender, target, bytes)
+        return (2 * 10**8 + int(task[2]) * self.cluster.n_nodes
+                + int(task[1]))
 
     def _start(self, node: int, core: int, task: tuple) -> None:
         dur = self._duration(task)
+        if self.health is not None:
+            self._hstart[(node, core)] = self.time
         if self.faults is not None:
             tid = self._tid(task)
             factor = self.faults.straggler(tid, self.time)
@@ -295,6 +369,8 @@ class _DistSim:
                         self.time, att,
                     )
                 dur *= factor
+            if self._limp:
+                dur *= window_factor(self._limp.get(node), self.time)
             if self.faults.task_fault(tid, -1, self.time) is not None:
                 # The attempt dies halfway through; no TraceEvent — the
                 # task will re-execute after the backoff.
@@ -310,10 +386,8 @@ class _DistSim:
         end = self.time + dur
         self.node_busy[node] += dur
         if self.trace is not None:
-            label = {"panel": 0, "update": 1, "acc": 2}[task[0]]
             self.trace.record(
-                label * 10**8 + int(task[1]), f"n{node}c{core}",
-                self.time, end,
+                self._tid(task), f"n{node}c{core}", self.time, end,
             )
         self._schedule(end, self._finish, node, core, task)
 
@@ -343,7 +417,7 @@ class _DistSim:
         grp = self._mutex_group(task)
         if grp is not None:
             self.mutex_held.discard(grp)
-        delay = self.recovery.backoff(att - 1)
+        delay = self._backoff(att - 1)
         if self.trace is not None:
             self.trace.record_recovery("requeue", tid, -1,
                                        f"n{node}c{core}", self.time, att,
@@ -357,6 +431,32 @@ class _DistSim:
 
     def _requeue(self, node: int, task: tuple) -> None:
         self._push_ready(node, self._task_prio(task), task)
+
+    def _backoff(self, attempt: int) -> float:
+        """Recovery backoff; jitter (when configured) draws from the
+        run's single fault RNG so D803 draw accounting balances."""
+        if self.recovery.jitter > 0.0 and self.faults is not None:
+            return self.recovery.backoff(attempt,
+                                         self.faults.backoff_jitter())
+        return self.recovery.backoff(attempt)
+
+    def _limp_onset(self, kind: str, resource: str, t0: float) -> None:
+        """A persistent condition (limplock / degraded-link) begins.
+
+        The slowdown itself is applied where durations are computed;
+        this event only makes the onset trace-visible as a paired
+        fault/recovery (kind ``"degrade"``: the runtime tolerates the
+        condition in place and degrades around it).
+        """
+        self.n_faults += 1
+        if self.trace is not None:
+            self.trace.record_fault(kind, -1, -1, resource, t0, t0)
+            self.trace.record_recovery("degrade", -1, -1, resource, t0)
+
+    def _record_health(self, transitions) -> None:
+        if self.trace is not None:
+            for (res, src, dst, when, ratio, reason) in transitions:
+                self.trace.record_health(res, src, dst, when, ratio, reason)
 
     def _node_loss(self, node: int) -> None:
         """Node ``node`` crashes: panel-granularity checkpointing means
@@ -424,6 +524,13 @@ class _DistSim:
             if self.trace is not None:
                 self.trace.record(self._tid(task), f"n{node}c{core}",
                                   start, self.time)
+        if self.health is not None:
+            hstart = self._hstart.pop((node, core), None)
+            if hstart is not None:
+                self._record_health(self.health.observe(
+                    f"n{node}", task[0], self.time - hstart, self.time,
+                    expected=self._duration(task),
+                ))
         self.idle[node].add(core)
         grp = self._mutex_group(task)
         if grp is not None:
@@ -480,6 +587,13 @@ class _DistSim:
     def _send(self, a: int, b: int, target: int, nbytes: float) -> None:
         start = max(self.time, self.send_free[a])
         wire = self.cluster.transfer_time(nbytes)
+        if self._linkdeg:
+            # A degraded link divides the sender NIC's bandwidth; the
+            # per-message latency is unaffected.
+            deg = window_factor(self._linkdeg.get(a), start)
+            if deg > 1.0:
+                wire = self.cluster.net_latency_s + deg * nbytes / (
+                    self.cluster.net_gbps * 1e9)
         if self.faults is not None:
             attempt = 1
             while self.faults.transfer_fails(b, target, start):
@@ -499,7 +613,7 @@ class _DistSim:
                         f"{attempt} attempt(s); retry budget "
                         f"max_retries={self.recovery.max_retries} exhausted"
                     )
-                delay = self.recovery.backoff(attempt - 1)
+                delay = self._backoff(attempt - 1)
                 if self.trace is not None:
                     self.trace.record_recovery(
                         "retry-transfer", -1, target, f"net{a}->{b}",
@@ -537,7 +651,7 @@ class _DistSim:
                     f"{att} time(s); retry budget "
                     f"max_retries={self.recovery.max_retries} exhausted"
                 )
-            retry = max(self.time + self.recovery.backoff(att - 1),
+            retry = max(self.time + self._backoff(att - 1),
                         self.node_restore_at[b])
             if self.trace is not None:
                 self.trace.record_recovery(
@@ -559,6 +673,9 @@ class _DistSim:
             )
         while self._heap:
             when, _, fn, args = heapq.heappop(self._heap)
+            if (self.panels_done == self.symbol.n_cblk
+                    and fn == self._limp_onset):
+                continue  # a limp beginning after completion is moot
             self.time = when
             fn(*args)
         if self.panels_done != self.symbol.n_cblk:
@@ -584,6 +701,9 @@ class _DistSim:
             n_faults=self.n_faults,
             n_reexecuted=self.n_reexecuted,
             bytes_retransferred=self.bytes_retransferred,
+            n_health_transitions=(
+                self.health.n_transitions if self.health is not None else 0
+            ),
         )
 
 
@@ -600,6 +720,7 @@ def simulate_distributed(
     collect_trace: bool = False,
     faults: FaultModel | None = None,
     recovery: RecoveryPolicy | None = None,
+    health: HealthPolicy | None = None,
 ) -> DistributedResult:
     """Simulate the distributed factorization of ``symbol``.
 
@@ -607,8 +728,18 @@ def simulate_distributed(
     :func:`repro.distributed.mapping.map_cblks`); ``fanin`` selects the
     accumulated-buffer communication scheme vs. per-update messages.
     ``faults`` arms the resilience layer (node failures, lost messages,
-    task faults); with ``faults=None`` the run is bit-identical to a
+    task faults, and the persistent ``limplock`` / ``degraded-link``
+    conditions); with ``faults=None`` the run is bit-identical to a
     build without it.
+
+    ``health`` arms per-node health monitoring: an EWMA detector over
+    task durations drives each node's state machine, and dispatch to a
+    degraded node is backpressured (at most
+    ``health.backpressure_limit`` concurrent tasks).  Tasks are
+    owner-bound here, so quarantine and hedging are forced off — see
+    the :class:`~repro.resilience.HealthPolicy` notes.  With
+    ``health=None`` the run is bit-identical to a build without
+    monitoring.
     """
     sim = _DistSim(
         symbol,
@@ -622,5 +753,6 @@ def simulate_distributed(
         collect_trace=collect_trace,
         faults=faults,
         recovery=recovery,
+        health=health,
     )
     return sim.run()

@@ -34,7 +34,14 @@ import numpy as np
 from repro.dag.tasks import TaskDAG, TaskKind
 from repro.machine.model import MachineSpec
 from repro.machine.perfmodel import CpuPerfModel, GpuKernelModel
-from repro.resilience import FaultModel, RecoveryPolicy, UnrecoverableError
+from repro.resilience import (
+    FaultModel,
+    HealthMonitor,
+    HealthPolicy,
+    RecoveryPolicy,
+    UnrecoverableError,
+    window_factor,
+)
 from repro.runtime.seq import monotonic_counter
 from repro.runtime.tracing import ExecutionTrace
 
@@ -62,6 +69,10 @@ class SimulationResult:
     n_reexecuted: int = 0
     #: Bytes of failed transfer attempts that had to be re-sent.
     bytes_retransferred: float = 0.0
+    #: Health-state transitions taken (0 when monitoring is off).
+    n_health_transitions: int = 0
+    #: Speculative duplicates launched (0 when hedging is off).
+    n_hedges: int = 0
 
     @property
     def gflops(self) -> float:
@@ -138,6 +149,7 @@ class _Simulator:
         collect_trace: bool = True,
         faults: FaultModel | None = None,
         recovery: RecoveryPolicy | None = None,
+        health: HealthPolicy | None = None,
     ) -> None:
         self.dag = dag
         self.machine = machine
@@ -199,6 +211,33 @@ class _Simulator:
         self.bytes_h2d = 0.0
         self.bytes_d2h = 0.0
 
+        # Health monitoring / graceful degradation.  Like the fault
+        # hooks, everything below is gated on ``self.health is not None``
+        # so a monitoring-off run keeps byte-identical code paths and
+        # trace fingerprints (the R705/D8xx identity).
+        self.health: HealthMonitor | None = None
+        if health is not None:
+            self.health = HealthMonitor(
+                (f"cpu{w}" for w in range(self.n_cpu_workers)),
+                policy=health,
+            )
+            #: Live CPU attempts: ``(task, worker) -> start time``.  With
+            #: hedging a task may have two; the first to finish commits.
+            self._live_attempt: dict[tuple[int, int], float] = {}
+            #: Hedged tasks: ``task -> primary resource`` (one hedge max).
+            self._hedged: dict[int, str] = {}
+            #: Overstayed tasks waiting for a healthy worker to duplicate
+            #: them (served ahead of fresh policy work).
+            self._hedge_wanted: list[int] = []
+            if self.trace is not None:
+                self.trace.meta["health"] = {"hedge": health.hedge}
+        self.n_hedges = 0
+
+        # Persistent slowdown windows (consumed whole at init; they are
+        # declarative state, not per-attempt draws).
+        self._limp: dict[int, list] = {}
+        self._linkdeg: dict[int, list] = {}
+
         self._precompute()
         policy.bind(self)
 
@@ -208,6 +247,19 @@ class _Simulator:
                 gidx = spec.resource if spec.resource >= 0 else 0
                 if gidx < len(self.gpus):
                     self._schedule(spec.time, self._device_loss, gidx)
+            # Persistent conditions: pre-schedule the onset events so
+            # the limp/degradation is trace-visible as a fault the R6xx
+            # auditor can pair.
+            self._limp = faults.pop_windows("limplock")
+            self._linkdeg = faults.pop_windows("degraded-link")
+            for w, spans in sorted(self._limp.items()):
+                for (t0, _t1, _f) in spans:
+                    self._schedule(t0, self._limp_onset, "limplock",
+                                   f"cpu{w}", t0)
+            for l, spans in sorted(self._linkdeg.items()):
+                for (t0, _t1, _f) in spans:
+                    self._schedule(t0, self._limp_onset, "degraded-link",
+                                   f"link{l}", t0)
 
     # ------------------------------------------------------------------
     # static models
@@ -345,10 +397,17 @@ class _Simulator:
             if (
                 self.faults is not None
                 and self.n_done == n_total
-                and fn == self._device_loss
+                and fn in (self._device_loss, self._limp_onset)
             ):
-                # A device loss scheduled past the end of the run must
-                # not drag the makespan out to its (now moot) time.
+                # A device loss (or limp onset) scheduled past the end
+                # of the run must not drag the makespan out to its (now
+                # moot) time.
+                continue
+            if (
+                self.health is not None
+                and self.n_done == n_total
+                and fn == self._hedge_check
+            ):
                 continue
             self.time = when
             fn(*args)
@@ -388,6 +447,10 @@ class _Simulator:
             n_faults=self.n_faults,
             n_reexecuted=self.n_reexecuted,
             bytes_retransferred=self.bytes_retransferred,
+            n_health_transitions=(
+                self.health.n_transitions if self.health is not None else 0
+            ),
+            n_hedges=self.n_hedges,
         )
 
     def _stall_message(self) -> str:
@@ -433,11 +496,27 @@ class _Simulator:
         self._kick_cpus()
         self._kick_gpus()
 
+    def _cpu_poll_order(self) -> list[int]:
+        """Idle workers in dispatch order.  With monitoring on, degraded
+        workers are polled last (healthy ones drain the queue first) and
+        quarantined workers are not polled at all (the R703 contract)."""
+        if self.health is None:
+            return sorted(self.idle_workers)
+        self._record_health(self.health.tick(self.time))
+        ranked = sorted(
+            self.idle_workers,
+            key=lambda w: (self.health.rank(f"cpu{w}"), w),
+        )
+        return [w for w in ranked if self.health.rank(f"cpu{w}") < 2]
+
     def _kick_cpus(self) -> None:
         progressed = True
         while progressed and self.idle_workers:
             progressed = False
-            for w in sorted(self.idle_workers):
+            for w in self._cpu_poll_order():
+                if self.health is not None and self._launch_hedge_for(w):
+                    progressed = True
+                    continue
                 t = self.policy.next_cpu_task(w)
                 while t is not None and not self._try_lock(t):
                     t = self.policy.next_cpu_task(w)
@@ -496,24 +575,75 @@ class _Simulator:
         # The failed attempt still holds its mutex (locked at dispatch):
         # release it before requeueing or the retry deadlocks on itself.
         self._unlock(t)
-        delay = self.recovery.backoff(attempt - 1)
+        delay = self._backoff(attempt - 1)
         if self.trace is not None:
             self.trace.record_recovery(recovery, t, cblk, resource, end,
                                        attempt, delay)
         self.n_reexecuted += 1
         self._schedule(end + delay, self._requeue_task, t)
 
+    def _backoff(self, attempt: int) -> float:
+        """Recovery backoff; jitter (when configured) draws from the
+        run's single fault RNG so D803 draw accounting balances."""
+        if self.recovery.jitter > 0.0 and self.faults is not None:
+            return self.recovery.backoff(attempt,
+                                         self.faults.backoff_jitter())
+        return self.recovery.backoff(attempt)
+
     def _requeue_task(self, t: int) -> None:
         self.policy.on_ready(t)
         self._kick()
 
+    def _limp_onset(self, kind: str, resource: str, t0: float) -> None:
+        """A persistent condition (limplock / degraded-link) begins.
+
+        The slowdown itself is applied where durations are computed;
+        this event only makes the onset trace-visible as a paired
+        fault/recovery (kind ``"degrade"``: the runtime tolerates the
+        condition in place and degrades around it).
+        """
+        self.n_faults += 1
+        if self.trace is not None:
+            self.trace.record_fault(kind, -1, -1, resource, t0, t0)
+            self.trace.record_recovery("degrade", -1, -1, resource, t0)
+
+    def _record_health(self, transitions) -> None:
+        if self.trace is not None:
+            for (res, src, dst, when, ratio, reason) in transitions:
+                self.trace.record_health(res, src, dst, when, ratio, reason)
+
     def _cpu_fault(self, t: int, w: int, kind: str, start: float) -> None:
         """A CPU task attempt dies mid-execution (scheduled by
         :meth:`_start_cpu` when the fault model says the attempt fails)."""
+        if self.health is not None:
+            if self._live_attempt.pop((t, w), None) is None:
+                return  # attempt already cancelled at a hedge commit
         if kind == "worker-crash":
             self.dead_workers.add(w)  # the worker never rejoins the pool
         else:
             self.idle_workers.add(w)
+        if self.health is not None:
+            others = [ww for (tt, ww) in self._live_attempt if tt == t]
+            if t in self._hedged and self.trace is not None:
+                # A hedged attempt died without committing: that *is*
+                # the cancelled loser (R704 accounting).
+                self.trace.record_hedge("cancel", t, f"cpu{w}", self.time,
+                                        self._hedged[t])
+            if others:
+                # A duplicate is still running: absorb the fault in
+                # place instead of re-queueing (the survivor commits;
+                # a requeue would race it for the task's mutex).
+                self.n_faults += 1
+                cblk = int(self.dag.cblk[t])
+                att = self.attempts.get(t, 0) + 1
+                self.attempts[t] = att
+                if self.trace is not None:
+                    self.trace.record_fault(kind, t, cblk, f"cpu{w}",
+                                            start, self.time, att)
+                    self.trace.record_recovery("absorb", t, cblk, f"cpu{w}",
+                                               self.time, att)
+                self._kick()
+                return
         self._fail_task(t, kind, f"cpu{w}", start, self.time)
         self._kick()
 
@@ -674,6 +804,13 @@ class _Simulator:
         start = max(self.time, g.link_free)
         dur = spec.transfer_latency_s + nbytes / (spec.h2d_gbps * 1e9)
         if self.faults is not None:
+            # Degraded link: bandwidth divides by the window's factor.
+            deg = window_factor(self._linkdeg.get(g.index), start)
+            if deg > 1.0:
+                dur = spec.transfer_latency_s + deg * nbytes / (
+                    spec.h2d_gbps * 1e9
+                )
+        if self.faults is not None:
             attempt = 1
             while self.faults.transfer_fails(g.index, cblk, start):
                 # Each failed attempt occupies the link for at most the
@@ -694,7 +831,7 @@ class _Simulator:
                         f"{attempt} attempt(s); retry budget "
                         f"max_retries={self.recovery.max_retries} exhausted"
                     )
-                delay = self.recovery.backoff(attempt - 1)
+                delay = self._backoff(attempt - 1)
                 if self.trace is not None:
                     self.trace.record_recovery(
                         "retry-transfer", -1, cblk, f"link{g.index}",
@@ -839,6 +976,10 @@ class _Simulator:
                         "absorb", t, cblk, f"cpu{w}", start, att,
                     )
                 dur *= factor
+            # Persistent limplock: every attempt inside the window slows.
+            dur *= window_factor(self._limp.get(w), start)
+            if self.health is not None:
+                self._live_attempt[(t, w)] = start
             kind = self.faults.task_fault(t, w, start)
             if kind is not None:
                 # The attempt dies halfway through: the wasted time is
@@ -848,11 +989,119 @@ class _Simulator:
                                t, w, kind, start)
                 return
         end = start + dur
-        if self.trace is not None:
-            self.trace.record(t, f"cpu{w}", start, end)
+        if self.health is None:
+            if self.trace is not None:
+                self.trace.record(t, f"cpu{w}", start, end)
+            self._schedule(end, self._finish_cpu, t, w)
+            return
+        # Monitoring on: the TraceEvent is recorded at *commit* (a hedge
+        # duplicate may beat this attempt to it), and an overstay check
+        # is armed so a suspect worker's in-flight task can be hedged.
+        self._live_attempt.setdefault((t, w), start)
+        p = self.health.policy
+        if p.hedge:
+            expected = (self.cpu_duration[t]
+                        + self.policy.traits.task_overhead_s)
+            after = max(p.hedge_ratio * expected, p.hedge_min_s)
+            self._schedule(start + after, self._hedge_check, t)
         self._schedule(end, self._finish_cpu, t, w)
 
+    def _hedge_check(self, t: int) -> None:
+        """The in-flight attempt of ``t`` overstayed its hedge threshold:
+        launch a duplicate on an idle healthy worker if the primary sits
+        on a suspect-or-worse one (first commit wins, loser cancelled).
+        While the attempt is still live but its worker has not been
+        flagged yet, the check re-arms itself (it dies with the commit);
+        when no healthy worker is idle, the task parks on the
+        hedge-wanted queue, which idle healthy workers serve ahead of
+        fresh policy work."""
+        live = sorted(ww for (tt, ww) in self._live_attempt if tt == t)
+        if not live or t in self._hedged or self.done[t]:
+            return
+        w = live[0]
+        if self.health.rank(f"cpu{w}") == 0 and \
+                self.health.state(f"cpu{w}") != "suspect":
+            # The primary's worker looks fine (so far): check back later.
+            p = self.health.policy
+            expected = (self.cpu_duration[t]
+                        + self.policy.traits.task_overhead_s)
+            retry = max(p.hedge_ratio * expected, p.hedge_min_s)
+            self._schedule(self.time + retry, self._hedge_check, t)
+            return
+        spare = [h for h in sorted(self.idle_workers)
+                 if self.health.rank(f"cpu{h}") == 0]
+        if spare:
+            self.idle_workers.discard(spare[0])
+            self._launch_duplicate(t, spare[0], w)
+        elif t not in self._hedge_wanted:
+            self._hedge_wanted.append(t)
+            self._kick_cpus()
+
+    def _launch_hedge_for(self, w: int) -> bool:
+        """Idle healthy worker ``w`` serves the hedge-wanted queue;
+        returns True when it picked up a duplicate."""
+        if not self._hedge_wanted or self.health.rank(f"cpu{w}") != 0:
+            return False
+        while self._hedge_wanted:
+            t = self._hedge_wanted.pop(0)
+            live = sorted(ww for (tt, ww) in self._live_attempt if tt == t)
+            if not live or t in self._hedged or self.done[t]:
+                continue
+            self.idle_workers.discard(w)
+            self._launch_duplicate(t, w, live[0])
+            return True
+        return False
+
+    def _launch_duplicate(self, t: int, h: int, primary: int) -> None:
+        """Start the speculative duplicate of ``t`` on worker ``h``."""
+        self._hedged[t] = f"cpu{primary}"
+        self.n_hedges += 1
+        if self.trace is not None:
+            self.trace.record_hedge("launch", t, f"cpu{h}", self.time,
+                                    f"cpu{primary}")
+        dur = self.cpu_duration[t] + self.policy.traits.task_overhead_s
+        if self.faults is not None:
+            dur *= window_factor(self._limp.get(h), self.time)
+        self._live_attempt[(t, h)] = self.time
+        self._schedule(self.time + dur, self._finish_cpu, t, h)
+
     def _finish_cpu(self, t: int, w: int) -> None:
+        if self.health is not None:
+            start = self._live_attempt.pop((t, w), None)
+            if start is None:
+                return  # this attempt was cancelled at the winner's commit
+            hedged = t in self._hedged
+            if hedged and self.trace is not None:
+                self.trace.record_hedge("win", t, f"cpu{w}", self.time,
+                                        self._hedged[t])
+            # Idempotent commit gate: cancel every other live attempt of
+            # this task *now* — its worker frees immediately and its side
+            # effects are never applied (no TraceEvent, no completion).
+            expected = (self.cpu_duration[t]
+                        + self.policy.traits.task_overhead_s)
+            losers = sorted(ww for (tt, ww) in self._live_attempt if tt == t)
+            for ww in losers:
+                lstart = self._live_attempt.pop((t, ww))
+                if self.trace is not None:
+                    self.trace.record_hedge("cancel", t, f"cpu{ww}",
+                                            self.time, self._hedged.get(t, ""))
+                if ww not in self.dead_workers:
+                    self.idle_workers.add(ww)
+                # Censored observation: the loser ran this long without
+                # finishing, so its true duration is at least that.
+                # Without it a worker that always loses its hedges never
+                # completes anything, its EWMA freezes, and it keeps
+                # black-holing fresh dispatches as "suspect" forever.
+                self._record_health(self.health.observe(
+                    f"cpu{ww}", self._health_key(t), self.time - lstart,
+                    self.time, expected=expected,
+                ))
+            if self.trace is not None:
+                self.trace.record(t, f"cpu{w}", start, self.time)
+            self._record_health(self.health.observe(
+                f"cpu{w}", self._health_key(t), self.time - start,
+                self.time, expected=expected,
+            ))
         tgt = int(self.dag.target[t])
         self.worker_last_target[w] = tgt
         self._last_writer_core[tgt] = w
@@ -861,6 +1110,12 @@ class _Simulator:
             self._mark_write(int(self.dag.cblk[t]), self.HOST)
         self.idle_workers.add(w)
         self._complete(t, f"cpu{w}")
+
+    def _health_key(self, t: int) -> str:
+        """(kernel, size-bucket) expectation key for task ``t``."""
+        kind = int(self.dag.kind[t])
+        flops = max(float(self.dag.flops[t]), 1.0)
+        return f"{kind}:{int(np.log2(flops))}"
 
     # ------------------------------------------------------------------
     # GPU execution
@@ -1001,6 +1256,7 @@ def simulate(
     collect_trace: bool = True,
     faults: FaultModel | None = None,
     recovery: RecoveryPolicy | None = None,
+    health: HealthPolicy | None = None,
 ) -> SimulationResult:
     """Simulate the execution of ``dag`` on ``machine`` under ``policy``.
 
@@ -1011,6 +1267,15 @@ def simulate(
     every execution hook and recoveries follow ``recovery`` (defaults to
     :class:`repro.resilience.RecoveryPolicy`).  With ``faults=None`` the
     run is bit-identical to a build without the resilience layer.
+
+    ``health`` arms worker health monitoring and graceful degradation
+    (see :class:`repro.resilience.HealthPolicy`): an EWMA detector over
+    CPU task durations drives a per-worker state machine, degraded
+    workers are polled last and quarantined ones not at all, and — with
+    ``health.hedge`` — in-flight tasks stuck on suspect workers are
+    speculatively re-executed on a healthy one (first commit wins).
+    With ``health=None`` the run is bit-identical to pre-monitoring
+    builds (the R705 identity).
     """
     sim = _Simulator(
         dag,
@@ -1022,5 +1287,6 @@ def simulate(
         collect_trace=collect_trace,
         faults=faults,
         recovery=recovery,
+        health=health,
     )
     return sim.run()

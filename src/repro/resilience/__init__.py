@@ -9,13 +9,33 @@ events, which the R6xx auditor (:mod:`repro.verify.resilience`) checks
 for pairing, double completion, and makespan accounting.
 """
 
-from repro.resilience.faults import FAULT_KINDS, FaultModel, FaultSpec
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    PERSISTENT_KINDS,
+    FaultModel,
+    FaultSpec,
+    window_factor,
+)
+from repro.resilience.health import (
+    HEALTH_RANK,
+    HEALTH_STATES,
+    LEGAL_TRANSITIONS,
+    HealthMonitor,
+    HealthPolicy,
+)
 from repro.resilience.recovery import RecoveryPolicy, UnrecoverableError
 
 __all__ = [
     "FAULT_KINDS",
+    "PERSISTENT_KINDS",
     "FaultModel",
     "FaultSpec",
+    "window_factor",
+    "HEALTH_STATES",
+    "HEALTH_RANK",
+    "LEGAL_TRANSITIONS",
+    "HealthMonitor",
+    "HealthPolicy",
     "RecoveryPolicy",
     "UnrecoverableError",
 ]

@@ -32,7 +32,31 @@ from typing import Iterable
 
 import numpy as np
 
-__all__ = ["FaultSpec", "FaultModel", "FAULT_KINDS"]
+__all__ = [
+    "FaultSpec",
+    "FaultModel",
+    "FAULT_KINDS",
+    "PERSISTENT_KINDS",
+    "window_factor",
+]
+
+
+def window_factor(
+    spans: list[tuple[float, float, float]] | None, now: float
+) -> float:
+    """Slowdown factor in effect at ``now`` for one resource's
+    persistent-condition windows (``1.0`` when none applies).
+
+    ``spans`` is one value of :meth:`FaultModel.pop_windows`; overlapping
+    windows compound multiplicatively (two 2x limps = 4x).
+    """
+    if not spans:
+        return 1.0
+    factor = 1.0
+    for t0, t1, f in spans:
+        if t0 <= now < t1:
+            factor *= f
+    return factor
 
 #: Fault kinds a spec may declare.
 FAULT_KINDS = (
@@ -42,7 +66,15 @@ FAULT_KINDS = (
     "transfer-fail",  # one PCIe/NIC transfer attempt fails
     "straggler",      # a task runs `factor` times slower than modelled
     "node-fail",      # a distributed node dies and restarts
+    "limplock",       # a worker/node runs `factor`x slow from `time` on
+    "degraded-link",  # a link's bandwidth divides by `factor` from `time`
 )
+
+#: Kinds that describe a *persistent* condition over ``[time, until)``
+#: rather than a one-shot event.  They are extracted whole with
+#: :meth:`FaultModel.pop_timed` and managed by the engine, never matched
+#: per-attempt.
+PERSISTENT_KINDS = ("limplock", "degraded-link")
 
 
 @dataclass(frozen=True)
@@ -53,8 +85,12 @@ class FaultSpec:
     exactly then; task/transfer faults hit the first matching attempt at
     or after it).  ``task`` restricts task-level kinds to one DAG task
     (``-1`` = any); ``resource`` names the worker / GPU / node / link
-    index the fault targets (``-1`` = any).  ``factor`` is the straggler
-    slowdown multiplier.
+    index the fault targets (``-1`` = any).  ``factor`` is the
+    slowdown multiplier (straggler and limplock) or the bandwidth
+    divisor (degraded-link).  ``until`` bounds the persistent kinds
+    (:data:`PERSISTENT_KINDS`): the condition holds over
+    ``[time, until)`` and clears afterwards — the default ``inf`` means
+    the resource limps for the rest of the run.
     """
 
     kind: str
@@ -62,12 +98,23 @@ class FaultSpec:
     task: int = -1
     resource: int = -1
     factor: float = 4.0
+    until: float = float("inf")
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
             raise ValueError(
                 f"unknown fault kind {self.kind!r}; one of {FAULT_KINDS}"
             )
+        if self.kind in PERSISTENT_KINDS:
+            if self.resource < 0:
+                raise ValueError(
+                    f"{self.kind} spec must pin a resource index"
+                )
+            if not self.until > self.time:
+                raise ValueError(
+                    f"{self.kind} spec needs until > time "
+                    f"(got [{self.time}, {self.until}])"
+                )
 
 
 class FaultModel:
@@ -110,6 +157,16 @@ class FaultModel:
         self.n_draws += 1
         return float(self._rng.random())
 
+    def backoff_jitter(self) -> float:
+        """Uniform ``[0, 1)`` variate for jittered recovery backoff.
+
+        Comes from the same seeded stream as the fault draws (and counts
+        toward ``n_draws``), so a replay that pays the same backoffs
+        consumes the RNG identically — the D803 provenance audit holds
+        with jitter on.
+        """
+        return self._draw()
+
     def fresh(self) -> "FaultModel":
         """A new model with the same configuration and no consumed state."""
         specs, seed, tf, xf, sr, sf = self._config
@@ -143,11 +200,30 @@ class FaultModel:
 
     def pop_timed(self, kind: str) -> list[FaultSpec]:
         """Remove and return every spec of a purely time-driven kind
-        (``gpu-loss`` / ``node-fail``) so the caller can pre-schedule
-        the loss events."""
+        (``gpu-loss`` / ``node-fail`` / the persistent kinds) so the
+        caller can pre-schedule the onset events."""
         taken = [s for s in self.specs if s.kind == kind]
         self.specs = [s for s in self.specs if s.kind != kind]
         return taken
+
+    def pop_windows(self, kind: str) -> dict[int, list[tuple[float, float, float]]]:
+        """Consume every persistent spec of ``kind`` and return its
+        condition windows keyed by resource index: each entry is a
+        time-sorted list of ``(time, until, factor)`` triples.  Engines
+        call this once at init and then evaluate
+        :func:`window_factor` locally — persistent conditions never
+        advance the RNG, so D803 draw accounting is unaffected.
+        """
+        if kind not in PERSISTENT_KINDS:
+            raise ValueError(f"{kind!r} is not a persistent fault kind")
+        windows: dict[int, list[tuple[float, float, float]]] = {}
+        for s in self.pop_timed(kind):
+            windows.setdefault(s.resource, []).append(
+                (s.time, s.until, max(s.factor, 1.0))
+            )
+        for spans in windows.values():
+            spans.sort()
+        return windows
 
     # ------------------------------------------------------------------
     # simulator-facing queries

@@ -41,6 +41,15 @@ class RecoveryPolicy:
     #: First backoff delay; attempt ``k`` waits ``backoff_s * factor**k``.
     backoff_s: float = 1e-4
     backoff_factor: float = 2.0
+    #: Jitter fraction in ``[0, 1]``: the computed delay is interpolated
+    #: between its deterministic value (``0.0``, the default) and an
+    #: AWS-style *full jitter* draw ``uniform(0, delay)`` (``1.0``).
+    #: Jitter de-synchronizes retry storms when several workers fail in
+    #: one window; the uniform variate comes from the run's single
+    #: seeded :class:`~repro.resilience.faults.FaultModel` RNG
+    #: (:meth:`~repro.resilience.faults.FaultModel.backoff_jitter`), so
+    #: the D803 draw-count audit still balances.
+    jitter: float = 0.0
     #: Link-occupancy cap per failed transfer attempt.
     transfer_timeout_s: float = 5e-3
     #: Blacklist a lost GPU and re-route its work (vs. fail the run).
@@ -51,6 +60,17 @@ class RecoveryPolicy:
     #: Reboot-and-restore delay after a distributed node failure.
     node_restart_s: float = 5e-3
 
-    def backoff(self, attempt: int) -> float:
-        """Backoff delay before retry ``attempt`` (0-based)."""
-        return self.backoff_s * self.backoff_factor ** attempt
+    def backoff(self, attempt: int, u: float | None = None) -> float:
+        """Backoff delay before retry ``attempt`` (0-based).
+
+        ``u`` is a uniform ``[0, 1)`` variate from the fault model's
+        seeded RNG; it is required exactly when ``jitter > 0`` (the
+        deterministic schedule never consumes a draw, so zero-jitter
+        runs replay bit-identically to pre-jitter traces).
+        """
+        base = self.backoff_s * self.backoff_factor ** attempt
+        if self.jitter <= 0.0:
+            return base
+        if u is None:
+            raise ValueError("jittered backoff needs a uniform draw u")
+        return base * (1.0 - self.jitter) + base * self.jitter * u

@@ -75,6 +75,16 @@ class ThreadScheduler:
     #: read on the steal path and nothing on the local path.
     observer: Optional[Callable[[str, int, int, int], None]] = None
 
+    #: Optional health oracle installed by the runtime when worker
+    #: health monitoring is armed: ``health_rank(worker) -> 0|1|2``
+    #: (see :data:`repro.resilience.HEALTH_RANK`).  Policies use it to
+    #: degrade gracefully — a rank>=1 (degraded) worker receives no
+    #: routed work and steals nothing, so a limping core drains its own
+    #: queue without accreting more.  ``None`` (the default) costs one
+    #: attribute read; scheduling is then byte-identical to a build
+    #: without health monitoring.
+    health_rank: Optional[Callable[[int], int]] = None
+
     dag: TaskDAG
     n_workers: int
 
@@ -186,11 +196,19 @@ class WorkStealingScheduler(ThreadScheduler):
 
     def _route(self, task: int, worker: int) -> int:
         """Which deque should ``task`` land on?"""
+        hr = self.health_rank
         if 0 <= worker < self.n_workers:
-            return worker
-        with self._seed_lock:
-            w = self._seed_next
-            self._seed_next = (w + 1) % self.n_workers
+            if hr is None or hr(worker) == 0:
+                return worker
+        for _ in range(self.n_workers):
+            with self._seed_lock:
+                w = self._seed_next
+                self._seed_next = (w + 1) % self.n_workers
+            if hr is None or hr(w) == 0:
+                return w
+        # Every worker is degraded or worse: fall back to anyone rather
+        # than strand the task (the monitor never quarantines the last
+        # dispatchable worker, so w is at worst degraded).
         return w
 
     def push(self, task: int, worker: int) -> int:
@@ -204,6 +222,13 @@ class WorkStealingScheduler(ThreadScheduler):
             if self._local[worker]:
                 self._n_local[worker] += 1
                 return self._local[worker].pop()      # LIFO: own end
+        hr = self.health_rank
+        if hr is not None and hr(worker) >= 1:
+            # A degraded worker drains its own deque but never steals:
+            # pulling work onto a limping core only makes it slower for
+            # everyone.  (Stealing *from* it stays allowed — that is
+            # how its queue drains when the runtime parks it.)
+            return None
         order = self._victims[worker]
         if order:
             self._rngs[worker].shuffle(order)
@@ -272,6 +297,9 @@ class WorkStealingScheduler(ThreadScheduler):
         t = self._pop_matching(worker, worker, target, from_lifo=True)
         if t is not None:
             return t
+        hr = self.health_rank
+        if hr is not None and hr(worker) >= 1:
+            return None  # degraded workers batch locally, never steal
         for v in self._victims[worker]:
             t = self._pop_matching(v, worker, target, from_lifo=False)
             if t is not None:
@@ -329,6 +357,11 @@ class LastPanelAffinityScheduler(WorkStealingScheduler):
         if int(self.dag.kind[task]) == int(TaskKind.UPDATE):
             owner = self._owner[int(self.dag.target[task])]
             if 0 <= owner < self.n_workers:
+                hr = self.health_rank
+                if hr is not None and hr(owner) >= 1:
+                    # Cache affinity loses to health: a warm cache on a
+                    # limping core is still a limping core.
+                    return super()._route(task, worker)
                 if 0 <= worker < self.n_workers:
                     # Best-effort counter: a lost increment only skews a
                     # benchmark stat, never routing.

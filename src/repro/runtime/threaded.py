@@ -45,6 +45,12 @@ from repro.kernels.panel import (
     panel_update_compute,
     panel_update_scatter,
 )
+from repro.resilience import (
+    FaultModel,
+    HealthMonitor,
+    HealthPolicy,
+    window_factor,
+)
 from repro.runtime.scheduling import ThreadScheduler, get_thread_scheduler
 from repro.runtime.tracing import ExecutionTrace
 from repro.sparse.csc import SparseMatrixCSC
@@ -92,7 +98,9 @@ class _PoolRun:
                  scheduler: ThreadScheduler | str,
                  max_retries: int = 0,
                  watchdog_s: float | None = None,
-                 record_sync: bool = False) -> None:
+                 record_sync: bool = False,
+                 faults: Optional[FaultModel] = None,
+                 health: Optional[HealthPolicy] = None) -> None:
         self.dag = dag
         self.n_workers = max(1, int(n_workers))
         self.trace = trace
@@ -124,6 +132,73 @@ class _PoolRun:
         self.abandoned: set[int] = set()
         self.aborted = False
         self.t0 = time.perf_counter()
+
+        # Fault injection (wall-clock engine).  Only *declarative*
+        # fault state is consumed — spec-pinned stragglers and the
+        # persistent limplock windows; rate-based kinds draw from a
+        # shared RNG whose consumption order is thread-racy here, so
+        # the simulators own those.  Slowdowns are injected as sleeps
+        # proportional to measured kernel time, which perturbs timing
+        # only: the numerics stay bitwise identical to a fault-free
+        # run.
+        self.faults = faults
+        self._limp: dict[int, list] = {}
+        self._straggle: dict[int, float] = {}
+        if faults is not None:
+            self._limp = faults.pop_windows("limplock")
+            # Only task-pinned stragglers: which attempt a floating or
+            # rate-drawn spec matches depends on thread interleaving.
+            for s in list(faults.specs):
+                if s.kind == "straggler" and s.task >= 0:
+                    self._straggle[s.task] = max(s.factor, 1.0)
+                    faults.specs.remove(s)
+            if trace is not None:
+                trace.meta["faults"] = {"seed": faults.seed}
+                for w, spans in sorted(self._limp.items()):
+                    for (w0, _until, _f) in spans:
+                        trace.record_fault("limplock", -1, -1,
+                                           f"cpu{w}", w0, w0)
+                        trace.record_recovery("degrade", -1, -1,
+                                              f"cpu{w}", w0)
+
+        # Worker health monitoring + hedged re-execution.  Every hook
+        # below is gated on ``self.health is not None`` so a run
+        # without monitoring goes through byte-identical code paths.
+        self.health: Optional[HealthMonitor] = None
+        self.n_hedges = 0
+        if health is not None:
+            self.health = HealthMonitor(
+                (f"cpu{w}" for w in range(self.n_workers)), policy=health)
+            #: task -> (worker, start) for attempts begun through the
+            #: plain execute path (the hedging candidate pool).
+            self._inflight: dict[int, tuple[int, float]] = {}
+            #: Tasks whose side effects have been committed (the
+            #: exactly-once gate both attempts of a hedged task race).
+            self._committed: set[int] = set()
+            #: Hedged tasks: ``task -> primary worker``.
+            self._hedged: dict[int, int] = {}
+            # Per-worker event buffers, merged at run() exit like the
+            # task rows (recording never takes a shared lock).
+            self._health_rows: list[list[tuple]] = [
+                [] for _ in range(self.n_workers)
+            ]
+            self._hedge_rows: list[list[tuple]] = [
+                [] for _ in range(self.n_workers)
+            ]
+            #: Wall time of each worker's last completed task (watchdog
+            #: diagnostics; single-writer per slot, lock-free).
+            self._last_done = [0.0] * self.n_workers
+            #: Kernel seconds of the attempt just run, stamped by the
+            #: task body (single-writer per slot).  The monitor must
+            #: see the worker's own execution speed — wall elapsed
+            #: includes mutex wait, which is queueing, not health: a
+            #: worker stuck behind a limping peer's lock hold would
+            #: otherwise get flagged for the peer's slowness.
+            self._kern = [0.0] * self.n_workers
+            self.scheduler.health_rank = (
+                lambda w: self.health.rank(f"cpu{w}"))
+            if trace is not None:
+                trace.meta["health"] = {"hedge": bool(health.hedge)}
         if trace is not None:
             trace.meta["producer"] = "runtime.threaded"
             # Wall clock: timings and thread placement vary run to run,
@@ -159,6 +234,67 @@ class _PoolRun:
             now = self._now()
             self._sync(kind, worker, f"worker{victim}", task, now, now)
 
+    # -- fault injection and health monitoring --------------------------
+    def _health_key(self, t: int) -> str:
+        """(kernel, size-bucket) expectation key for task ``t``."""
+        kind = int(self.dag.kind[t])
+        flops = getattr(self.dag, "flops", None)
+        if flops is None:
+            return f"{kind}:0"
+        return f"{kind}:{int(np.log2(max(float(flops[t]), 1.0)))}"
+
+    def _record_health(self, worker: int, transitions) -> None:
+        """Buffer monitor transitions (caller is worker ``worker``)."""
+        if transitions and self.trace is not None:
+            self._health_rows[worker].extend(transitions)
+
+    def _record_hedge(self, worker: int, kind: str, t: int,
+                      resource: str, when: float, primary: str) -> None:
+        if self.trace is not None:
+            self._hedge_rows[worker].append(
+                (kind, t, resource, when, primary))
+
+    def _inject(self, t: int, worker: int, kern_s: float) -> None:
+        """Sleep out the injected slowdown of task ``t`` on ``worker``.
+
+        The sleep is proportional to the just-measured kernel time
+        (``factor``x slowdown = ``(factor-1) * kern_s`` extra), so the
+        perturbation is purely temporal: numerics stay bitwise
+        identical to a fault-free run.  Callers place this *between*
+        a task's lock-free compute and its locked commit, which is
+        exactly where a limping core loses the race to a healthy
+        hedge duplicate.
+        """
+        if self.faults is None:
+            return
+        now = self._now()
+        factor = window_factor(self._limp[worker], now) \
+            if worker in self._limp else 1.0
+        sf = self._straggle.pop(t, None)
+        if sf is not None:
+            factor *= sf
+        if factor <= 1.0:
+            return
+        extra = kern_s * (factor - 1.0)
+        if sf is not None and self.trace is not None:
+            cblk = int(self.dag.cblk[t])
+            # One-shot straggler: trace-visible as a fault absorbed in
+            # place (the R601 pairing for stragglers).  Persistent
+            # limplock was already recorded once at its onset.
+            with self.state:
+                self.trace.record_fault(
+                    "straggler", t, cblk, f"cpu{worker}", now, now + extra)
+                self.trace.record_recovery(
+                    "absorb", t, cblk, f"cpu{worker}", now + extra)
+        # The nap IS the fault being modeled (a limping core burning
+        # wall time), not a synchronization shortcut.
+        time.sleep(extra)  # noqa: RV404
+
+    def _hedgeable(self, t: int) -> bool:
+        """May ``t`` be speculatively duplicated?  Only task bodies with
+        an idempotent-commit step (subclasses opt in)."""
+        return False
+
     # -- task body (subclass surface) ----------------------------------
     def _run_task(self, t: int, worker: int) -> None:
         raise NotImplementedError
@@ -169,14 +305,45 @@ class _PoolRun:
         enqueue (the fan-in batching guard)."""
         return self.scheduler.push(t, worker)
 
-    def _execute(self, t: int, worker: int) -> None:
+    def _execute(self, t: int, worker: int) -> Optional[bool]:
         start = time.perf_counter() - self.t0
-        self._run_task(t, worker)
+        if self.health is None:
+            self._run_task(t, worker)
+            if self.trace is not None:
+                end = time.perf_counter() - self.t0
+                # Buffered: merged into the trace at run() exit so a
+                # traced completion never takes a shared lock.
+                self._trace_rows[worker].append((t, start, end))
+            return None
+        # Monitored: register the in-flight attempt (the hedging
+        # candidate pool and the watchdog's in-flight ages), time the
+        # body, and feed the duration to the health monitor.  A body
+        # that returns False lost the idempotent-commit race to a hedge
+        # duplicate: its side effects were discarded at the gate, so it
+        # gets no trace row and no completion — but its elapsed time is
+        # still observed (a worker that always loses its hedges would
+        # otherwise never complete anything and its EWMA would freeze).
+        self._inflight[t] = (worker, start)
+        self._kern[worker] = 0.0
+        try:
+            committed = self._run_task(t, worker)
+        finally:
+            self._inflight.pop(t, None)
+        end = time.perf_counter() - self.t0
+        dur = self._kern[worker] or (end - start)
+        self._record_health(worker, self.health.observe(
+            f"cpu{worker}", self._health_key(t), dur, end))
+        if committed is False:
+            self._record_hedge(worker, "cancel", t, f"cpu{worker}", end,
+                               self._hedged.get(t, ""))
+            return False
+        self._last_done[worker] = end
         if self.trace is not None:
-            end = time.perf_counter() - self.t0
-            # Buffered: merged into the trace at run() exit so a traced
-            # completion never takes a shared lock.
             self._trace_rows[worker].append((t, start, end))
+        if t in self._hedged:
+            self._record_hedge(worker, "win", t, f"cpu{worker}", end,
+                               self._hedged[t])
+        return True
 
     # -- bookkeeping ---------------------------------------------------
     def _settled(self) -> int:
@@ -307,10 +474,16 @@ class _PoolRun:
         updates here (fan-in accumulation) before completing them.
         """
         try:
-            self._execute(t, worker)
+            committed = self._execute(t, worker)
         except BaseException as exc:
+            if self.health is not None and t in self._committed:
+                # A hedge duplicate already committed and completed this
+                # task; the primary's late failure is absorbed.
+                return
             self._on_failure(t, worker, exc)
             return
+        if committed is False:
+            return  # lost the hedge race; the winner published it
         self._on_success(t, worker)
 
     def _worker(self, worker: int) -> None:
@@ -318,14 +491,104 @@ class _PoolRun:
             with self.state:
                 if self.aborted or self._settled() >= self.dag.n_tasks:
                     return
+            if self.health is not None \
+                    and self.health.rank(f"cpu{worker}") == 2:
+                # Quarantined: take no work (the R703 contract).  Park
+                # on the usual timeout and tick the monitor so the
+                # dwell timer can release us into probation; peers keep
+                # stealing whatever sits in our deque.
+                self._record_health(
+                    worker, self.health.tick(self._now()))
+                ev = self.wakeups[worker]
+                ev.clear()
+                ev.wait(timeout=_PARK_TIMEOUT_S)
+                continue
             t = self.scheduler.pop(worker)
             if t is None:
+                if self.health is not None and self._try_hedge(worker):
+                    continue
                 self._park(worker)
                 continue
             with self.state:
                 if t in self.abandoned:
                     continue
             self._process(t, worker)
+
+    # -- speculative (hedged) re-execution -------------------------------
+    def _try_hedge(self, worker: int) -> bool:
+        """Idle healthy worker scans the in-flight pool for a task stuck
+        on a suspect-or-worse worker past its hedge threshold; runs the
+        duplicate inline when it claims one.  Returns True if it did."""
+        h = self.health
+        if not h.policy.hedge or h.rank(f"cpu{worker}") != 0:
+            return False
+        now = self._now()
+        with self.state:
+            inflight = list(self._inflight.items())
+        for t, (pw, pstart) in inflight:
+            if pw == worker or t in self._hedged or t in self._committed:
+                continue
+            if not self._hedgeable(t):
+                continue
+            after = h.hedge_after(self._health_key(t))
+            if after is None:
+                continue
+            age = now - pstart
+            if age < after:
+                continue
+            if h.state(f"cpu{pw}") == "healthy" and age < 2.0 * after:
+                # A mild overstay on an unflagged worker is likely
+                # queueing noise, but an extreme one is its own
+                # evidence: a stuck attempt is overdue regardless of
+                # what the EWMA has seen so far (it only updates on
+                # *completions*, which is exactly what a stuck task
+                # never delivers).
+                continue
+            with self.state:
+                # Claim under the state lock: another idle worker may
+                # be scanning the same snapshot.
+                if (t in self._hedged or t in self._committed
+                        or t not in self._inflight):
+                    continue
+                self._hedged[t] = f"cpu{pw}"
+                self.n_hedges += 1
+            self._record_hedge(worker, "launch", t, f"cpu{worker}",
+                               self._now(), f"cpu{pw}")
+            self._process_hedge(t, worker)
+            return True
+        return False
+
+    def _process_hedge(self, t: int, worker: int) -> None:
+        """Run the speculative duplicate of ``t``; first commit wins.
+
+        Unlike the simulators, a losing wall-clock attempt cannot be
+        cancelled mid-kernel — both run to completion and the commit
+        gate inside the task body discards the loser's side effects.
+        """
+        start = self._now()
+        self._kern[worker] = 0.0
+        try:
+            committed = self._run_task(t, worker)
+        except BaseException:
+            # A duplicate failure is absorbed: the primary attempt is
+            # still in flight and completes (or fails) on its own.
+            self._record_hedge(worker, "cancel", t, f"cpu{worker}",
+                               self._now(), self._hedged.get(t, ""))
+            return
+        end = self._now()
+        dur = self._kern[worker] or (end - start)
+        self._record_health(worker, self.health.observe(
+            f"cpu{worker}", self._health_key(t), dur, end))
+        if committed is False:
+            self._record_hedge(worker, "cancel", t, f"cpu{worker}", end,
+                               self._hedged.get(t, ""))
+            return
+        self._last_done[worker] = end
+        if self.trace is not None:
+            self._trace_rows[worker].append((t, start, end))
+        self._record_hedge(worker, "win", t, f"cpu{worker}", end,
+                           self._hedged[t])
+        self._on_success(t, worker)
 
     # -- diagnostics ---------------------------------------------------
     def _watchdog_message(self) -> str:
@@ -339,7 +602,7 @@ class _PoolRun:
             blocked = int(
                 sum(1 for t in pending if self.deps_left[t] > 0)
             )
-            return (
+            msg = (
                 f"threaded {self.phase_label} made no progress for "
                 f"{self.watchdog_s}s: "
                 f"{self.n_done}/{self.dag.n_tasks} done, "
@@ -348,6 +611,25 @@ class _PoolRun:
                 f"{len(frontier)} released-but-unrun task(s) "
                 f"{frontier[:15]}; {blocked} task(s) with deps_left > 0"
             )
+            if self.health is not None:
+                # Which worker is wedged and how long has its in-flight
+                # task sat there — the first question a stalled-pool
+                # report gets asked.
+                now = self._now()
+                snap = self.health.snapshot()
+                per = ", ".join(
+                    f"cpu{w}:{snap[f'cpu{w}'][0]}"
+                    f"(ewma={snap[f'cpu{w}'][1]:.2f},"
+                    f" last_done={now - self._last_done[w]:.2f}s ago)"
+                    for w in range(self.n_workers)
+                )
+                ages = {
+                    t: f"{now - st:.2f}s on cpu{w}"
+                    for t, (w, st) in sorted(self._inflight.items())
+                }
+                msg += (f"; worker health [{per}]; "
+                        f"in-flight task ages {ages}")
+            return msg
 
     def _merge_trace(self) -> None:
         if self.trace is None:
@@ -356,6 +638,20 @@ class _PoolRun:
             for t, start, end in self._trace_rows[w]:
                 self.trace.record(t, f"cpu{w}", start, end)
         self._trace_rows = [[] for _ in range(self.n_workers)]
+        if self.health is not None:
+            for w in range(self.n_workers):
+                for (res, src, dst, when, ratio, rsn) in self._health_rows[w]:
+                    self.trace.record_health(res, src, dst, when, ratio, rsn)
+                for (kind, t, res, when, primary) in self._hedge_rows[w]:
+                    self.trace.record_hedge(kind, t, res, when, primary)
+            self._health_rows = [[] for _ in range(self.n_workers)]
+            self._hedge_rows = [[] for _ in range(self.n_workers)]
+            self.trace.meta["health"] = {
+                "hedge": bool(self.health.policy.hedge),
+                "n_observations": self.health.n_observations,
+                "n_transitions": self.health.n_transitions,
+                "n_hedges": self.n_hedges,
+            }
         if self._sync_rows is not None:
             for rows in self._sync_rows:
                 for r in rows:
@@ -453,7 +749,9 @@ class _ThreadedRun(_PoolRun):
                  watchdog_s: float | None = None,
                  scheduler: ThreadScheduler | str = "ws",
                  accumulate: bool = False,
-                 record_sync: bool = False) -> None:
+                 record_sync: bool = False,
+                 faults: Optional[FaultModel] = None,
+                 health: Optional[HealthPolicy] = None) -> None:
         # Accumulation state first: the base __init__ seeds the ready
         # queue through the _push hook below, which consults it.
         self.accumulate = accumulate
@@ -468,11 +766,15 @@ class _ThreadedRun(_PoolRun):
             # path when no sibling update is queued — without it every
             # update pays a full victim sweep that mostly finds nothing.
             self._ready_upd = [0] * dag.symbol.n_cblk
+        # The task bodies need these before the base __init__ can seed
+        # ready sources (a source could in principle be processed by a
+        # racing worker, but workers only start in run()).
+        self.workspace = workspace
         super().__init__(dag, n_workers, trace, scheduler,
                          max_retries=max_retries, watchdog_s=watchdog_s,
-                         record_sync=record_sync)
+                         record_sync=record_sync, faults=faults,
+                         health=health)
         self.factor = factor
-        self.workspace = workspace
         self.panel_locks = [
             threading.Lock() for _ in range(dag.symbol.n_cblk)
         ]
@@ -503,33 +805,107 @@ class _ThreadedRun(_PoolRun):
         self._sync("lock", worker, obj or f"panel{tgt}", t,
                    t_acq, t_rel, wait_s=t_acq - t_req)
 
-    def _run_task(self, t: int, worker: int) -> None:
+    def _hedgeable(self, t: int) -> bool:
+        """Only workspace-mode updates: their lock-free GEMM runs into
+        a private buffer and the scatter commits under the target-panel
+        mutex, so two concurrent attempts are race-free and the first
+        through the gate wins.  Panel tasks (and ``workspace=False``
+        updates) mutate shared panels in place — duplicating one would
+        be a data race, so they are never hedged."""
+        return (self.workspace
+                and TaskKind(int(self.dag.kind[t])) == TaskKind.UPDATE)
+
+    def _run_task(self, t: int, worker: int) -> Optional[bool]:
         dag = self.dag
         kind = TaskKind(int(dag.kind[t]))
         if kind != TaskKind.UPDATE:
-            panel_factorize(self.factor, int(dag.cblk[t]))
-            return
+            if self.faults is None and self.health is None:
+                panel_factorize(self.factor, int(dag.cblk[t]))
+            else:
+                k0 = time.perf_counter()
+                panel_factorize(self.factor, int(dag.cblk[t]))
+                self._inject(t, worker, time.perf_counter() - k0)
+                if self.health is not None:
+                    # Stamped after the injected sleep: the slowdown is
+                    # exactly what the monitor must see.
+                    self._kern[worker] = time.perf_counter() - k0
+            return None
         src, tgt = int(dag.cblk[t]), int(dag.target[t])
         # Blocking acquire is deadlock-free: a worker holds at most one
         # panel lock and never waits on anything else while holding it.
         if self.workspace:
+            k0 = time.perf_counter()
             parts = panel_update_compute(self.factor, src, tgt)
+            # The injected slowdown lands *between* the lock-free
+            # compute and the locked scatter: that is where a limping
+            # core loses the commit race to a healthy hedge duplicate.
+            self._inject(t, worker, time.perf_counter() - k0)
+            if self.health is not None:
+                # Kernel time excludes the scatter below: its mutex
+                # wait is queueing on a peer, not this worker's speed.
+                self._kern[worker] = time.perf_counter() - k0
             if parts is not None:
-                self._locked_scatter(
-                    t, tgt, worker,
-                    lambda: panel_update_scatter(self.factor, tgt, parts),
-                )
-            elif self._sync_rows is not None:
+                if self.health is None:
+                    self._locked_scatter(
+                        t, tgt, worker,
+                        lambda: panel_update_scatter(
+                            self.factor, tgt, parts),
+                    )
+                    return None
+                # Idempotent-commit gate: both attempts of a hedged
+                # task serialize on the same target-panel mutex, so
+                # check-scatter-mark is atomic w.r.t. the other
+                # attempt.  The mark lands *after* the scatter: a
+                # scatter that raises leaves the gate open for the
+                # retry path.
+                won = [True]
+
+                def body():
+                    if t in self._committed:
+                        won[0] = False
+                        return
+                    panel_update_scatter(self.factor, tgt, parts)
+                    self._committed.add(t)
+
+                self._locked_scatter(t, tgt, worker, body)
+                return won[0]
+            if self.health is not None:
+                # No facing contribution: nothing to scatter, so the
+                # gate lives under the state lock instead of a panel
+                # mutex (both attempts deterministically reach here).
+                with self.state:
+                    if t in self._committed:
+                        return False
+                    self._committed.add(t)
+            if self._sync_rows is not None:
                 # No facing contribution: nothing was scattered, so no
                 # lock was (or needed to be) taken — exempt from C703.
                 now = self._now()
                 self._sync("noop", worker, f"panel{tgt}", t, now, now)
-        else:
+            return None
+        if self.faults is None and self.health is None:
             self._locked_scatter(
                 t, tgt, worker,
                 lambda: panel_update(self.factor, src, tgt,
                                      workspace=False),
             )
+        else:
+            kern = [0.0]
+
+            def body():
+                b0 = time.perf_counter()
+                panel_update(self.factor, src, tgt, workspace=False)
+                kern[0] = time.perf_counter() - b0
+
+            self._locked_scatter(t, tgt, worker, body)
+            # Outside the mutex: the slowdown models a slow core, not
+            # a longer critical section.  The in-lock measurement
+            # excludes acquire wait for the same reason.
+            i0 = time.perf_counter()
+            self._inject(t, worker, kern[0])
+            if self.health is not None:
+                self._kern[worker] = kern[0] + (time.perf_counter() - i0)
+        return None
 
     # -- fan-in accumulation -------------------------------------------
     def _process(self, t: int, worker: int) -> None:
@@ -577,6 +953,12 @@ class _ThreadedRun(_PoolRun):
             except BaseException as exc:
                 self._on_failure(u, worker, exc)
                 continue
+            # Injected slowdowns apply per member (a limping core is
+            # slow on every kernel it runs).  Batched members are never
+            # hedged: they are not registered in-flight, so the only
+            # commit is the single locked flush below.
+            self._inject(u, worker,
+                         time.perf_counter() - self.t0 - start)
             computed.append([u, parts, start, time.perf_counter() - self.t0])
 
         live = [c for c in computed if c[1] is not None]
@@ -621,6 +1003,10 @@ class _ThreadedRun(_PoolRun):
         for u, _parts, start, end in computed:
             if self.trace is not None:
                 self._trace_rows[worker].append((u, start, end))
+            if self.health is not None:
+                self._last_done[worker] = end
+                self._record_health(worker, self.health.observe(
+                    f"cpu{worker}", self._health_key(u), end - start, end))
             self._on_success(u, worker)
 
 
@@ -787,6 +1173,8 @@ def factorize_threaded(
     accumulate: bool = False,
     dl_buffer: bool = False,
     record_sync: bool = False,
+    faults: Optional[FaultModel] = None,
+    health: Optional[HealthPolicy] = None,
 ) -> NumericFactor:
     """Factorize on a thread pool; returns the :class:`NumericFactor`.
 
@@ -824,6 +1212,20 @@ ThreadScheduler` instance; the choice is stamped into ``trace.meta``.
     prove the run race-free.  Off (the default) the instrumentation is
     a dead branch: no clock reads, and the produced trace is
     bit-identical to an uninstrumented run's.
+
+    ``faults`` injects *timing-only* faults into the wall-clock run:
+    task-pinned stragglers and persistent ``limplock`` windows become
+    proportional sleeps between a task's compute and its commit, so
+    numerics stay bitwise identical to a fault-free run while the
+    schedule degrades for real.  ``health`` arms the
+    :class:`~repro.resilience.health.HealthMonitor`: per-worker EWMA
+    slowdown detection against learned per-(kernel, size-bucket)
+    expectations, degradation-aware scheduling (degraded workers stop
+    stealing, quarantined workers stop dispatching), and — with
+    ``health.hedge`` — speculative re-execution of workspace-mode
+    updates stuck on suspect workers, raced through an idempotent
+    commit gate (exactly-once: the R701 contract).  Both default off;
+    when off every hook is a dead ``is None`` branch.
     """
     factor = NumericFactor.assemble(symbol, matrix, factotype, dtype=dtype)
     if index_cache:
@@ -842,7 +1244,8 @@ ThreadScheduler` instance; the choice is stamped into ``trace.meta``.
     run = _ThreadedRun(factor, dag, n_workers, workspace, trace,
                        max_retries=max_retries, watchdog_s=watchdog_s,
                        scheduler=scheduler, accumulate=accumulate,
-                       record_sync=record_sync)
+                       record_sync=record_sync, faults=faults,
+                       health=health)
     run.run()
     if trace is not None:
         trace.meta["index_cache"] = bool(index_cache)

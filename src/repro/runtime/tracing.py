@@ -18,6 +18,8 @@ __all__ = [
     "FaultEvent",
     "RecoveryEvent",
     "SyncEvent",
+    "HealthEvent",
+    "HedgeEvent",
     "ExecutionTrace",
     "META_FINGERPRINT_KEYS",
 ]
@@ -41,6 +43,7 @@ META_FINGERPRINT_KEYS = (
     "index_cache",
     "accumulate",
     "dl_buffer",
+    "health",
 )
 
 
@@ -192,6 +195,52 @@ class SyncEvent:
         return self.end - self.start
 
 
+@dataclass(frozen=True)
+class HealthEvent:
+    """One health-state transition of a worker/node.
+
+    ``resource`` names the monitored unit (``"cpu3"``, ``"n1"``);
+    ``src``/``dst`` are states from
+    :data:`repro.resilience.health.HEALTH_STATES` and every recorded
+    pair must be a legal edge of the monitor's state machine (the R702
+    audit).  ``time`` is when the transition was taken on the run's
+    clock, ``ratio`` the EWMA slowdown estimate that drove it (observed
+    duration over per-(kernel, size-bucket) expectation; ``0.0`` when
+    the transition was time-driven), and ``reason`` a short tag
+    (``"ewma"``, ``"probe"``, ``"probation"``, ``"relapse"``).
+    Monitoring off ⇒ zero health events (the R705 identity).
+    """
+
+    resource: str
+    src: str
+    dst: str
+    time: float
+    ratio: float = 0.0
+    reason: str = "ewma"
+
+
+@dataclass(frozen=True)
+class HedgeEvent:
+    """One step of a speculative (hedged) re-execution.
+
+    ``kind`` is ``"launch"`` (a duplicate of ``task`` started on
+    ``resource`` because the primary attempt overstayed the hedge
+    threshold on a suspect worker), ``"win"`` (the attempt on
+    ``resource`` reached the commit gate first), or ``"cancel"`` (the
+    losing attempt on ``resource`` was discarded — its side effects
+    never committed).  ``primary`` names the resource of the original
+    attempt.  The R704 audit requires every launch to resolve into
+    exactly one win plus one cancel per launch, and R701 requires the
+    task to commit exactly once.
+    """
+
+    kind: str
+    task: int
+    resource: str
+    time: float
+    primary: str = ""
+
+
 @dataclass
 class ExecutionTrace:
     """A complete schedule: task executions plus optional transfers.
@@ -208,6 +257,8 @@ class ExecutionTrace:
     fault_events: list[FaultEvent] = field(default_factory=list)
     recovery_events: list[RecoveryEvent] = field(default_factory=list)
     sync_events: list[SyncEvent] = field(default_factory=list)
+    health_events: list[HealthEvent] = field(default_factory=list)
+    hedge_events: list[HedgeEvent] = field(default_factory=list)
     meta: dict = field(default_factory=dict)
     #: Next record-order sequence number (see :attr:`TraceEvent.seq`).
     next_seq: int = 0
@@ -296,6 +347,43 @@ class ExecutionTrace:
             SyncEvent(kind, worker, obj, task, start, end, wait_s, n)
         )
 
+    def record_health(
+        self,
+        resource: str,
+        src: str,
+        dst: str,
+        time: float,
+        ratio: float = 0.0,
+        reason: str = "ewma",
+    ) -> None:
+        """Record one health-state transition (see :class:`HealthEvent`)."""
+        self.health_events.append(
+            HealthEvent(resource, src, dst, time, ratio, reason)
+        )
+
+    def record_hedge(
+        self,
+        kind: str,
+        task: int,
+        resource: str,
+        time: float,
+        primary: str = "",
+    ) -> None:
+        """Record one hedged-execution step (see :class:`HedgeEvent`)."""
+        self.hedge_events.append(
+            HedgeEvent(kind, task, resource, time, primary)
+        )
+
+    def sorted_health_events(self) -> list[HealthEvent]:
+        """Health transitions ordered by (time, resource) — the R702 view."""
+        return sorted(self.health_events,
+                      key=lambda e: (e.time, e.resource, e.src, e.dst))
+
+    def sorted_hedge_events(self) -> list[HedgeEvent]:
+        """Hedge steps ordered by (time, task, kind) — the R704 view."""
+        return sorted(self.hedge_events,
+                      key=lambda e: (e.time, e.task, e.kind, e.resource))
+
     def sorted_sync_events(self) -> list[SyncEvent]:
         """Sync events ordered by (start, end, worker) — the C7xx view."""
         return sorted(self.sync_events,
@@ -349,7 +437,11 @@ class ExecutionTrace:
           and thread placement legitimately vary run to run, so only
           the order-insensitive deterministic content enters: the
           sorted set of executed tasks and the fault/recovery
-          *decisions* ``(kind, task, cblk, attempt)``.
+          *decisions* ``(kind, task, cblk, attempt)``.  Health and
+          hedge events are *excluded* in this domain: which worker
+          trips the EWMA detector (and which in-flight task gets
+          hedged) depends on measured wall durations, so same-seed
+          replays legitimately differ there.
         """
         import json
 
@@ -391,6 +483,12 @@ class ExecutionTrace:
         for s in self.sorted_sync_events():
             lines.append(f"sy|{s.kind}|{s.worker}|{s.obj}|{s.task}|"
                          f"{float(s.start).hex()}|{float(s.end).hex()}|{s.wait_s!r}|{s.n}")
+        for h in self.sorted_health_events():
+            lines.append(f"he|{h.resource}|{h.src}|{h.dst}|"
+                         f"{float(h.time).hex()}|{h.ratio!r}|{h.reason}")
+        for g in self.sorted_hedge_events():
+            lines.append(f"hg|{g.kind}|{g.task}|{g.resource}|{g.primary}|"
+                         f"{float(g.time).hex()}")
         return lines
 
     def fingerprint(self) -> str:

@@ -24,6 +24,11 @@ through ``python -m repro verify``:
   fault paired with a recovery, no double completions without an
   interleaved fault, backoff delays actually paid, no activity on a
   lost device (R6xx);
+* :func:`repro.verify.health.verify_health` — audits the health and
+  hedge event streams recorded by the graceful-degradation layer:
+  exactly-once commit of hedged tasks, legal health-state transition
+  chains, no dispatch onto quarantined workers, launch/win/cancel
+  hedge accounting, and a monitoring-off identity check (R7xx);
 * :func:`repro.verify.concurrency.verify_concurrency` — a vector-clock
   happens-before checker over the ``SyncEvent`` stream the threaded
   runtime records (``record_sync=True``): unordered conflicting
@@ -77,6 +82,12 @@ from repro.verify.eventloop import (
     eventloop_paths,
     eventloop_report,
     eventloop_sources,
+)
+from repro.verify.health import (
+    double_commit_hedge,
+    illegal_transition,
+    steal_from_quarantined,
+    verify_health,
 )
 from repro.verify.hazards import (
     analyze_hazards,
@@ -132,6 +143,10 @@ __all__ = [
     "verify_resilience",
     "drop_recovery",
     "double_complete",
+    "verify_health",
+    "double_commit_hedge",
+    "steal_from_quarantined",
+    "illegal_transition",
     "verify_symbolic",
     "verify_dag_costs",
     "verify_couple_cache",

@@ -1,17 +1,21 @@
 """Driver behind ``python -m repro verify``.
 
-Runs the seven static-analysis passes — DAG hazard coverage, simulated
+Runs the eight static-analysis passes — DAG hazard coverage, simulated
 schedule feasibility, the M4xx memory/data-movement audit, the N5xx
 symbolic-structure audit, the R6xx resilience audit (a seeded
 fault-injection run whose recovered trace must satisfy the fault/
-recovery pairing rules *and* the schedule and memory audits), the C7xx
-concurrency audit (a live sync-instrumented threaded factorization
-whose trace must satisfy the happens-before race checks, plus the
-RV4xx lock-discipline lint over the runtime sources), the D8xx
-determinism audit (a seeded same-seed double-run of the machine
-simulator and a kernel burst whose canonical trace fingerprints must
-match bit-for-bit, with tie-break totality and RNG-draw provenance
-checks on top), and the project linters (RV3xx plus the RV5xx
+recovery pairing rules *and* the schedule and memory audits), the R7xx
+graceful-degradation audit (a seeded limplock run with health
+monitoring and hedging armed, whose trace must satisfy the exactly-once
+commit, legal-transition, quarantine-respect, and hedge-accounting
+rules, plus a monitoring-off identity check), the C7xx concurrency
+audit (a live sync-instrumented threaded factorization whose trace
+must satisfy the happens-before race checks, plus the RV4xx
+lock-discipline lint over the runtime sources), the D8xx determinism
+audit (a seeded same-seed double-run of the machine simulator and a
+kernel burst whose canonical trace fingerprints must match
+bit-for-bit, with tie-break totality and RNG-draw provenance checks on
+top), and the project linters (RV3xx plus the RV5xx
 event-loop-discipline lint over the simulator sources) — on a chosen
 matrix and prints one report per pass.  Exit status is 0 iff every
 pass is clean, which is what the ``make verify`` gate and CI consume.
@@ -21,9 +25,10 @@ edge, an h2d transfer, a recovery event, or a sync event; overlaps two
 trace events; breaks a mutex window; overflows device residency; skews
 a task's flop count; records a completion twice; unlocks a scatter;
 swallows a wakeup; collapses a heap tie-break; forges the replay RNG
-provenance; erases the sequence stamps) to demonstrate that the passes
-actually catch what they claim to catch; an injected run is *expected*
-to exit non-zero.
+provenance; erases the sequence stamps; double-commits a hedged task;
+dispatches onto a quarantined worker; forges an illegal health
+transition) to demonstrate that the passes actually catch what they
+claim to catch; an injected run is *expected* to exit non-zero.
 """
 
 from __future__ import annotations
@@ -82,6 +87,8 @@ def add_verify_arguments(p: argparse.ArgumentParser) -> None:
                    help="skip the N5xx symbolic-structure audit")
     p.add_argument("--no-resilience", action="store_true",
                    help="skip the R6xx fault-injection/recovery audit")
+    p.add_argument("--no-health", action="store_true",
+                   help="skip the R7xx graceful-degradation/hedging audit")
     p.add_argument("--no-concurrency", action="store_true",
                    help="skip the C7xx happens-before / RV4xx "
                         "lock-discipline concurrency audit")
@@ -99,7 +106,9 @@ def add_verify_arguments(p: argparse.ArgumentParser) -> None:
                  "drop-transfer", "overflow-residency", "skew-flops",
                  "stale-cache", "drop-recovery", "double-complete",
                  "drop-sync-event", "unlocked-scatter", "swallow-wakeup",
-                 "reorder-ties", "reseed-midrun", "drop-seq"],
+                 "reorder-ties", "reseed-midrun", "drop-seq",
+                 "double-commit-hedge", "steal-from-quarantined",
+                 "illegal-transition"],
         help="fault injection self-test (expected to FAIL the run)",
     )
     p.add_argument("-v", "--verbose", action="store_true",
@@ -352,6 +361,95 @@ def _resilience_pass(args: argparse.Namespace, symbol: Any,
             reports.append(brep)
 
 
+_HEALTH_INJECTS = ("double-commit-hedge", "steal-from-quarantined",
+                   "illegal-transition")
+
+
+def _health_pass(args: argparse.Namespace, symbol: Any,
+                 reports: list[Report]) -> None:
+    """R7xx: run a seeded limplock scenario, audit degradation/hedging.
+
+    A persistent limplock slows CPU worker 0 by 50x for the rest of the
+    run; health monitoring must walk it down the escalation chain into
+    quarantine, and hedging must duplicate its stuck tasks on healthy
+    workers with exactly-once commits.  A monitoring-off run of the same
+    configuration is audited first — it must carry zero health or hedge
+    events (the R705 identity).
+    """
+    from repro.dag import build_dag
+    from repro.machine import mirage, simulate
+    from repro.resilience import FaultModel, FaultSpec, HealthPolicy
+    from repro.runtime import get_policy
+    from repro.verify.health import (
+        double_commit_hedge,
+        illegal_transition,
+        steal_from_quarantined,
+        verify_health,
+    )
+
+    name = args.policy if args.policy != "all" else "parsec"
+    machine = mirage(
+        n_cores=args.cores, n_gpus=args.gpus,
+        streams_per_gpu=args.streams if args.gpus else 1,
+    )
+
+    def _policy():
+        if name == "native":
+            return get_policy(name)
+        return get_policy(name, gpu_flops_threshold=1e3)
+
+    dag = build_dag(
+        symbol, args.factotype,
+        granularity=_policy().traits.granularity,
+        recompute_ld=_policy().traits.recompute_ld,
+    )
+    clean = simulate(dag, machine, _policy())
+    mk = clean.makespan
+
+    t0 = time.perf_counter()
+    rep = verify_health(clean.trace, name=f"health[{name}+off]")
+    rep.stats["seconds"] = time.perf_counter() - t0
+    reports.append(rep)
+
+    def _faults():
+        return FaultModel(
+            [FaultSpec("limplock", time=0.1 * mk, resource=0,
+                       factor=50.0)],
+            seed=args.seed,
+        )
+    policy = HealthPolicy(
+        min_samples=3, suspect_ratio=2.0, degraded_ratio=4.0,
+        quarantine_ratio=3.0, quarantine_s=0.6 * mk,
+        hedge=True, hedge_ratio=3.0,
+    )
+    r = simulate(dag, machine, _policy(), faults=_faults(),
+                 health=policy)
+    trace = r.trace
+
+    t0 = time.perf_counter()
+    rep = verify_health(trace, name=f"health[{name}+limplock]")
+    rep.stats["seconds"] = time.perf_counter() - t0
+    rep.stats["transitions"] = float(r.n_health_transitions)
+    rep.stats["hedges"] = float(r.n_hedges)
+    rep.stats["makespan_ms"] = r.makespan * 1e3
+    rep.stats["clean_makespan_ms"] = mk * 1e3
+    reports.append(rep)
+
+    if args.inject in _HEALTH_INJECTS:
+        corrupt = {"double-commit-hedge": double_commit_hedge,
+                   "steal-from-quarantined": steal_from_quarantined,
+                   "illegal-transition": illegal_transition}[args.inject]
+        try:
+            bad = corrupt(trace)
+        except ValueError as exc:
+            raise SystemExit(
+                f"--inject {args.inject}: {exc} (policy {name}; a "
+                "larger --size gives the monitor more samples)"
+            ) from exc
+        brep = verify_health(bad, name=f"health[{name}+{args.inject}]")
+        reports.append(brep)
+
+
 _CONCURRENCY_INJECTS = ("drop-sync-event", "unlocked-scatter",
                         "swallow-wakeup")
 
@@ -581,6 +679,11 @@ def run_verify(args: argparse.Namespace) -> int:
             f"--inject {args.inject} corrupts the resilience pass; "
             "drop --no-resilience to run it"
         )
+    if args.inject in _HEALTH_INJECTS and args.no_health:
+        raise SystemExit(
+            f"--inject {args.inject} corrupts the health pass; "
+            "drop --no-health to run it"
+        )
     if args.inject in _CONCURRENCY_INJECTS and args.no_concurrency:
         raise SystemExit(
             f"--inject {args.inject} corrupts the concurrency pass; "
@@ -594,7 +697,8 @@ def run_verify(args: argparse.Namespace) -> int:
     reports: list[Report] = []
     needs_matrix = not (args.no_hazards and args.no_schedule
                         and args.no_symbolic and args.no_resilience
-                        and args.no_concurrency and args.no_determinism)
+                        and args.no_health and args.no_concurrency
+                        and args.no_determinism)
     if needs_matrix:
         matrix = _load(args)
         res = analyze(matrix, SymbolicOptions(split_max_width=args.split))
@@ -605,6 +709,8 @@ def run_verify(args: argparse.Namespace) -> int:
             _schedule_pass(args, symbol, reports)
         if not args.no_resilience:
             _resilience_pass(args, symbol, reports)
+        if not args.no_health:
+            _health_pass(args, symbol, reports)
         if not args.no_concurrency:
             _concurrency_pass(args, matrix, res, reports)
         if not args.no_determinism:

@@ -18,6 +18,7 @@ from repro.distributed import ClusterSpec, map_cblks, simulate_distributed
 from repro.machine import mirage, simulate
 from repro.resilience import (
     FAULT_KINDS,
+    PERSISTENT_KINDS,
     FaultModel,
     FaultSpec,
     RecoveryPolicy,
@@ -84,7 +85,15 @@ class TestFaultModel:
         with pytest.raises(ValueError, match="unknown fault kind"):
             FaultSpec("meteor-strike")
         for kind in FAULT_KINDS:
-            FaultSpec(kind)  # all documented kinds construct
+            if kind in PERSISTENT_KINDS:
+                # Persistent conditions must pin a resource and window.
+                FaultSpec(kind, resource=0, until=1.0)
+                with pytest.raises(ValueError, match="pin a resource"):
+                    FaultSpec(kind, until=1.0)
+                with pytest.raises(ValueError, match="until > time"):
+                    FaultSpec(kind, resource=0, time=1.0, until=1.0)
+            else:
+                FaultSpec(kind)  # one-shot kinds construct bare
 
     def test_spec_fires_once(self):
         fm = FaultModel([FaultSpec("task-fault", task=7)])

@@ -422,3 +422,154 @@ class TestPopSameTargetProbe:
         assert not any(th.is_alive() for th in threads)
         assert got == fed              # exactly once, FIFO per victim
         assert not sched.has_work()
+
+
+# ----------------------------------------------------------------------
+# Graceful degradation: injected slowdowns (straggler + limplock) under
+# every scheduler x fan-in-accumulation combination, with worker health
+# monitoring armed.  Faults in the threaded runtime are purely temporal
+# (sleeps proportional to measured kernel time), so numerics must stay
+# within roundoff of the sequential factor, and the trace must satisfy
+# the S2xx schedule, R6xx resilience, R7xx degradation, and C7xx
+# happens-before audits simultaneously.
+class TestThreadedDegradation:
+    # Conservative thresholds for wall-clock runs: the min_duration_s
+    # floor keeps micro-task jitter out of the state machine, and the
+    # wide ratios keep the monitor armed without destabilizing a run
+    # whose injected limp is mild.
+    POL = dict(min_duration_s=2e-3, min_samples=5, suspect_ratio=3.0,
+               degraded_ratio=8.0, quarantine_ratio=15.0,
+               recover_ratio=2.0)
+
+    @staticmethod
+    def _faulty_run(mat, scheduler, accumulate, *, hedge=False):
+        from repro.dag.tasks import TaskKind
+        from repro.resilience import FaultModel, FaultSpec, HealthPolicy
+
+        res, permuted = _setup(mat, "llt")
+        dag = build_dag(res.symbol, "llt", granularity="2d")
+        upd = next(
+            t for t in range(dag.n_tasks)
+            if int(dag.kind[t]) == int(TaskKind.UPDATE)
+        )
+        faults = FaultModel([
+            FaultSpec("straggler", task=upd, factor=30.0),
+            FaultSpec("limplock", time=0.0, until=0.05,
+                      resource=0, factor=3.0),
+        ], seed=0)
+        trace = ExecutionTrace()
+        par = factorize_threaded(
+            res.symbol, permuted, "llt", n_workers=3,
+            scheduler=scheduler, accumulate=accumulate, trace=trace,
+            record_sync=True, faults=faults,
+            health=HealthPolicy(hedge=hedge, **TestThreadedDegradation.POL),
+        )
+        return res, permuted, dag, trace, par
+
+    @pytest.mark.parametrize("scheduler",
+                             ["fifo", "ws", "priority", "affinity"])
+    @pytest.mark.parametrize("accumulate", [False, True])
+    def test_faulty_run_audits_clean(self, grid2d_small, scheduler,
+                                     accumulate):
+        from repro.verify import (
+            verify_concurrency,
+            verify_health,
+            verify_resilience,
+        )
+
+        res, permuted, dag, trace, par = self._faulty_run(
+            grid2d_small, scheduler, accumulate)
+        ref = factorize_sequential(res.symbol, permuted, "llt")
+        for a, b in zip(ref.L, par.L):
+            assert np.allclose(a, b, atol=1e-10)
+        # The injected straggler is trace-visible and absorbed in place.
+        assert any(f.kind == "straggler" for f in trace.fault_events)
+        assert any(f.kind == "limplock" for f in trace.fault_events)
+        trace.validate(dag, exclusive_resources=[], check_mutex=False,
+                       tol=1e-5)
+        for rep in (verify_health(trace),
+                    verify_resilience(trace, dag),
+                    verify_concurrency(dag, trace)):
+            assert rep.ok, rep.format()
+
+    def test_single_worker_faults_are_purely_temporal(self, grid2d_small):
+        """With one worker there is no interleaving: a faulted run must
+        be bitwise identical to a fault-free one."""
+        from repro.resilience import FaultModel, FaultSpec, HealthPolicy
+
+        res, permuted = _setup(grid2d_small, "llt")
+        plain = factorize_threaded(
+            res.symbol, permuted, "llt", n_workers=1)
+        faults = FaultModel([
+            FaultSpec("straggler", task=0, factor=20.0),
+            FaultSpec("limplock", time=0.0, until=0.05,
+                      resource=0, factor=3.0),
+        ])
+        limped = factorize_threaded(
+            res.symbol, permuted, "llt", n_workers=1, faults=faults,
+            health=HealthPolicy(**self.POL))
+        for a, b in zip(plain.L, limped.L):
+            assert np.array_equal(a, b)
+
+    def test_tail_straggler_is_hedged(self):
+        """A task-pinned straggler wedging a tail update triggers a
+        speculative duplicate: launch/win/cancel fire, the task commits
+        exactly once, and the numerics survive the race."""
+        from repro.resilience import FaultModel, FaultSpec, HealthPolicy
+        from repro.sparse.generators import grid_laplacian_2d
+        from repro.verify import verify_health
+
+        from repro.dag.tasks import TaskKind
+
+        mat = grid_laplacian_2d(30, jitter=0.05, seed=0)
+        res, permuted = _setup(mat, "llt")
+        dag = build_dag(res.symbol, "llt", granularity="2d")
+        last = int(dag.symbol.n_cblk) - 1
+        # The biggest *update* feeding the last column block: wedging
+        # it parks the critical path behind one limping worker, which
+        # is the configuration hedging exists for.  (Panel tasks have
+        # target == cblk but are never hedgeable — their bodies mutate
+        # shared panels in place.)
+        big = max(
+            (t for t in range(dag.n_tasks)
+             if int(dag.kind[t]) == int(TaskKind.UPDATE)
+             and int(dag.target[t]) == last),
+            key=lambda t: (int(dag.cblk[t]), float(dag.flops[t])),
+        )
+        faults = FaultModel(
+            [FaultSpec("straggler", task=big, factor=5000.0)])
+        trace = ExecutionTrace()
+        par = factorize_threaded(
+            res.symbol, permuted, "llt", n_workers=2, trace=trace,
+            faults=faults,
+            health=HealthPolicy(hedge=True, hedge_ratio=2.0,
+                                hedge_min_s=4e-3, **self.POL))
+        kinds = {h.kind for h in trace.hedge_events}
+        assert kinds == {"launch", "win", "cancel"}
+        assert sorted(e.task for e in trace.events) == \
+            list(range(dag.n_tasks))
+        rep = verify_health(trace)
+        assert rep.ok, rep.format()
+        ref = factorize_sequential(res.symbol, permuted, "llt")
+        for a, b in zip(ref.L, par.L):
+            assert np.allclose(a, b, atol=1e-10)
+
+    def test_watchdog_dump_names_worker_health(self, grid2d_small):
+        """The stall report includes each worker's health state, time
+        since its last completion, and in-flight task ages."""
+        from repro.core.factor import NumericFactor
+        from repro.resilience import HealthPolicy
+        from repro.runtime.threaded import _ThreadedRun
+
+        res, permuted = _setup(grid2d_small, "llt")
+        factor = NumericFactor.assemble(res.symbol, permuted, "llt")
+        dag = build_dag(res.symbol, "llt", granularity="2d",
+                        dtype=factor.dtype)
+        run = _ThreadedRun(factor, dag, 2, True, None, watchdog_s=0.25,
+                           health=HealthPolicy(**self.POL))
+        run._inflight[3] = (1, run._now())
+        msg = run._watchdog_message()
+        assert "worker health [" in msg
+        assert "cpu0:healthy" in msg and "cpu1:healthy" in msg
+        assert "last_done=" in msg
+        assert "in-flight task ages" in msg and "on cpu1" in msg

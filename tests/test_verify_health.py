@@ -1,0 +1,217 @@
+"""R7xx graceful-degradation auditor tests (synthetic traces + injectors).
+
+Each check is exercised on a hand-built trace that violates exactly one
+invariant, plus a clean trace to pin the negative.  The injector
+helpers (``double_commit_hedge`` / ``steal_from_quarantined`` /
+``illegal_transition``) are the verify-the-verifier corruptions wired
+to ``python -m repro verify --inject``.
+"""
+
+import pytest
+
+from repro.runtime.tracing import ExecutionTrace
+from repro.verify import (
+    double_commit_hedge,
+    illegal_transition,
+    steal_from_quarantined,
+    verify_health,
+)
+
+
+def codes(report):
+    return sorted({f.code for f in report.findings})
+
+
+def _monitored(hedge=True):
+    t = ExecutionTrace()
+    t.meta["health"] = {"hedge": hedge}
+    return t
+
+
+def _clean_hedged_trace():
+    """cpu0 limps, escalates to quarantined; its stuck task 7 is hedged
+    on cpu1 which wins; cpu0's late duplicate is cancelled."""
+    t = _monitored()
+    t.record_health("cpu0", "healthy", "suspect", 1.0, 2.5)
+    t.record_health("cpu0", "suspect", "degraded", 2.0, 5.0)
+    t.record_health("cpu0", "degraded", "quarantined", 3.0, 10.0)
+    t.record_hedge("launch", 7, "cpu1", 2.5, "cpu0")
+    t.record_hedge("win", 7, "cpu1", 3.5, "cpu0")
+    t.record_hedge("cancel", 7, "cpu0", 4.0, "cpu0")
+    t.record(7, "cpu1", 2.5, 3.5)
+    t.record(8, "cpu1", 3.5, 4.5)
+    return t
+
+
+class TestClean:
+    def test_clean_hedged_trace_passes(self):
+        rep = verify_health(_clean_hedged_trace())
+        assert rep.ok, rep.format()
+        assert rep.stats["hedged_tasks"] == 1.0
+        assert rep.stats["quarantine_windows"] == 1.0
+
+    def test_empty_unmonitored_trace_passes(self):
+        rep = verify_health(ExecutionTrace())
+        assert rep.ok
+
+
+class TestR701ExactlyOnce:
+    def test_double_commit_fails(self):
+        t = _clean_hedged_trace()
+        t.record(7, "cpu0", 4.0, 5.0)  # the loser commits too
+        rep = verify_health(t)
+        assert "R701" in codes(rep)
+
+    def test_commit_on_wrong_resource_fails(self):
+        t = _monitored()
+        t.record_hedge("launch", 7, "cpu1", 2.5, "cpu0")
+        t.record_hedge("win", 7, "cpu1", 3.5, "cpu0")
+        t.record_hedge("cancel", 7, "cpu0", 4.0, "cpu0")
+        t.record(7, "cpu0", 2.0, 5.0)  # completion on the cancelled side
+        rep = verify_health(t)
+        assert "R701" in codes(rep)
+
+    def test_vanished_completion_fails(self):
+        t = _clean_hedged_trace()
+        t.events = [e for e in t.events if e.task != 7]
+        rep = verify_health(t)
+        assert "R701" in codes(rep)
+
+
+class TestR702Transitions:
+    def test_illegal_edge_fails(self):
+        t = _monitored()
+        t.record_health("cpu0", "healthy", "quarantined", 1.0, 9.0)
+        rep = verify_health(t)
+        assert "R702" in codes(rep)
+
+    def test_broken_chain_fails(self):
+        t = _monitored()
+        t.record_health("cpu0", "healthy", "suspect", 1.0, 2.5)
+        # Next transition claims to start from "degraded".
+        t.record_health("cpu0", "degraded", "quarantined", 2.0, 9.0)
+        rep = verify_health(t)
+        assert "R702" in codes(rep)
+
+    def test_chain_must_start_healthy(self):
+        t = _monitored()
+        t.record_health("cpu0", "suspect", "degraded", 1.0, 5.0)
+        rep = verify_health(t)
+        assert "R702" in codes(rep)
+
+    def test_unknown_state_fails(self):
+        t = _monitored()
+        t.record_health("cpu0", "healthy", "zombie", 1.0, 2.0)
+        rep = verify_health(t)
+        assert "R702" in codes(rep)
+
+
+class TestR703Quarantine:
+    def test_dispatch_into_window_fails(self):
+        t = _clean_hedged_trace()
+        t.record(9, "cpu0", 3.5, 3.6)  # inside [3.0, inf)
+        rep = verify_health(t)
+        assert "R703" in codes(rep)
+
+    def test_dispatch_after_probe_out_passes(self):
+        t = _clean_hedged_trace()
+        t.record_health("cpu0", "quarantined", "probation", 5.0, 1.0)
+        t.record(9, "cpu0", 5.5, 5.6)  # after the window closed
+        rep = verify_health(t)
+        assert rep.ok, rep.format()
+
+    def test_hedge_launch_on_quarantined_fails(self):
+        t = _clean_hedged_trace()
+        t.record_hedge("launch", 8, "cpu0", 3.5, "cpu1")
+        t.record_hedge("win", 8, "cpu0", 4.0, "cpu1")
+        t.record_hedge("cancel", 8, "cpu1", 4.1, "cpu1")
+        rep = verify_health(t)
+        assert "R703" in codes(rep)
+
+
+class TestR704Accounting:
+    def test_win_without_launch_fails(self):
+        t = _monitored()
+        t.record_hedge("win", 7, "cpu1", 3.5, "cpu0")
+        t.record(7, "cpu1", 2.5, 3.5)
+        rep = verify_health(t)
+        assert "R704" in codes(rep)
+
+    def test_launch_without_cancel_fails(self):
+        t = _monitored()
+        t.record_hedge("launch", 7, "cpu1", 2.5, "cpu0")
+        t.record_hedge("win", 7, "cpu1", 3.5, "cpu0")
+        t.record(7, "cpu1", 2.5, 3.5)
+        rep = verify_health(t)
+        assert "R704" in codes(rep)
+
+    def test_two_wins_fail(self):
+        t = _clean_hedged_trace()
+        t.record_hedge("win", 7, "cpu0", 4.2, "cpu0")
+        rep = verify_health(t)
+        assert "R704" in codes(rep)
+
+    def test_win_before_launch_fails(self):
+        t = _monitored()
+        t.record_hedge("launch", 7, "cpu1", 3.0, "cpu0")
+        t.record_hedge("win", 7, "cpu1", 2.0, "cpu0")
+        t.record_hedge("cancel", 7, "cpu0", 4.0, "cpu0")
+        t.record(7, "cpu1", 1.0, 2.0)
+        rep = verify_health(t)
+        assert "R704" in codes(rep)
+
+
+class TestR705Identity:
+    def test_health_event_without_meta_fails(self):
+        t = ExecutionTrace()  # no meta["health"] stamp
+        t.record_health("cpu0", "healthy", "suspect", 1.0, 2.5)
+        rep = verify_health(t)
+        assert codes(rep) == ["R705"]
+
+    def test_hedge_event_without_meta_fails(self):
+        t = ExecutionTrace()
+        t.record_hedge("launch", 7, "cpu1", 2.5, "cpu0")
+        rep = verify_health(t)
+        assert codes(rep) == ["R705"]
+
+    def test_hedge_event_with_hedging_disabled_fails(self):
+        t = _monitored(hedge=False)
+        t.record_hedge("launch", 7, "cpu1", 2.5, "cpu0")
+        rep = verify_health(t)
+        assert "R705" in codes(rep)
+
+
+class TestInjectors:
+    def test_double_commit_hedge_caught(self):
+        bad = double_commit_hedge(_clean_hedged_trace())
+        rep = verify_health(bad)
+        assert "R701" in codes(rep)
+
+    def test_steal_from_quarantined_caught(self):
+        bad = steal_from_quarantined(_clean_hedged_trace())
+        rep = verify_health(bad)
+        assert "R703" in codes(rep)
+
+    def test_illegal_transition_caught(self):
+        bad = illegal_transition(_clean_hedged_trace())
+        rep = verify_health(bad)
+        assert "R702" in codes(rep)
+
+    def test_injectors_do_not_mutate_original(self):
+        t = _clean_hedged_trace()
+        n_ev, n_he = len(t.events), len(t.health_events)
+        double_commit_hedge(t)
+        illegal_transition(t)
+        steal_from_quarantined(t)
+        assert len(t.events) == n_ev
+        assert len(t.health_events) == n_he
+        assert verify_health(t).ok
+
+    def test_injectors_raise_when_inapplicable(self):
+        empty = ExecutionTrace()
+        with pytest.raises(ValueError):
+            double_commit_hedge(empty)
+        with pytest.raises(ValueError):
+            steal_from_quarantined(empty)
+        with pytest.raises(ValueError):
+            illegal_transition(empty)
