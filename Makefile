@@ -26,7 +26,7 @@ selftest:
 	@for inj in drop-edge overlap-trace break-mutex skew-flops stale-cache; do \
 		if $(PYTHON) -m repro verify --matrix lap2d --size 20 \
 			--no-lint --no-resilience --no-health --no-concurrency \
-			--no-determinism \
+			--no-determinism --no-adaptive \
 			--inject $$inj >/dev/null 2>&1; then \
 			echo "inject $$inj: NOT caught"; exit 1; \
 		else \
@@ -37,7 +37,7 @@ selftest:
 		if $(PYTHON) -m repro verify --matrix lap2d --size 32 \
 			--no-lint --no-hazards --no-symbolic --no-resilience \
 			--no-health --no-concurrency --no-determinism \
-			--inject $$inj >/dev/null 2>&1; then \
+			--no-adaptive --inject $$inj >/dev/null 2>&1; then \
 			echo "inject $$inj: NOT caught"; exit 1; \
 		else \
 			echo "inject $$inj: caught"; \
@@ -47,7 +47,7 @@ selftest:
 		if $(PYTHON) -m repro verify --matrix lap2d --size 16 \
 			--no-lint --no-hazards --no-symbolic --no-schedule \
 			--no-health --no-concurrency --no-determinism \
-			--inject $$inj >/dev/null 2>&1; then \
+			--no-adaptive --inject $$inj >/dev/null 2>&1; then \
 			echo "inject $$inj: NOT caught"; exit 1; \
 		else \
 			echo "inject $$inj: caught"; \
@@ -57,7 +57,7 @@ selftest:
 		if $(PYTHON) -m repro verify --matrix lap2d --size 16 \
 			--no-lint --no-hazards --no-schedule --no-symbolic \
 			--no-resilience --no-health --no-determinism \
-			--inject $$inj >/dev/null 2>&1; then \
+			--no-adaptive --inject $$inj >/dev/null 2>&1; then \
 			echo "inject $$inj: NOT caught"; exit 1; \
 		else \
 			echo "inject $$inj: caught"; \
@@ -67,7 +67,7 @@ selftest:
 		if $(PYTHON) -m repro verify --matrix lap2d --size 16 \
 			--no-lint --no-hazards --no-schedule --no-symbolic \
 			--no-resilience --no-health --no-concurrency \
-			--inject $$inj >/dev/null 2>&1; then \
+			--no-adaptive --inject $$inj >/dev/null 2>&1; then \
 			echo "inject $$inj: NOT caught"; exit 1; \
 		else \
 			echo "inject $$inj: caught"; \
@@ -78,6 +78,19 @@ selftest:
 		if $(PYTHON) -m repro verify --matrix lap2d --size 20 \
 			--no-lint --no-hazards --no-schedule --no-symbolic \
 			--no-resilience --no-concurrency --no-determinism \
+			--no-adaptive --inject $$inj >/dev/null 2>&1; then \
+			echo "inject $$inj: NOT caught"; exit 1; \
+		else \
+			echo "inject $$inj: caught"; \
+		fi; \
+	done
+	@# A forged adaptive model stamp (one bucket count inflated) must
+	@# trip the A9xx provenance audit.
+	@for inj in skew-model; do \
+		if $(PYTHON) -m repro verify --matrix lap2d --size 16 \
+			--no-lint --no-hazards --no-schedule --no-symbolic \
+			--no-resilience --no-health --no-concurrency \
+			--no-determinism \
 			--inject $$inj >/dev/null 2>&1; then \
 			echo "inject $$inj: NOT caught"; exit 1; \
 		else \
@@ -119,13 +132,15 @@ chaos-smoke:
 # the committed baseline.  The deterministic replay-makespan metric is
 # gated at 15%; normalized wall clock is a lax (50%) gross-failure
 # backstop; --gate-variants additionally requires the cached hot path
-# ('opt') to beat the uncached one ('base') within the fresh report --
-# see benchmarks/perf_compare.py.
+# ('opt') to beat the uncached one ('base') within the fresh report;
+# --gate-adaptive requires the history-driven 'adaptive' scheduler to
+# hold the static 'priority' replay makespan -- see
+# benchmarks/perf_compare.py.
 perf-smoke:
 	@PYTHONPATH=src:benchmarks $(PYTHON) benchmarks/bench_threaded.py \
 		--quick --out results/_perfsmoke.json
 	@PYTHONPATH=src:benchmarks $(PYTHON) benchmarks/perf_compare.py \
-		--gate-variants \
+		--gate-variants --gate-adaptive \
 		results/BENCH_threaded.json results/_perfsmoke.json; \
 	status=$$?; rm -f results/_perfsmoke.json; exit $$status
 
@@ -147,7 +162,8 @@ race-smoke:
 determinism-smoke:
 	@$(PYTHON) -m repro verify --matrix lap2d --size 16 \
 		--no-lint --no-hazards --no-schedule --no-symbolic \
-		--no-resilience --no-health --no-concurrency >/dev/null; \
+		--no-resilience --no-health --no-concurrency \
+		--no-adaptive >/dev/null; \
 	status=$$?; \
 	if [ $$status -eq 0 ]; then echo "determinism-smoke: clean"; \
 	else echo "determinism-smoke: FAILED"; fi; exit $$status
@@ -161,7 +177,7 @@ ci: verify selftest race-smoke determinism-smoke chaos-smoke perf-smoke
 
 lint:
 	$(PYTHON) -m repro verify --no-hazards --no-schedule --no-resilience \
-		--no-health --no-concurrency --no-determinism
+		--no-health --no-concurrency --no-determinism --no-adaptive
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src tests benchmarks examples; \
 	else \

@@ -35,6 +35,13 @@ Every (matrix, scheduler, workers) cell is measured in two **variants**:
 ``base`` within one report — the regression gate for this repo's
 hot-path optimizations (cached must not be slower).
 
+The ``adaptive`` cells exercise the measured-history scheduler
+(``repro.runtime.adaptive``): one :class:`PerfHistory` instance, seeded
+from the committed ``results/`` corpus, is shared across a cell's
+repeats so later repeats rank from the durations earlier ones fed back.
+``perf_compare.py --gate-adaptive`` asserts the adaptive replay
+makespan never loses to the static ``priority`` ranking it refines.
+
 ``--mis-prioritize`` is fault injection for the gate's self-test: the
 ``priority`` cells silently run the inverse (anti-critical-path)
 scheduler while still reporting themselves as ``priority``; ``make
@@ -66,10 +73,11 @@ from repro.runtime.threaded import factorize_threaded
 from repro.runtime.tracing import ExecutionTrace
 from repro.sparse.collection import load_matrix
 
-#: Schedulers every sweep covers: the legacy global-FIFO baseline plus
-#: the three paper twins (PaStiX work stealing, dmda critical path,
-#: PaRSEC last-panel affinity).
-SCHEDULERS = ["fifo", "ws", "priority", "affinity"]
+#: Schedulers every sweep covers: the legacy global-FIFO baseline, the
+#: three paper twins (PaStiX work stealing, dmda critical path, PaRSEC
+#: last-panel affinity), and the history-driven ``adaptive`` ranking
+#: (dmda's measured-model loop; see ``repro.runtime.adaptive``).
+SCHEDULERS = ["fifo", "ws", "priority", "affinity", "adaptive"]
 
 #: Hot-path variants: the uncached baseline and the cached+accumulated
 #: optimized path (see module docstring).
@@ -206,12 +214,28 @@ def run_cell(
     if mis_prioritize and scheduler == "priority":
         effective = "inverse-priority"
 
+    # The adaptive cells share ONE duration model across repeats,
+    # seeded from the committed corpus: repeat 1 ranks from the seeded
+    # global rate, later repeats from the durations repeat 1 fed back —
+    # the measured-history loop this scheduler exists to close.
+    history = None
+    if effective == "adaptive":
+        from repro.runtime.adaptive import DEFAULT_RESULTS, PerfHistory
+
+        history = PerfHistory()
+        history.seed_from_results(DEFAULT_RESULTS)
+
     best_wall = float("inf")
     best_model = float("inf")
     best_trace = None
     best_stats: dict = {}
     for _ in range(max(1, repeats)):
-        sched = get_thread_scheduler(effective)
+        if history is not None:
+            from repro.runtime.adaptive import AdaptiveScheduler
+
+            sched = AdaptiveScheduler(history=history)
+        else:
+            sched = get_thread_scheduler(effective)
         trace = ExecutionTrace()
         t0 = time.perf_counter()
         factor = factorize_threaded(

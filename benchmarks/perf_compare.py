@@ -21,6 +21,15 @@ independently:
   Disable with ``--no-wall`` when comparing across very different
   machines.
 
+When either report lacks a usable calibration (``calib_gflops``
+missing/zero), the wall gate silently used to fall back to comparing
+*raw* wall seconds across hosts — exactly the machine-dependent noise
+the calibration exists to cancel.  The fallback still happens (old
+baselines stay comparable) but it is now **loud**: a warning on stderr
+names the uncalibrated report(s), and ``--strict-calibration`` turns
+the condition into a hard failure for CI lanes that must never gate on
+raw cross-host wall clock.
+
 ``--gate-variants`` adds a third, *within-report* check on the NEW
 report alone: every ``opt`` cell (cached scatter maps + fan-in
 accumulation + DLᵀ buffer) must not be slower than its ``base``
@@ -29,6 +38,17 @@ host, same run, so no calibration is needed.  This is the gate that
 keeps the hot-path optimizations actually optimizing (the cached path
 must never fall behind the path it exists to beat).
 
+``--gate-adaptive`` adds a fourth, *within-report* check on the NEW
+report alone: for every (matrix, workers, scale, variant) group that
+has both, the ``adaptive`` scheduler's replay makespan must stay
+within ``--adaptive-threshold`` of the static ``priority`` cell's.
+The adaptive scheduler ranks by measured expected durations plus a
+transfer-cost term (the dmda idea); this gate is the proof it never
+loses to the static critical-path ranking it refines.  Only the
+deterministic replay metric is gated — both cells share a host, but
+adaptive's whole point is a *schedule* improvement, and wall noise on
+small quick-sweep problems would drown it.
+
 Usage::
 
     python benchmarks/perf_compare.py BASELINE.json NEW.json
@@ -36,13 +56,14 @@ Usage::
     python benchmarks/perf_compare.py --gate-variants base.json new.json
 
 ``make perf-smoke`` runs the quick sweep and gates it against the
-committed baseline (with ``--gate-variants``).
+committed baseline (with ``--gate-variants --gate-adaptive``).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import sys
 from pathlib import Path
 
 from common import format_table
@@ -64,6 +85,17 @@ _KEY_FIELDS = ("matrix", "scheduler", "n_workers", "scale", "variant")
 #: process, so the lax cross-host threshold is not needed.
 DEFAULT_VARIANT_THRESHOLD = 0.02
 DEFAULT_VARIANT_WALL_THRESHOLD = 0.25
+
+#: Tolerated adaptive-vs-priority replay slowdown for
+#: ``--gate-adaptive``.  Looser than the variant gate: on quick-sweep
+#: problem sizes the two schedules are near-identical and the replay
+#: model quantizes small ordering differences.
+DEFAULT_ADAPTIVE_THRESHOLD = 0.05
+
+
+def is_calibrated(report: dict) -> bool:
+    """Does the report carry a usable dense-GEMM calibration?"""
+    return float(report.get("calib_gflops") or 0.0) > 0.0
 
 
 def load_report(path) -> dict:
@@ -106,7 +138,7 @@ def compare(
 
     base_calib = float(baseline.get("calib_gflops") or 0.0)
     new_calib = float(new.get("calib_gflops") or 0.0)
-    calibrated = base_calib > 0.0 and new_calib > 0.0
+    calibrated = is_calibrated(baseline) and is_calibrated(new)
 
     for key in common:
         b, n = base_cells[key], new_cells[key]
@@ -188,6 +220,49 @@ def compare_variants(
     return ok, rows
 
 
+def compare_adaptive(
+    report: dict,
+    *,
+    threshold: float = DEFAULT_ADAPTIVE_THRESHOLD,
+) -> tuple[bool, list[dict]]:
+    """Within one report: gate every ``adaptive`` cell against the
+    ``priority`` cell of the same (matrix, workers, scale, variant).
+
+    Ratio is adaptive/priority on the deterministic replay makespan; a
+    ratio above ``1 + threshold`` means the history-driven ranking lost
+    to the static critical-path ranking it refines.  Returns
+    ``(ok, rows)``; ``ok`` is False on any regression — or when the
+    report has no adaptive/priority pairs at all (an empty gate must
+    not pass).
+    """
+    cells = index_cells(report)
+    rows: list[dict] = []
+    ok = True
+    for key in sorted(cells, key=str):
+        if key[1] != "adaptive":
+            continue
+        static = cells.get((key[0], "priority") + key[2:])
+        if static is None:
+            continue
+        c = cells[key]
+        model_ratio = (
+            c["model_makespan_s"] / static["model_makespan_s"]
+            if static["model_makespan_s"] > 0 else 1.0
+        )
+        bad = model_ratio > 1.0 + threshold
+        if bad:
+            ok = False
+        rows.append({
+            "key": (key[0],) + key[2:],
+            "model_ratio": model_ratio,
+            "regression": bool(bad),
+            "gated_on": "model" if bad else "",
+        })
+    if not rows:
+        ok = False
+    return ok, rows
+
+
 def main(argv=None) -> int:
     p = argparse.ArgumentParser(
         description="fail on >threshold slowdown vs the committed baseline"
@@ -206,6 +281,10 @@ def main(argv=None) -> int:
     p.add_argument("--no-wall", action="store_true",
                    help="gate only the deterministic replay metric "
                         "(use across very different hosts)")
+    p.add_argument("--strict-calibration", action="store_true",
+                   help="fail (exit 1) when the wall gate would fall "
+                        "back to raw cross-host wall seconds because "
+                        "either report lacks calib_gflops")
     p.add_argument("--gate-variants", action="store_true",
                    help="also fail if, WITHIN the new report, any 'opt' "
                         "cell is slower than its 'base' sibling "
@@ -218,10 +297,42 @@ def main(argv=None) -> int:
                    default=DEFAULT_VARIANT_WALL_THRESHOLD,
                    help="tolerated opt-vs-base wall slowdown fraction "
                         f"(default {DEFAULT_VARIANT_WALL_THRESHOLD:.2f})")
+    p.add_argument("--gate-adaptive", action="store_true",
+                   help="also fail if, WITHIN the new report, any "
+                        "'adaptive' cell's replay makespan is worse "
+                        "than the 'priority' cell of the same group "
+                        "(measured history must not lose to the static "
+                        "ranking it refines)")
+    p.add_argument("--adaptive-threshold", type=float,
+                   default=DEFAULT_ADAPTIVE_THRESHOLD,
+                   help="tolerated adaptive-vs-priority replay "
+                        "slowdown fraction "
+                        f"(default {DEFAULT_ADAPTIVE_THRESHOLD:.2f})")
     args = p.parse_args(argv)
 
     baseline = load_report(args.baseline)
     new = load_report(args.new)
+
+    calib_ok = True
+    if not args.no_wall:
+        uncal = [str(path) for path, rep in
+                 ((args.baseline, baseline), (args.new, new))
+                 if not is_calibrated(rep)]
+        if uncal:
+            print(
+                "WARNING: no calib_gflops in "
+                + ", ".join(uncal)
+                + " — the wall gate is comparing RAW wall seconds "
+                "across hosts (machine-dependent; the calibrated gate "
+                "exists to cancel exactly this).  Re-run the bench to "
+                "refresh calibration, or pass --no-wall.",
+                file=sys.stderr,
+            )
+            if args.strict_calibration:
+                print("FAIL: --strict-calibration forbids the raw-wall "
+                      "fallback", file=sys.stderr)
+                calib_ok = False
+
     ok, rows = compare(
         baseline, new,
         threshold=args.threshold,
@@ -293,7 +404,41 @@ def main(argv=None) -> int:
                       f"pair(s) over the limits ({v_limits})")
         ok = ok and v_ok
 
-    return 0 if ok else 1
+    if args.gate_adaptive:
+        a_ok, a_rows = compare_adaptive(
+            new, threshold=args.adaptive_threshold,
+        )
+        print()
+        if not a_rows:
+            print("FAIL: --gate-adaptive found no adaptive/priority "
+                  "cell pairs in the new report")
+        else:
+            a_table = []
+            for r in a_rows:
+                matrix, workers, scale, variant = r["key"]
+                a_table.append([
+                    matrix, workers, scale, variant,
+                    f"{r['model_ratio']:.3f}",
+                    f"REGRESSION({r['gated_on']})"
+                    if r["regression"] else "ok",
+                ])
+            print(format_table(
+                ["matrix", "workers", "scale", "variant",
+                 "adaptive/priority_model", "verdict"],
+                a_table,
+            ))
+            n_abad = sum(1 for r in a_rows if r["regression"])
+            if a_ok:
+                print(f"PASS: adaptive holds priority's replay "
+                      f"makespan in {len(a_rows)} pair(s) (limit "
+                      f"{1.0 + args.adaptive_threshold:.2f}x)")
+            else:
+                print(f"ADAPTIVE REGRESSION: {n_abad}/{len(a_rows)} "
+                      f"pair(s) over the limit "
+                      f"({1.0 + args.adaptive_threshold:.2f}x)")
+        ok = ok and a_ok
+
+    return 0 if ok and calib_ok else 1
 
 
 if __name__ == "__main__":

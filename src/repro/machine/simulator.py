@@ -40,6 +40,7 @@ from repro.resilience import (
     HealthPolicy,
     RecoveryPolicy,
     UnrecoverableError,
+    bucket_key,
     window_factor,
 )
 from repro.runtime.seq import monotonic_counter
@@ -1113,9 +1114,7 @@ class _Simulator:
 
     def _health_key(self, t: int) -> str:
         """(kernel, size-bucket) expectation key for task ``t``."""
-        kind = int(self.dag.kind[t])
-        flops = max(float(self.dag.flops[t]), 1.0)
-        return f"{kind}:{int(np.log2(flops))}"
+        return bucket_key(int(self.dag.kind[t]), float(self.dag.flops[t]))
 
     # ------------------------------------------------------------------
     # GPU execution

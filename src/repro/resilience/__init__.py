@@ -22,6 +22,7 @@ from repro.resilience.health import (
     LEGAL_TRANSITIONS,
     HealthMonitor,
     HealthPolicy,
+    bucket_key,
 )
 from repro.resilience.recovery import RecoveryPolicy, UnrecoverableError
 
@@ -36,6 +37,7 @@ __all__ = [
     "LEGAL_TRANSITIONS",
     "HealthMonitor",
     "HealthPolicy",
+    "bucket_key",
     "RecoveryPolicy",
     "UnrecoverableError",
 ]

@@ -36,6 +36,7 @@ replay bit-identically (D801).
 
 from __future__ import annotations
 
+import math
 import threading
 from dataclasses import dataclass
 from typing import Iterable, Optional
@@ -46,7 +47,23 @@ __all__ = [
     "HEALTH_RANK",
     "HealthPolicy",
     "HealthMonitor",
+    "bucket_key",
 ]
+
+
+def bucket_key(kind: int, flops: float) -> str:
+    """Canonical per-(kernel, size-bucket) expectation key.
+
+    ``"<kind>:<log2 bucket>"`` where the bucket is the floor of
+    ``log2(flops)`` (flops clamped to >= 1, so a costless task lands in
+    bucket 0).  Every consumer of per-kernel duration statistics — the
+    threaded runtime's health monitor, the machine simulator's, and the
+    adaptive scheduler's :class:`~repro.runtime.adaptive.PerfHistory` —
+    must key through this one helper so their buckets can never drift
+    apart (a drifted key would silently reset a worker's EWMA or fork
+    the duration model per engine).
+    """
+    return f"{int(kind)}:{int(math.log2(max(float(flops), 1.0)))}"
 
 #: States of the per-resource health machine, in degradation order.
 HEALTH_STATES = (

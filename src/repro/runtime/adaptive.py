@@ -1,0 +1,491 @@
+"""Adaptive scheduling from measured execution history (dmda's loop).
+
+The paper's central scheduling claim is that StarPU's ``dmda`` wins
+because its per-kernel performance models are *refined online from
+measured execution times* and because task placement charges a
+transfer-cost term for staging operands.  The static ``"priority"``
+scheduler ranks by flops-weighted critical-path levels — a model that
+is never corrected by reality.  This module closes the loop:
+
+* :class:`PerfHistory` — a per-(kernel, size-bucket) duration model
+  keyed by :func:`repro.resilience.health.bucket_key` (the same
+  bucketing the health monitor's EWMA uses, so the two measured-duration
+  consumers can never drift apart).  It is seeded from the committed
+  ``results/BENCH_*.json`` corpus and updated online from the durations
+  the threaded runtime feeds back for every committed task
+  (:meth:`~repro.runtime.scheduling.ThreadScheduler.on_duration`);
+* :class:`AdaptiveScheduler` (``"adaptive"`` in
+  :data:`~repro.runtime.scheduling.THREAD_SCHEDULERS`) — a shared heap
+  ranked by expected-completion levels: bottom levels recomputed with
+  *predicted durations* instead of raw flops, plus a
+  :class:`~repro.machine.perfmodel.TransferCostModel` term charging
+  each task the PCIe staging cost its panels would pay on the simulated
+  GPU path.  With an empty history it degrades exactly to
+  :class:`~repro.runtime.scheduling.CriticalPathScheduler` (same heap
+  entries, same pop order — the cold-start identity the tests pin);
+* :func:`suggest_config` — picks scheduler x accumulate x index_cache
+  for a matrix from the benchmark corpus (minimum replay makespan).
+
+Determinism contract: the model holds no wall-clock keys, iterates
+dictionaries in sorted order, and breaks warm-heap ties with a
+:class:`~repro.runtime.seq.MonotonicCounter`, so a same-seed replay
+stays D801-clean and the stamped ``trace.meta["adaptive"]`` provenance
+(model version + sample counts, audited by the A9xx pass) is identical
+across runs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import threading
+from pathlib import Path
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.machine.perfmodel import TransferCostModel
+from repro.resilience.health import bucket_key
+from repro.runtime.scheduling import THREAD_SCHEDULERS, ThreadScheduler
+from repro.runtime.seq import MonotonicCounter
+
+__all__ = [
+    "MODEL_VERSION",
+    "PerfHistory",
+    "AdaptiveScheduler",
+    "suggest_config",
+]
+
+#: Version of the stamped model provenance (``trace.meta["adaptive"]``);
+#: bumped whenever the bucket format or the stamp schema changes so the
+#: A9xx auditor can reject stamps it does not understand.
+MODEL_VERSION = 1
+
+#: Default benchmark-corpus location for seeding and suggestions.
+DEFAULT_RESULTS = Path("results")
+
+
+class PerfHistory:
+    """Measured per-(kernel, size-bucket) duration model.
+
+    Each bucket accumulates ``[n, sum_flops, sum_seconds]`` for tasks
+    whose :func:`~repro.resilience.health.bucket_key` matches; a bucket's
+    rate is ``sum_flops / sum_seconds``.  Prediction falls back from the
+    exact bucket to the nearest same-kernel bucket to the global
+    measured rate, so a cold model with only corpus-level seeding still
+    predicts durations proportional to flops — which is exactly the
+    static ``"priority"`` ranking.
+
+    Thread-safety: ``observe`` is called concurrently from worker
+    threads and takes the internal lock; reads used for ranking happen
+    at bind time, before any worker runs.
+    """
+
+    def __init__(self) -> None:
+        # key -> [n, sum_flops, sum_seconds]
+        self._buckets: dict[str, list[float]] = {}
+        self._global: list[float] = [0.0, 0.0, 0.0]
+        self._lock = threading.Lock()
+        #: Samples consumed by :meth:`seed_from_results`.
+        self.n_seeded = 0
+        #: Per-bucket observation counts of the current run (reset by
+        #: :meth:`start_run`); the deterministic half of the A9xx stamp.
+        self.run_counts: dict[str, int] = {}
+
+    # -- seeding -------------------------------------------------------
+    def seed_from_results(
+        self, path: "Path | str" = DEFAULT_RESULTS
+    ) -> int:
+        """Seed the global rate from a committed benchmark corpus.
+
+        ``path`` is a ``BENCH_*.json`` report or a directory of them.
+        The corpus stores per-cell aggregates (total flops, wall
+        seconds), not per-kernel durations, so seeding fills the
+        *global* rate: single-worker cells contribute their measured
+        ``flops / wall_s`` (serial wall time is pure compute), and the
+        report's ``calib_gflops`` is folded in as one weak sample when
+        no such cell exists.  Returns the number of samples consumed.
+        """
+        p = Path(path)
+        files = sorted(p.glob("BENCH_*.json")) if p.is_dir() else [p]
+        consumed = 0
+        for f in files:
+            if not f.exists():
+                continue
+            try:
+                payload = json.loads(f.read_text())
+            except (OSError, ValueError):
+                continue
+            cells = payload.get("cells", [])
+            had_serial = False
+            for cell in cells:
+                try:
+                    flops = float(cell["flops"])
+                    wall = float(cell["wall_s"])
+                    workers = int(cell.get("n_workers", 0))
+                except (KeyError, TypeError, ValueError):
+                    continue
+                if workers == 1 and flops > 0.0 and wall > 0.0:
+                    with self._lock:
+                        self._global[0] += 1.0
+                        self._global[1] += flops
+                        self._global[2] += wall
+                    consumed += 1
+                    had_serial = True
+            calib = float(payload.get("calib_gflops", 0.0) or 0.0)
+            if not had_serial and calib > 0.0:
+                # One synthetic second at the calibrated rate.
+                with self._lock:
+                    self._global[0] += 1.0
+                    self._global[1] += calib * 1e9
+                    self._global[2] += 1.0
+                consumed += 1
+        with self._lock:
+            self.n_seeded += consumed
+        return consumed
+
+    # -- online updates ------------------------------------------------
+    def start_run(self) -> None:
+        """Reset the per-run observation counters (called at bind)."""
+        with self._lock:
+            self.run_counts = {}
+
+    def observe(self, key: str, flops: float, seconds: float) -> None:
+        """Fold one measured task duration into its bucket."""
+        if seconds <= 0.0:
+            return
+        with self._lock:
+            b = self._buckets.setdefault(key, [0.0, 0.0, 0.0])
+            b[0] += 1.0
+            b[1] += max(float(flops), 0.0)
+            b[2] += float(seconds)
+            self._global[0] += 1.0
+            self._global[1] += max(float(flops), 0.0)
+            self._global[2] += float(seconds)
+            self.run_counts[key] = self.run_counts.get(key, 0) + 1
+
+    def update_from_trace(self, dag: Any, trace: Any) -> int:
+        """Fold every task event of an ExecutionTrace into the model."""
+        n = 0
+        for e in trace.sorted_events():
+            t = int(e.task)
+            key = bucket_key(int(dag.kind[t]), float(dag.flops[t]))
+            self.observe(key, float(dag.flops[t]), float(e.duration))
+            n += 1
+        return n
+
+    # -- queries -------------------------------------------------------
+    def has_samples(self) -> bool:
+        """Any measured or seeded rate at all?"""
+        with self._lock:
+            return bool(self._buckets) or self._global[2] > 0.0
+
+    @property
+    def n_keys(self) -> int:
+        with self._lock:
+            return len(self._buckets)
+
+    @property
+    def n_observed(self) -> int:
+        """Observations folded via :meth:`observe` this run."""
+        with self._lock:
+            return sum(self.run_counts.values())
+
+    def rate(self, key: str) -> float:
+        """Measured rate (flop/s) of ``key``'s bucket, 0.0 if unknown."""
+        with self._lock:
+            b = self._buckets.get(key)
+            if b is not None and b[2] > 0.0 and b[1] > 0.0:
+                return b[1] / b[2]
+        return 0.0
+
+    def global_rate(self) -> float:
+        """Measured/seeded global rate (flop/s), 0.0 if empty."""
+        with self._lock:
+            if self._global[2] > 0.0 and self._global[1] > 0.0:
+                return self._global[1] / self._global[2]
+        return 0.0
+
+    def predict(self, kind: int, flops: float) -> float:
+        """Expected duration (s) of a task: bucket -> kin -> global.
+
+        The fallback chain keeps predictions *proportional to flops*
+        wherever no finer measurement exists, so an unseeded bucket
+        never distorts the relative ordering the static priority
+        scheduler would produce.
+        """
+        flops = max(float(flops), 1.0)
+        key = bucket_key(kind, flops)
+        r = self.rate(key)
+        if r > 0.0:
+            return flops / r
+        # Nearest same-kernel bucket (deterministic: sorted scan).
+        prefix = f"{int(kind)}:"
+        want = int(key.split(":")[1])
+        best: Optional[tuple[int, str]] = None
+        with self._lock:
+            for k in sorted(self._buckets):
+                if not k.startswith(prefix):
+                    continue
+                d = abs(int(k.split(":")[1]) - want)
+                if best is None or d < best[0]:
+                    best = (d, k)
+        if best is not None:
+            r = self.rate(best[1])
+            if r > 0.0:
+                return flops / r
+        r = self.global_rate()
+        if r > 0.0:
+            return flops / r
+        return 0.0
+
+    # -- persistence ---------------------------------------------------
+    def to_json(self) -> str:
+        """Serialized model (sorted keys — byte-stable)."""
+        with self._lock:
+            payload = {
+                "model_version": MODEL_VERSION,
+                "buckets": {k: list(self._buckets[k])
+                            for k in sorted(self._buckets)},
+                "global": list(self._global),
+                "n_seeded": self.n_seeded,
+            }
+        return json.dumps(payload, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "PerfHistory":
+        payload = json.loads(text)
+        version = int(payload.get("model_version", -1))
+        if version != MODEL_VERSION:
+            raise ValueError(
+                f"unsupported PerfHistory model_version {version} "
+                f"(expected {MODEL_VERSION})"
+            )
+        h = cls()
+        h._buckets = {
+            str(k): [float(x) for x in v]
+            for k, v in payload.get("buckets", {}).items()
+        }
+        h._global = [float(x) for x in payload.get("global",
+                                                   [0.0, 0.0, 0.0])]
+        h.n_seeded = int(payload.get("n_seeded", 0))
+        return h
+
+
+class AdaptiveScheduler(ThreadScheduler):
+    """Expected-completion heap refined from measured history (dmda).
+
+    Ranking: bottom levels (:func:`repro.dag.analysis.\
+longest_path_levels`) computed over *predicted durations* from the
+    shared :class:`PerfHistory` instead of raw flops, plus a
+    transfer-cost term — each task is charged the
+    :class:`~repro.machine.perfmodel.TransferCostModel` cost of staging
+    its source and target panels across the simulated PCIe link, which
+    is what ``dmda`` adds to a task's expected completion when weighing
+    the GPU path.  Ties in the warm heap are broken by a
+    :class:`~repro.runtime.seq.MonotonicCounter` (push order), never by
+    wall clock.
+
+    Cold start: with no history at all the predicted-duration weights
+    are undefined, so ``setup`` falls back to the raw flops levels and
+    the heap entries become *exactly*
+    :class:`~repro.runtime.scheduling.CriticalPathScheduler`'s
+    ``(-level, task)`` tuples — bit-identical ordering, which the
+    determinism suite pins.
+
+    The runtime feeds every committed task's measured duration back via
+    :meth:`on_duration` (``wants_durations``), so a history shared
+    across runs — the benchmark reuses one instance across repeats —
+    re-ranks later runs from reality rather than the model.
+    """
+
+    name = "adaptive"
+    wants_durations = True
+
+    def __init__(
+        self,
+        history: Optional[PerfHistory] = None,
+        transfer: Optional[TransferCostModel] = None,
+        transfer_weight: float = 1.0,
+    ) -> None:
+        self.history = history if history is not None else PerfHistory()
+        self.transfer = (
+            transfer if transfer is not None else TransferCostModel()
+        )
+        self.transfer_weight = float(transfer_weight)
+        self._cold = True
+        self._keys_at_bind = 0
+        self._seeded_at_bind = 0
+
+    def setup(self) -> None:
+        from repro.dag.analysis import longest_path_levels
+
+        self._cold = not self.history.has_samples()
+        self._keys_at_bind = self.history.n_keys
+        self._seeded_at_bind = self.history.n_seeded
+        dag = self.dag
+        if self._cold:
+            self._levels = longest_path_levels(dag)
+        else:
+            n = dag.n_tasks
+            weights = np.empty(n, dtype=np.float64)
+            for t in range(n):
+                weights[t] = self.history.predict(
+                    int(dag.kind[t]), float(dag.flops[t])
+                )
+            weights += self._transfer_costs()
+            self._levels = longest_path_levels(dag, weights=weights)
+        self._heap: list[tuple[float, int] | tuple[float, int, int]] = []
+        self._lock = threading.Lock()
+        self._seq = MonotonicCounter()
+        self.history.start_run()
+
+    def _transfer_costs(self) -> np.ndarray:
+        """Per-task PCIe staging cost (seconds) of the GPU path.
+
+        A task offloaded to the simulated device must stage its source
+        panel and its target panel; panels cross the link whole
+        (:func:`repro.kernels.cost.panel_bytes` — the same unit the
+        simulator and the M4xx auditor charge).  Without a symbol the
+        byte sizes are unknown and the term is zero.
+        """
+        dag = self.dag
+        n = dag.n_tasks
+        out = np.zeros(n, dtype=np.float64)
+        sym = getattr(dag, "symbol", None)
+        if sym is None or self.transfer_weight == 0.0:
+            return out
+        from repro.kernels.cost import panel_bytes
+
+        nbytes = panel_bytes(sym, factotype=dag.factotype)
+        for t in range(n):
+            src, tgt = int(dag.cblk[t]), int(dag.target[t])
+            b = nbytes[src] + (nbytes[tgt] if tgt != src else 0.0)
+            out[t] = self.transfer_weight * self.transfer.cost(b)
+        return out
+
+    # -- the concurrent surface ----------------------------------------
+    def push(self, task: int, worker: int) -> int:
+        rank = -self._sign_level(task)
+        with self._lock:
+            if self._cold:
+                heapq.heappush(self._heap, (rank, task))
+            else:
+                heapq.heappush(self._heap,
+                               (rank, next(self._seq), task))
+        return -1
+
+    def _sign_level(self, task: int) -> float:
+        return float(self._levels[task])
+
+    def pop(self, worker: int) -> Optional[int]:
+        with self._lock:
+            if self._heap:
+                return int(heapq.heappop(self._heap)[-1])
+        return None
+
+    def has_work(self) -> bool:
+        # Locked for the same reason as CriticalPathScheduler: the heap
+        # is a plain list rearranged by multi-step sift operations.
+        with self._lock:
+            return bool(self._heap)
+
+    def on_duration(self, task: int, seconds: float) -> None:
+        dag = self.dag
+        key = bucket_key(int(dag.kind[task]), float(dag.flops[task]))
+        self.history.observe(key, float(dag.flops[task]), seconds)
+
+    # -- provenance ----------------------------------------------------
+    def model_stamp(self) -> dict[str, Any]:
+        """The deterministic ``trace.meta["adaptive"]`` provenance.
+
+        Every field is a function of the task set and the pre-run model
+        state — never of wall-clock timings — so the stamp survives the
+        D8xx fingerprint whitelist: two same-seed runs produce
+        byte-identical stamps.  The A9xx auditor cross-checks
+        ``observed``/``buckets`` against the trace's own task events.
+        """
+        return {
+            "model_version": MODEL_VERSION,
+            "cold_start": bool(self._cold),
+            "seeded": int(self._seeded_at_bind),
+            "keys_at_bind": int(self._keys_at_bind),
+            "observed": int(self.history.n_observed),
+            "buckets": {k: int(v)
+                        for k, v in sorted(self.history.run_counts.items())},
+        }
+
+    # -- diagnostics ---------------------------------------------------
+    def snapshot(self, limit: int = 15) -> list[int]:
+        with self._lock:
+            return [int(e[-1]) for e in sorted(self._heap)[:limit]]
+
+    def stats(self) -> dict:
+        return {
+            "adaptive_cold_start": bool(self._cold),
+            "history_keys": self.history.n_keys,
+            "observed": self.history.n_observed,
+            "global_gflops": self.history.global_rate() / 1e9,
+        }
+
+
+THREAD_SCHEDULERS[AdaptiveScheduler.name] = AdaptiveScheduler
+
+
+def suggest_config(
+    matrix: str,
+    *,
+    n_workers: Optional[int] = None,
+    path: "Path | str" = DEFAULT_RESULTS / "BENCH_threaded.json",
+) -> dict[str, Any]:
+    """Pick scheduler x accumulate x index_cache for ``matrix``.
+
+    Scans the committed threaded-benchmark corpus for the cell with the
+    minimum deterministic replay makespan (``model_makespan_s``) on the
+    given matrix (optionally pinned to ``n_workers``) and returns the
+    knobs that produced it::
+
+        {"scheduler": ..., "n_workers": ..., "accumulate": ...,
+         "index_cache": ..., "dl_buffer": ..., "model_makespan_s": ...}
+
+    Ties break deterministically (scheduler name, then variant).  The
+    fault-injection-only ``"inverse-priority"`` scheduler is never
+    suggested.  Raises ``ValueError`` when the corpus has no usable cell
+    for the matrix.
+    """
+    p = Path(path)
+    try:
+        payload = json.loads(p.read_text())
+    except (OSError, ValueError) as exc:
+        raise ValueError(f"unreadable bench corpus {p}: {exc}") from exc
+    best: Optional[tuple[float, str, str, dict[str, Any]]] = None
+    for cell in payload.get("cells", []):
+        if cell.get("matrix") != matrix:
+            continue
+        sched = str(cell.get("scheduler", ""))
+        if sched in ("", "inverse-priority"):
+            continue
+        if n_workers is not None \
+                and int(cell.get("n_workers", -1)) != n_workers:
+            continue
+        mk = float(cell.get("model_makespan_s", 0.0) or 0.0)
+        if mk <= 0.0:
+            continue
+        key = (mk, sched, str(cell.get("variant", "base")))
+        if best is None or key < best[:3]:
+            best = key + (cell,)
+    if best is None:
+        raise ValueError(
+            f"no usable cells for matrix {matrix!r} in {p}"
+        )
+    cell = best[3]
+    opt = cell.get("variant", "base") == "opt"
+    return {
+        "matrix": matrix,
+        "scheduler": cell["scheduler"],
+        "n_workers": int(cell.get("n_workers", 0)),
+        "accumulate": opt,
+        "index_cache": opt,
+        "dl_buffer": opt,
+        "model_makespan_s": float(cell["model_makespan_s"]),
+    }

@@ -128,6 +128,21 @@ class ThreadScheduler:
         """Approximate emptiness probe (used by the parking protocol)."""
         raise NotImplementedError
 
+    # -- measured-duration feedback ------------------------------------
+    #: Set by policies that want :meth:`on_duration` called; the runtime
+    #: checks this flag so non-adaptive schedulers pay no clock reads.
+    wants_durations = False
+
+    def on_duration(self, task: int, seconds: float) -> None:
+        """Measured wall-clock duration of a *committed* ``task``.
+
+        Called by the threaded runtime once per successful task body
+        (never for a cancelled hedge loser or a failed attempt), from
+        the worker thread that ran it.  The default is a no-op; the
+        adaptive scheduler folds the sample into its
+        :class:`~repro.runtime.adaptive.PerfHistory`.
+        """
+
     # -- diagnostics ---------------------------------------------------
     def snapshot(self, limit: int = 15) -> list[int]:
         """A bounded sample of queued tasks (watchdog diagnostics)."""
@@ -159,7 +174,12 @@ class GlobalFifoScheduler(ThreadScheduler):
         return None
 
     def has_work(self) -> bool:
-        return bool(self._queue)
+        # Deliberately lock-free: a deque's truthiness is a single
+        # atomic length read under CPython's GIL (append/popleft never
+        # leave the length transiently wrong), and the parking protocol
+        # re-polls after a false positive/negative, so a stale answer
+        # costs at most one bounded nap — never a lost task.
+        return bool(self._queue)  # noqa: RV405
 
     def snapshot(self, limit: int = 15) -> list[int]:
         with self._lock:
@@ -310,7 +330,11 @@ class WorkStealingScheduler(ThreadScheduler):
         return None
 
     def has_work(self) -> bool:
-        return any(len(q) > 0 for q in self._local)
+        # Deliberately lock-free (same memory-model argument as the
+        # FIFO probe): len() of a deque is one atomic read per victim,
+        # and the parking protocol tolerates stale answers by
+        # re-polling with a bounded nap.
+        return any(len(q) > 0 for q in self._local)  # noqa: RV405
 
     def snapshot(self, limit: int = 15) -> list[int]:
         out: list[int] = []
@@ -322,7 +346,10 @@ class WorkStealingScheduler(ThreadScheduler):
         return out[:limit]
 
     def stats(self) -> dict:
-        return {
+        # Best-effort diagnostic snapshot: the counters are per-worker
+        # int cells written under each worker's own lock; summing them
+        # without all N locks may be momentarily stale but never torn.
+        return {  # noqa: RV405
             "steals": int(sum(self._n_steals)),
             "local_pops": int(sum(self._n_local)),
             "batched_pops": int(sum(self._n_batched)),
@@ -416,7 +443,13 @@ class CriticalPathScheduler(ThreadScheduler):
         return None
 
     def has_work(self) -> bool:
-        return bool(self._heap)
+        # Under the lock, unlike the deque-based probes: a heap is a
+        # plain list that ``heapq`` mutates through multi-step sift
+        # operations, so even a truthiness read can observe it
+        # mid-rearrangement — there is no CPython-atomicity argument
+        # to lean on here (RV405 flags the unguarded form).
+        with self._lock:
+            return bool(self._heap)
 
     def snapshot(self, limit: int = 15) -> list[int]:
         with self._lock:
@@ -445,6 +478,9 @@ THREAD_SCHEDULERS: dict[str, type[ThreadScheduler]] = {
     LastPanelAffinityScheduler.name: LastPanelAffinityScheduler,
     InversePriorityScheduler.name: InversePriorityScheduler,
 }
+# :class:`repro.runtime.adaptive.AdaptiveScheduler` ("adaptive")
+# registers itself when its module is imported (see the bottom of this
+# file); it lives apart because it pulls in the measured-history model.
 
 
 def get_thread_scheduler(
@@ -463,3 +499,11 @@ def get_thread_scheduler(
             f"available: {sorted(THREAD_SCHEDULERS)}"
         ) from None
     return cls()
+
+
+# Imported last so the cycle resolves whichever module loads first:
+# repro.runtime.adaptive subclasses ThreadScheduler (defined above) and
+# registers itself in THREAD_SCHEDULERS at its own import time.  A plain
+# ``import`` (no attribute access) keeps this safe even when adaptive's
+# own import of this module triggered it.
+import repro.runtime.adaptive  # noqa: E402,F401  isort:skip

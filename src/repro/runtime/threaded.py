@@ -49,6 +49,7 @@ from repro.resilience import (
     FaultModel,
     HealthMonitor,
     HealthPolicy,
+    bucket_key,
     window_factor,
 )
 from repro.runtime.scheduling import ThreadScheduler, get_thread_scheduler
@@ -240,8 +241,8 @@ class _PoolRun:
         kind = int(self.dag.kind[t])
         flops = getattr(self.dag, "flops", None)
         if flops is None:
-            return f"{kind}:0"
-        return f"{kind}:{int(np.log2(max(float(flops[t]), 1.0)))}"
+            return bucket_key(kind, 0.0)
+        return bucket_key(kind, float(flops[t]))
 
     def _record_health(self, worker: int, transitions) -> None:
         """Buffer monitor transitions (caller is worker ``worker``)."""
@@ -303,17 +304,24 @@ class _PoolRun:
         """Make ``t`` ready.  Subclass hook wrapping ``scheduler.push``
         so runs that need ready-task accounting can observe every
         enqueue (the fan-in batching guard)."""
-        return self.scheduler.push(t, worker)
+        # The scheduler binding is final after bind(); push/pop guard
+        # the scheduler's internal state with its own lock.
+        return self.scheduler.push(t, worker)  # noqa: RV405
 
     def _execute(self, t: int, worker: int) -> Optional[bool]:
         start = time.perf_counter() - self.t0
         if self.health is None:
             self._run_task(t, worker)
-            if self.trace is not None:
+            if self.trace is not None or self.scheduler.wants_durations:
                 end = time.perf_counter() - self.t0
-                # Buffered: merged into the trace at run() exit so a
-                # traced completion never takes a shared lock.
-                self._trace_rows[worker].append((t, start, end))
+                if self.trace is not None:
+                    # Buffered: merged into the trace at run() exit so
+                    # a traced completion never takes a shared lock.
+                    self._trace_rows[worker].append((t, start, end))
+                if self.scheduler.wants_durations:
+                    # Measured-duration feedback for the adaptive
+                    # model; exactly once per committed task.
+                    self.scheduler.on_duration(t, end - start)
             return None
         # Monitored: register the in-flight attempt (the hedging
         # candidate pool and the watchdog's in-flight ages), time the
@@ -338,6 +346,8 @@ class _PoolRun:
                                self._hedged.get(t, ""))
             return False
         self._last_done[worker] = end
+        if self.scheduler.wants_durations:
+            self.scheduler.on_duration(t, dur)
         if self.trace is not None:
             self._trace_rows[worker].append((t, start, end))
         if t in self._hedged:
@@ -347,8 +357,9 @@ class _PoolRun:
 
     # -- bookkeeping ---------------------------------------------------
     def _settled(self) -> int:
-        """Tasks that will never run again: completed or abandoned."""
-        return self.n_done + len(self.abandoned)
+        """Tasks that will never run again: completed or abandoned.
+        Every caller already holds ``self.state``."""
+        return self.n_done + len(self.abandoned)  # noqa: RV405
 
     def _quarantine_locked(self, t: int, exc: BaseException) -> None:
         """Abandon ``t`` and its not-yet-run descendants (state held)."""
@@ -584,6 +595,8 @@ class _PoolRun:
                                self._hedged.get(t, ""))
             return
         self._last_done[worker] = end
+        if self.scheduler.wants_durations:
+            self.scheduler.on_duration(t, dur)
         if self.trace is not None:
             self._trace_rows[worker].append((t, start, end))
         self._record_hedge(worker, "win", t, f"cpu{worker}", end,
@@ -638,6 +651,12 @@ class _PoolRun:
             for t, start, end in self._trace_rows[w]:
                 self.trace.record(t, f"cpu{w}", start, end)
         self._trace_rows = [[] for _ in range(self.n_workers)]
+        stamp = getattr(self.scheduler, "model_stamp", None)
+        if stamp is not None:
+            # Adaptive-model provenance (model version + sample counts);
+            # deterministic by contract, so it is safe inside the D8xx
+            # fingerprint whitelist and audited by the A9xx pass.
+            self.trace.meta["adaptive"] = stamp()
         if self.health is not None:
             for w in range(self.n_workers):
                 for (res, src, dst, when, ratio, rsn) in self._health_rows[w]:
@@ -1003,6 +1022,8 @@ class _ThreadedRun(_PoolRun):
         for u, _parts, start, end in computed:
             if self.trace is not None:
                 self._trace_rows[worker].append((u, start, end))
+            if self.scheduler.wants_durations:
+                self.scheduler.on_duration(u, end - start)
             if self.health is not None:
                 self._last_done[worker] = end
                 self._record_health(worker, self.health.observe(

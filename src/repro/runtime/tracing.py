@@ -44,6 +44,10 @@ META_FINGERPRINT_KEYS = (
     "accumulate",
     "dl_buffer",
     "health",
+    # Adaptive-model provenance: model version + deterministic sample
+    # counts (never measured means), stamped by the threaded runtime
+    # and audited by the A9xx pass (repro.verify.adaptive).
+    "adaptive",
 )
 
 

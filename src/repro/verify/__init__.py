@@ -39,13 +39,19 @@ through ``python -m repro verify``:
   shadow of the same discipline: an AST lint over ``repro.runtime`` and
   ``repro.kernels.accumulate`` for unlocked shared writes, condition
   waits without a predicate loop, inconsistent lock acquisition order,
-  and sleep-as-synchronization (RV4xx);
+  sleep-as-synchronization, and unguarded reads of lock-guarded state
+  in return position (RV4xx);
 * :func:`repro.verify.determinism.verify_determinism` — replays a
   seeded run and convicts divergence: same-seed fingerprint mismatch,
   event-time monotonicity and tie-break totality, RNG-draw provenance,
   first-divergence localization, and meta/seed stamping completeness
   (D8xx) over the canonical order-sensitive trace fingerprint
   (:meth:`~repro.runtime.tracing.ExecutionTrace.fingerprint`);
+* :func:`repro.verify.adaptive.verify_adaptive` — audits the adaptive
+  scheduler's stamped duration-model provenance
+  (``trace.meta["adaptive"]``: model version + deterministic sample
+  counts) against the trace's own task events and the shared
+  :func:`repro.resilience.health.bucket_key` bucketing (A9xx);
 * :func:`repro.verify.eventloop.eventloop_paths` — the static shadow
   of the same discipline: an AST lint over the three discrete-event
   simulators and the fault layer for heap pushes without a monotonic
@@ -65,6 +71,7 @@ invariant — fails tier-1 rather than silently corrupting a panel.
 """
 
 from repro.verify.access import ACCUM, READ, WRITE, AccessSets, derive_accesses
+from repro.verify.adaptive import skew_model_stamp, verify_adaptive
 from repro.verify.concurrency import (
     drop_sync_event,
     swallow_wakeup,
@@ -157,6 +164,8 @@ __all__ = [
     "drop_sync_event",
     "unlocked_scatter",
     "swallow_wakeup",
+    "verify_adaptive",
+    "skew_model_stamp",
     "verify_determinism",
     "trace_diff",
     "reorder_ties",

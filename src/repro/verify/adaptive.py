@@ -1,0 +1,179 @@
+"""A9xx: audit the adaptive scheduler's stamped duration model.
+
+The threaded runtime stamps ``trace.meta["adaptive"]`` — model version
+plus deterministic sample counts (:meth:`repro.runtime.adaptive.\
+AdaptiveScheduler.model_stamp`) — whenever the ``"adaptive"`` scheduler
+produced the trace.  The stamp sits inside the D8xx fingerprint
+whitelist, so a forged or drifted stamp would silently change a trace's
+identity; this pass re-derives everything checkable from the trace's
+own task events and convicts any disagreement:
+
+* **A901 stamp/scheduler mismatch** — ``meta["scheduler"] ==
+  "adaptive"`` without a stamp, or a stamp on a trace another scheduler
+  produced (forged provenance);
+* **A902 malformed stamp** — missing fields, unsupported
+  ``model_version``, negative counts, or per-bucket counts that do not
+  sum to ``observed``;
+* **A903 observation accounting** — ``observed`` must equal the number
+  of recorded task events: the runtime feeds exactly one measured
+  duration per committed task, no more (a cancelled hedge loser) and no
+  fewer (a dropped feedback hook);
+* **A904 bucket drift** — the stamped per-bucket counts must equal the
+  counts rebuilt from the DAG through the shared
+  :func:`repro.resilience.health.bucket_key` (a mismatch means the
+  engines' bucketing drifted — precisely the regression the shared
+  helper exists to prevent).
+
+:func:`skew_model_stamp` is the ``--inject skew-model`` corruption for
+``make selftest``: it inflates one bucket's count, which must trip
+A902/A904.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.resilience.health import bucket_key
+from repro.runtime.adaptive import MODEL_VERSION
+from repro.runtime.tracing import ExecutionTrace
+from repro.verify.report import Report
+
+__all__ = ["verify_adaptive", "skew_model_stamp"]
+
+_REQUIRED_FIELDS = (
+    "model_version", "cold_start", "seeded", "keys_at_bind",
+    "observed", "buckets",
+)
+
+_COUNT_FIELDS = ("seeded", "keys_at_bind", "observed")
+
+
+def _rebuild_buckets(dag: Any, trace: ExecutionTrace) -> dict[str, int]:
+    """Per-bucket task-event counts derived from the trace + DAG."""
+    counts: dict[str, int] = {}
+    for e in trace.sorted_events():
+        t = int(e.task)
+        key = bucket_key(int(dag.kind[t]), float(dag.flops[t]))
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def verify_adaptive(
+    dag: Any, trace: ExecutionTrace, *, name: str = "adaptive"
+) -> Report:
+    """Audit ``trace.meta["adaptive"]`` against the trace's events."""
+    rep = Report(name)
+    stamp = trace.meta.get("adaptive")
+    sched = trace.meta.get("scheduler")
+
+    if stamp is None:
+        if sched == "adaptive":
+            rep.add(
+                "A901",
+                "scheduler 'adaptive' produced this trace but no "
+                "meta['adaptive'] model stamp was recorded",
+            )
+        return rep
+    if sched != "adaptive":
+        rep.add(
+            "A901",
+            f"meta['adaptive'] stamp present on a trace produced by "
+            f"scheduler {sched!r} (forged provenance)",
+        )
+        return rep
+
+    if not isinstance(stamp, dict):
+        rep.add("A902", f"meta['adaptive'] is {type(stamp).__name__}, "
+                        "not a stamp dict")
+        return rep
+    missing = [f for f in _REQUIRED_FIELDS if f not in stamp]
+    if missing:
+        rep.add("A902", f"stamp missing field(s) {missing}")
+        return rep
+    version = stamp["model_version"]
+    if not isinstance(version, int) or not 1 <= version <= MODEL_VERSION:
+        rep.add(
+            "A902",
+            f"unsupported model_version {version!r} "
+            f"(this auditor understands 1..{MODEL_VERSION})",
+        )
+    for field in _COUNT_FIELDS:
+        val = stamp[field]
+        if not isinstance(val, int) or val < 0:
+            rep.add("A902", f"stamp field {field!r} is {val!r}, "
+                            "not a non-negative integer")
+    buckets = stamp["buckets"]
+    if not isinstance(buckets, dict) or any(
+        not isinstance(v, int) or v < 0 for v in buckets.values()
+    ):
+        rep.add("A902", "stamp 'buckets' is not a dict of "
+                        "non-negative integer counts")
+        return rep
+    total = sum(buckets.values())
+    if total != stamp["observed"]:
+        rep.add(
+            "A902",
+            f"bucket counts sum to {total} but 'observed' claims "
+            f"{stamp['observed']}",
+        )
+
+    n_events = len(trace.events)
+    if stamp["observed"] != n_events:
+        rep.add(
+            "A903",
+            f"stamp claims {stamp['observed']} observed duration(s) "
+            f"but the trace records {n_events} task event(s) — the "
+            "feedback hook must fire exactly once per committed task",
+        )
+
+    rebuilt = _rebuild_buckets(dag, trace)
+    if rebuilt != buckets:
+        drifted = sorted(
+            k for k in set(rebuilt) | set(buckets)
+            if rebuilt.get(k, 0) != buckets.get(k, 0)
+        )
+        rep.add(
+            "A904",
+            f"stamped bucket counts disagree with the counts rebuilt "
+            f"from the trace via bucket_key on {len(drifted)} key(s): "
+            f"{drifted[:8]}",
+        )
+
+    rep.stats["n_events"] = float(n_events)
+    rep.stats["n_buckets"] = float(len(buckets))
+    rep.stats["cold_start"] = float(bool(stamp.get("cold_start")))
+    return rep
+
+
+def skew_model_stamp(trace: ExecutionTrace) -> ExecutionTrace:
+    """Corrupt ``trace`` by inflating one stamped bucket count.
+
+    Models a drifted bucketing (or a feedback hook double-firing): the
+    returned trace must fail A902 (sum mismatch) and A904 (bucket
+    drift).  Raises ``ValueError`` when the trace carries no adaptive
+    stamp with at least one bucket.
+    """
+    stamp = trace.meta.get("adaptive")
+    if not isinstance(stamp, dict) or not stamp.get("buckets"):
+        raise ValueError(
+            "trace has no adaptive model stamp with buckets to skew "
+            "(run with scheduler='adaptive')"
+        )
+    forged = dict(stamp)
+    buckets = dict(forged["buckets"])
+    key = sorted(buckets)[0]
+    buckets[key] = int(buckets[key]) + 1
+    forged["buckets"] = buckets
+    meta = dict(trace.meta)
+    meta["adaptive"] = forged
+    return ExecutionTrace(
+        events=list(trace.events),
+        transfers=list(trace.transfers),
+        data_events=list(trace.data_events),
+        fault_events=list(trace.fault_events),
+        recovery_events=list(trace.recovery_events),
+        sync_events=list(trace.sync_events),
+        health_events=list(trace.health_events),
+        hedge_events=list(trace.hedge_events),
+        meta=meta,
+    )

@@ -26,7 +26,17 @@ on the offending line:
 * **RV404 sleep as synchronization** — any ``time.sleep(...)`` in the
   scoped modules: the runtime synchronizes with events and joins;
   sleeping for another thread's progress is a latent race and a
-  wasted core.
+  wasted core;
+* **RV405 unguarded read of lock-guarded state** — a ``return``
+  statement (outside any ``with self.<lock>:`` block and outside the
+  setup methods) that reads a *lock-guarded* attribute: one the class
+  both touches inside a lock block and mutates (augmented/subscript
+  assignment or a mutating container call such as ``append``/
+  ``heappush``).  The classic shape is an emptiness probe like
+  ``return bool(self._heap)`` racing a multi-step heap sift on another
+  thread.  Deliberately lock-free probes (atomic deque length reads
+  backed by a re-polling protocol) carry a memory-model justification
+  and a ``noqa``.
 """
 
 from __future__ import annotations
@@ -114,13 +124,88 @@ def _lock_attrs(cls: ast.ClassDef) -> set[str]:
     return out
 
 
+#: Container methods that mutate their receiver in place.
+_MUTATOR_METHODS = {
+    "append", "appendleft", "pop", "popleft", "extend", "extendleft",
+    "add", "remove", "discard", "clear", "update", "setdefault",
+    "insert",
+}
+
+#: ``heapq`` functions that mutate their first argument.
+_HEAPQ_MUTATORS = {"heappush", "heappop", "heapify", "heappushpop",
+                   "heapreplace"}
+
+
+def _witnessed_attrs(lock_attrs: set[str]):
+    """Probe factory: ``self`` attributes touched inside a ``with
+    self.<lock>:`` body of the probed class."""
+
+    def probe(cls: ast.ClassDef) -> set[str]:
+        out: set[str] = set()
+        for node in ast.walk(cls):
+            if not isinstance(node, ast.With):
+                continue
+            if not any(
+                _self_attr(item.context_expr) in lock_attrs
+                for item in node.items
+            ):
+                continue
+            for stmt in node.body:
+                for sub in ast.walk(stmt):
+                    if isinstance(sub, ast.Attribute):
+                        attr = _self_attr(sub)
+                        if attr is not None:
+                            out.add(attr)
+        return out - lock_attrs
+
+    return probe
+
+
+def _mutated_attrs(cls: ast.ClassDef) -> set[str]:
+    """``self`` attributes the class mutates anywhere (shared state):
+    augmented or subscript assignment, in-place container calls, or
+    ``heapq`` operations.  Plain ``self.X = ...`` rebinds are treated
+    as initialisation, not mutation."""
+    out: set[str] = set()
+    for node in ast.walk(cls):
+        if isinstance(node, ast.AugAssign):
+            attr = _self_attr(node.target)
+            if attr is not None:
+                out.add(attr)
+        elif isinstance(node, (ast.Assign, ast.Delete)):
+            for tgt in node.targets:
+                if isinstance(tgt, ast.Subscript):
+                    attr = _self_attr(tgt)
+                    if attr is not None:
+                        out.add(attr)
+        elif isinstance(node, ast.Call):
+            f = node.func
+            if isinstance(f, ast.Attribute) \
+                    and f.attr in _MUTATOR_METHODS:
+                attr = _self_attr(f.value)
+                if attr is not None:
+                    out.add(attr)
+            elif (
+                isinstance(f, ast.Attribute)
+                and f.attr in _HEAPQ_MUTATORS
+                and isinstance(f.value, ast.Name)
+                and f.value.id == "heapq"
+                and node.args
+            ):
+                attr = _self_attr(node.args[0])
+                if attr is not None:
+                    out.add(attr)
+    return out
+
+
 class _ClassLinter:
-    """Lint one class's methods against the RV401/402/403 rules."""
+    """Lint one class's methods against the RV401/402/403/405 rules."""
 
     def __init__(self, path: str, lines: list[str], cls: ast.ClassDef,
                  lock_attrs: set[str], cond_attrs: set[str],
                  findings: list[LintFinding],
-                 lock_order: dict[str, set[str]]) -> None:
+                 lock_order: dict[str, set[str]],
+                 guarded_attrs: Optional[set[str]] = None) -> None:
         self.path = path
         self.lines = lines
         self.cls = cls
@@ -128,6 +213,7 @@ class _ClassLinter:
         self.cond_attrs = cond_attrs
         self.findings = findings
         self.lock_order = lock_order
+        self.guarded_attrs = guarded_attrs or set()
 
     def _suppressed(self, line: int, code: str) -> bool:
         if not 1 <= line <= len(self.lines):
@@ -197,6 +283,13 @@ class _ClassLinter:
                 continue
             if isinstance(stmt, ast.AugAssign) and not in_setup:
                 self._check_aug(stmt, held)
+            if (
+                isinstance(stmt, ast.Return)
+                and stmt.value is not None
+                and not in_setup
+                and not held
+            ):
+                self._check_return(stmt)
             for child in ast.iter_child_nodes(stmt):
                 if isinstance(child, (ast.stmt, ast.expr)):
                     if isinstance(child, ast.expr):
@@ -231,6 +324,22 @@ class _ClassLinter:
             f"lock-owning class {self.cls.name} outside any "
             "`with self.<lock>:` block",
         )
+
+    def _check_return(self, stmt: ast.Return) -> None:
+        assert stmt.value is not None
+        for node in ast.walk(stmt.value):
+            if not isinstance(node, ast.Attribute):
+                continue
+            attr = _self_attr(node)
+            if attr is not None and attr in self.guarded_attrs:
+                self._emit(
+                    stmt, "RV405",
+                    f"return reads lock-guarded attribute self.{attr} "
+                    f"of {self.cls.name} without holding the lock that "
+                    "elsewhere guards its mutation (torn read against "
+                    "a concurrent multi-step update)",
+                )
+                return
 
     def _scan_expr(self, expr: ast.expr, in_while: bool) -> None:
         for node in ast.walk(expr):
@@ -325,9 +434,14 @@ def lockdiscipline_sources(
             conds = _inherited(node, _condition_attrs)
             if not locks and not conds:
                 continue
+            # RV405 guarded set: attributes the class hierarchy both
+            # touches under a lock AND mutates in place somewhere.
+            witnessed = _inherited(node, _witnessed_attrs(locks | conds))
+            mutated = _inherited(node, _mutated_attrs)
             before = {k: set(v) for k, v in lock_order.items()}
             _ClassLinter(path, src_lines, node, locks | conds, conds,
-                         findings, lock_order).lint()
+                         findings, lock_order,
+                         guarded_attrs=witnessed & mutated).lint()
             for k, v in lock_order.items():
                 for dst in v - before.get(k, set()):
                     order_sites.setdefault(

@@ -200,13 +200,13 @@ def test_bench_threaded_quick(bench_env, capsys):
     mod.main(["--scale", "0.3", "--matrices", "audi", "--workers", "2",
               "--repeats", "1", "--verify", "--out", str(out_path)])
     out = capsys.readouterr().out
-    for sched in ("fifo", "ws", "priority", "affinity"):
+    for sched in ("fifo", "ws", "priority", "affinity", "adaptive"):
         assert sched in out
     data = json.loads(out_path.read_text())
     assert data["bench"] == "threaded"
     assert data["calib_gflops"] > 0
-    # 4 schedulers x 2 hot-path variants (base/opt).
-    assert len(data["cells"]) == 8
+    # 5 schedulers x 2 hot-path variants (base/opt).
+    assert len(data["cells"]) == 10
     assert {c["variant"] for c in data["cells"]} == {"base", "opt"}
     for c in data["cells"]:
         assert c["wall_s"] > 0
@@ -214,11 +214,11 @@ def test_bench_threaded_quick(bench_env, capsys):
         assert c["verified"] is True
     # The summary compares each scheduler against the fifo baseline.
     assert {s["scheduler"] for s in data["summary"]} == {
-        "ws", "priority", "affinity",
+        "ws", "priority", "affinity", "adaptive",
     }
     # Every scheduler gets an opt-vs-base pairing.
     assert {s["scheduler"] for s in data["variant_summary"]} == {
-        "fifo", "ws", "priority", "affinity",
+        "fifo", "ws", "priority", "affinity", "adaptive",
     }
     for s in data["variant_summary"]:
         assert s["model_speedup_vs_base"] > 0
@@ -345,3 +345,86 @@ def test_perf_compare_gate_variants(bench_env, capsys):
     assert pc.main(["--gate-variants", "--no-wall",
                     str(ob_path), str(ob_path)]) == 1
     assert "no base/opt cell pairs" in capsys.readouterr().out
+
+
+def test_perf_compare_gate_adaptive(bench_env, capsys):
+    """--gate-adaptive: adaptive losing to priority on replay fails."""
+    import copy
+    import json
+
+    load, tmp = bench_env
+    pc = load("perf_compare")
+
+    def cell(sched, makespan):
+        return {"matrix": "audi", "scheduler": sched, "n_workers": 2,
+                "scale": 0.3, "variant": "opt", "wall_s": 0.1,
+                "model_makespan_s": makespan}
+
+    good = {"bench": "threaded", "calib_gflops": 1.0,
+            "cells": [cell("priority", 1.0), cell("adaptive", 0.98)]}
+    good_path = tmp / "good.json"
+    good_path.write_text(json.dumps(good))
+    assert pc.main(["--gate-adaptive", "--no-wall",
+                    str(good_path), str(good_path)]) == 0
+    assert "adaptive holds priority" in capsys.readouterr().out
+
+    # Adaptive worse than priority beyond the threshold: fail.
+    bad = copy.deepcopy(good)
+    bad["cells"][1]["model_makespan_s"] = 1.2
+    bad_path = tmp / "bad.json"
+    bad_path.write_text(json.dumps(bad))
+    assert pc.main(["--gate-adaptive", "--no-wall",
+                    str(good_path), str(bad_path)]) == 1
+    assert "ADAPTIVE REGRESSION" in capsys.readouterr().out
+    # ...but a looser threshold tolerates it (self-diff keeps the
+    # baseline comparison itself clean).
+    assert pc.main(["--gate-adaptive", "--no-wall",
+                    "--adaptive-threshold", "0.5",
+                    str(bad_path), str(bad_path)]) == 0
+    capsys.readouterr()
+
+    # No adaptive/priority pairs at all must not silently pass.
+    only_prio = {"bench": "threaded", "calib_gflops": 1.0,
+                 "cells": [cell("priority", 1.0)]}
+    op_path = tmp / "only_prio.json"
+    op_path.write_text(json.dumps(only_prio))
+    assert pc.main(["--gate-adaptive", "--no-wall",
+                    str(op_path), str(op_path)]) == 1
+    assert "no adaptive/priority cell pairs" in capsys.readouterr().out
+
+
+def test_perf_compare_calibration_warning_and_strict(bench_env, capsys):
+    """A missing calibration must be loud, and fatal under
+    --strict-calibration (the wall gate silently comparing raw
+    cross-host seconds was a bug)."""
+    import json
+
+    load, tmp = bench_env
+    pc = load("perf_compare")
+    cells = [{"matrix": "audi", "scheduler": "fifo", "n_workers": 2,
+              "scale": 0.3, "variant": "opt", "wall_s": 0.1,
+              "model_makespan_s": 1.0}]
+    cal = {"bench": "threaded", "calib_gflops": 2.0, "cells": cells}
+    uncal = {"bench": "threaded", "cells": cells}
+    cal_path, uncal_path = tmp / "cal.json", tmp / "uncal.json"
+    cal_path.write_text(json.dumps(cal))
+    uncal_path.write_text(json.dumps(uncal))
+
+    # Calibrated on both sides: silent.
+    assert pc.main([str(cal_path), str(cal_path)]) == 0
+    assert "WARNING" not in capsys.readouterr().err
+
+    # Uncalibrated side: loud warning naming the report, still exit 0.
+    assert pc.main([str(cal_path), str(uncal_path)]) == 0
+    err = capsys.readouterr().err
+    assert "WARNING" in err and "uncal.json" in err
+    assert "RAW wall seconds" in err
+
+    # --strict-calibration turns the fallback into a failure...
+    assert pc.main(["--strict-calibration",
+                    str(cal_path), str(uncal_path)]) == 1
+    assert "strict-calibration" in capsys.readouterr().err
+    # ...unless the wall gate is off entirely.
+    assert pc.main(["--strict-calibration", "--no-wall",
+                    str(cal_path), str(uncal_path)]) == 0
+    assert "WARNING" not in capsys.readouterr().err
