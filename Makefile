@@ -7,7 +7,7 @@ PYTHONPATH := src
 export PYTHONPATH
 
 .PHONY: test verify lint hazards typecheck bench figures selftest chaos \
-	chaos-smoke perf-smoke race-smoke determinism-smoke ci
+	chaos-smoke perf-smoke race-smoke determinism-smoke compiled-smoke ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -23,7 +23,8 @@ verify: lint hazards typecheck test
 # The memory injections need a problem large enough that the scheduler
 # actually offloads (hence --size 32).
 selftest:
-	@for inj in drop-edge overlap-trace break-mutex skew-flops stale-cache; do \
+	@for inj in drop-edge overlap-trace break-mutex skew-flops stale-cache \
+			stale-split; do \
 		if $(PYTHON) -m repro verify --matrix lap2d --size 20 \
 			--no-lint --no-resilience --no-health --no-concurrency \
 			--no-determinism --no-adaptive \
@@ -155,6 +156,17 @@ race-smoke:
 	if [ $$status -eq 0 ]; then echo "race-smoke: clean"; \
 	else echo "race-smoke: FAILED"; fi; exit $$status
 
+# Compiled-kernel gate: factorize a small problem with
+# kernels="compiled" (sequential and threaded, with a 2D row split) and
+# check the factors against the numpy reference.  With numba installed
+# this exercises the jit kernels; without it the toggle must degrade
+# gracefully to the bit-identical numpy fallback (reported as such).
+compiled-smoke:
+	@$(PYTHON) benchmarks/compiled_smoke.py; \
+	status=$$?; \
+	if [ $$status -eq 0 ]; then echo "compiled-smoke: clean"; \
+	else echo "compiled-smoke: FAILED"; fi; exit $$status
+
 # D8xx determinism gate: a seeded same-seed double-run of the machine
 # simulator (with the fault scenario) and of the stream-burst simulator
 # on a small matrix; their canonical trace fingerprints must match
@@ -173,7 +185,8 @@ determinism-smoke:
 # ruff/mypy when installed), the fault-injection self-tests, the
 # live-race gate, the determinism gate, the bounded chaos gate, and
 # the perf-regression gate.
-ci: verify selftest race-smoke determinism-smoke chaos-smoke perf-smoke
+ci: verify selftest race-smoke determinism-smoke chaos-smoke perf-smoke \
+	compiled-smoke
 
 lint:
 	$(PYTHON) -m repro verify --no-hazards --no-schedule --no-resilience \

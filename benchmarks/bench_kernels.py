@@ -1,0 +1,158 @@
+"""Micro-benchmark of the numeric hot-path kernels (PR: compiled backend).
+
+Times the three kernels :mod:`repro.kernels.compiled` accelerates —
+the fused GEMM+scatter update, the fan-in merge, and the assembly
+gather — on synthetic operands across a ladder of update shapes, and
+reports each shape's measured rate.  Runs against whatever backend is
+available: with numba installed the jit kernels are exercised (after a
+warmup call so compilation never pollutes a timing), without it the
+bit-identical numpy fallbacks are timed instead; the report records
+which backend produced the numbers.
+
+Besides the human-readable table/CSV the script emits
+``results/BENCH_kernels.json`` carrying a top-level ``"buckets"``
+section — ``{bucket_key(UPDATE, flops): [n, sum_flops, sum_seconds]}``
+— which :meth:`repro.runtime.adaptive.PerfHistory.seed_from_results`
+consumes directly, so the adaptive scheduler's duration model (and
+:func:`repro.runtime.adaptive.suggest_blocking`'s split thresholds)
+can be seeded from *measured* per-size GEMM rates instead of one
+global average.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from common import StageTimer, format_table, write_bench_json, write_csv
+from repro.dag.tasks import TaskKind
+from repro.kernels.compiled import (
+    HAVE_NUMBA,
+    fused_gemm_scatter,
+    gather_assign,
+    merge_add,
+)
+from repro.resilience.health import bucket_key
+
+SCHEMA_VERSION = 1
+
+#: Update-shaped GEMM ladder: (m, n, w) with m = 4w, n = w — the tall
+#: couple shapes the 2D row splitter carves into parts.
+SHAPES = [(64, 16, 16), (128, 32, 32), (256, 64, 64), (384, 96, 96)]
+
+
+def _operands(m: int, n: int, w: int, seed: int):
+    """Synthetic couple operands with a realistic gappy row map."""
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((m, w))
+    b = rng.standard_normal((n, w))
+    height = 2 * m + n
+    out = np.zeros((height, n))
+    rows = np.sort(rng.choice(height, size=m, replace=False)).astype(np.int64)
+    cols = np.arange(n, dtype=np.int64)
+    return a, b, out, rows, cols
+
+
+def _time_calls(fn, repeats: int, flops_per_call: float):
+    """Total seconds over ``repeats`` batches; returns (n_calls, secs).
+
+    Each batch loops the call enough times that tiny kernels are not
+    timed at clock resolution (~2^22 flops per batch).
+    """
+    inner = max(1, int(2**22 / max(flops_per_call, 1.0)))
+    fn()  # warmup: jit compilation (numba) / cache warming (numpy)
+    total = 0.0
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        total += time.perf_counter() - t0
+    return repeats * inner, total
+
+
+def run(repeats: int = 5, seed: int = 0) -> dict:
+    timer = StageTimer()
+    cells: list[dict] = []
+    buckets: dict[str, list[float]] = {}
+    for m, n, w in SHAPES:
+        a, b, out, rows, cols = _operands(m, n, w, seed)
+        acc = np.zeros_like(out)
+        contrib = a @ b.T
+        vals = contrib[:, 0].copy()
+        rloc = rows.copy()
+        cloc = np.zeros(m, dtype=np.int64)
+
+        gemm_flops = 2.0 * m * n * w
+        merge_flops = float(m * n)          # one add per touched entry
+        gather_flops = float(m)             # one store per entry
+
+        kernels = [
+            ("gemm-scatter", gemm_flops,
+             lambda: fused_gemm_scatter(a, b, out, rows, cols)),
+            ("merge-add", merge_flops,
+             lambda: merge_add(acc, rows, cols, contrib)),
+            ("gather-assign", gather_flops,
+             lambda: gather_assign(out, rloc, cloc, vals)),
+        ]
+        for kname, flops, fn in kernels:
+            n_calls, secs = _time_calls(fn, repeats, flops)
+            rate = n_calls * flops / secs if secs > 0 else 0.0
+            cells.append({
+                "kernel": kname,
+                "m": m, "n": n, "w": w,
+                "flops_per_call": flops,
+                "calls": n_calls,
+                "seconds": secs,
+                "gflops": rate / 1e9,
+            })
+            if kname == "gemm-scatter":
+                # Only the GEMM rates seed the UPDATE duration model:
+                # merge/gather are memory-bound bookkeeping whose
+                # flop-rates would distort the nearest-bucket fallback.
+                key = bucket_key(int(TaskKind.UPDATE), flops)
+                bk = buckets.setdefault(key, [0.0, 0.0, 0.0])
+                bk[0] += n_calls
+                bk[1] += n_calls * flops
+                bk[2] += secs
+        timer.note(f"shape {m}x{n}x{w} done")
+
+    payload = {
+        "bench": "kernels",
+        "schema_version": SCHEMA_VERSION,
+        "have_numba": bool(HAVE_NUMBA),
+        "kernels_backend": "compiled" if HAVE_NUMBA else "numpy",
+        "repeats": repeats,
+        "seed": seed,
+        "buckets": buckets,
+        "cells": cells,
+    }
+    return payload
+
+
+def main() -> None:
+    import argparse
+
+    p = argparse.ArgumentParser(
+        description="micro-benchmark the compiled/numpy numeric kernels"
+    )
+    p.add_argument("--repeats", type=int, default=5)
+    p.add_argument("--seed", type=int, default=0)
+    args = p.parse_args()
+
+    payload = run(repeats=args.repeats, seed=args.seed)
+    headers = ["kernel", "m", "n", "w", "GFlop/s"]
+    rows = [
+        [c["kernel"], c["m"], c["n"], c["w"], f"{c['gflops']:.3f}"]
+        for c in payload["cells"]
+    ]
+    print(f"backend: {payload['kernels_backend']} "
+          f"(numba {'present' if payload['have_numba'] else 'absent'})")
+    print(format_table(headers, rows))
+    write_csv("bench_kernels.csv", headers, rows)
+    path = write_bench_json("kernels", payload)
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -19,7 +19,9 @@ and what shows the scheduling headroom on boxes with too few cores to
 measure a wall-clock gap.  The faithful per-worker placement replay is
 kept alongside as ``model_placement_s`` (informational, not gated).
 
-Every (matrix, scheduler, workers) cell is measured in two **variants**:
+Every (matrix, scheduler, workers) cell is measured in three
+**variants** — a ladder where each rung keeps the previous one's knobs
+and adds its own:
 
 * ``base`` — the uncached hot path (``index_cache=False``, no fan-in
   accumulation, no DLᵀ buffer): every update re-derives its scatter
@@ -29,11 +31,19 @@ Every (matrix, scheduler, workers) cell is measured in two **variants**:
   flops, and its DAG carries the ``recompute_ld`` LDLᵀ counts;
 * ``opt`` — the cached + accumulated path (``index_cache=True``,
   ``accumulate=True``, ``dl_buffer=True``): pure GEMM flops, reduced
-  LDLᵀ counts.
+  LDLᵀ counts;
+* ``compiled`` — opt's knobs plus ``kernels="compiled"`` (the numba
+  fused update/merge/gather backend of :mod:`repro.kernels.compiled`,
+  degrading to the bit-identical numpy path when numba is absent) and
+  the 2D tall-panel row split (``build_dag(split_rows=SPLIT_ROWS)``),
+  so one tall couple yields several independent update tasks.  Its
+  replay DAG is built with the same ``split_rows`` so replay task ids
+  match the traced run.
 
-``perf_compare.py --gate-variants`` asserts ``opt`` never falls behind
-``base`` within one report — the regression gate for this repo's
-hot-path optimizations (cached must not be slower).
+``perf_compare.py --gate-variants`` asserts each rung never falls
+behind the one below it (``opt`` vs ``base``, ``compiled`` vs ``opt``)
+within one report — the regression gate for this repo's hot-path
+optimizations.
 
 The ``adaptive`` cells exercise the measured-history scheduler
 (``repro.runtime.adaptive``): one :class:`PerfHistory` instance, seeded
@@ -79,9 +89,16 @@ from repro.sparse.collection import load_matrix
 #: (dmda's measured-model loop; see ``repro.runtime.adaptive``).
 SCHEDULERS = ["fifo", "ws", "priority", "affinity", "adaptive"]
 
-#: Hot-path variants: the uncached baseline and the cached+accumulated
-#: optimized path (see module docstring).
-VARIANTS = ["base", "opt"]
+#: Hot-path variants: the uncached baseline, the cached+accumulated
+#: optimized path, and the compiled-kernel + 2D-row-split path (see
+#: module docstring).
+VARIANTS = ["base", "opt", "compiled"]
+
+#: Row-block threshold of the ``compiled`` variant's 2D split: couples
+#: taller than this are carved into independent update parts.  Matches
+#: the order of magnitude ``suggest_blocking`` derives from measured
+#: rates at the default task-size target on the committed corpus.
+SPLIT_ROWS = 128
 
 #: Replay rate (flops/s).  Arbitrary: only *ratios* of replay makespans
 #: are ever compared, and a fixed constant keeps them machine-free.
@@ -193,11 +210,16 @@ def run_cell(
     ``variant="base"`` runs the uncached hot path and replays with the
     index-work overhead added to every update task's cost (on the
     ``recompute_ld`` LDLᵀ DAG); ``variant="opt"`` runs cached +
-    accumulated + DLᵀ-buffered and replays pure GEMM costs.
+    accumulated + DLᵀ-buffered and replays pure GEMM costs;
+    ``variant="compiled"`` adds ``kernels="compiled"`` and the 2D row
+    split (``SPLIT_ROWS``) on top of opt's knobs — its replay DAG is
+    built with the same split so replay task ids match the trace.
     """
     if variant not in VARIANTS:
         raise ValueError(f"unknown variant {variant!r}")
-    opt = variant == "opt"
+    opt = variant != "base"
+    compiled = variant == "compiled"
+    split = SPLIT_ROWS if compiled else None
     res = analyzed(name, scale)
     permuted = load_matrix(name, scale=scale).permute(res.perm.perm)
     ft = matrix_factotype(name)
@@ -207,7 +229,7 @@ def run_cell(
     from repro.dag import build_dag
 
     dag = build_dag(res.symbol, ft, granularity="2d", dtype=dt,
-                    recompute_ld=not opt)
+                    recompute_ld=not opt, split_rows=split)
     costs = dag.flops if opt else dag.flops + index_overhead_flops(dag)
 
     effective = scheduler
@@ -242,6 +264,8 @@ def run_cell(
             res.symbol, permuted, ft, n_workers=n_workers, dtype=dt,
             trace=trace, scheduler=sched,
             index_cache=opt, accumulate=opt, dl_buffer=opt,
+            kernels="compiled" if compiled else "numpy",
+            split_rows=split,
             record_sync=verify,
         )
         wall = time.perf_counter() - t0
@@ -278,6 +302,10 @@ def run_cell(
         "model_cp_s": critical_path(dag, weights=costs)[0] / REPLAY_RATE,
         "n_tasks": dag.n_tasks,
         "flops": flops,
+        # Effective backend (trace meta: "compiled" only when numba is
+        # importable) and the 2D split threshold, if any.
+        "kernels": best_trace.meta.get("kernels", "numpy"),
+        "split_rows": split,
     }
     cell.update(best_stats)
     if verify:
@@ -327,32 +355,41 @@ def summarize(cells: list[dict]) -> list[dict]:
     return out
 
 
-def summarize_variants(cells: list[dict]) -> list[dict]:
-    """Per (matrix, n_workers, scheduler): opt's speedup over base.
+#: The variant ladder's gated rungs: each (variant, reference) pair
+#: must satisfy variant <= reference.  Mirrored by
+#: ``perf_compare.VARIANT_PAIRS``.
+VARIANT_PAIRS = (("opt", "base"), ("compiled", "opt"))
 
-    These are the ratios ``perf_compare.py --gate-variants`` checks —
-    printed here so a plain bench run already shows whether the cached
-    hot path pays off.
+
+def summarize_variants(cells: list[dict]) -> list[dict]:
+    """Per (matrix, n_workers, scheduler): each ladder rung's speedup.
+
+    One row per ``VARIANT_PAIRS`` entry with a sibling cell present —
+    the ratios ``perf_compare.py --gate-variants`` checks, printed here
+    so a plain bench run already shows whether each rung pays off.
     """
-    base = {
-        (c["matrix"], c["n_workers"], c["scheduler"]): c
-        for c in cells if c.get("variant", "base") == "base"
-    }
-    out = []
+    by_variant: dict[str, dict] = {}
     for c in cells:
-        if c.get("variant", "base") != "opt":
-            continue
-        ref = base.get((c["matrix"], c["n_workers"], c["scheduler"]))
-        if ref is None:
-            continue
-        out.append({
-            "matrix": c["matrix"],
-            "n_workers": c["n_workers"],
-            "scheduler": c["scheduler"],
-            "wall_speedup_vs_base": ref["wall_s"] / c["wall_s"],
-            "model_speedup_vs_base":
-                ref["model_makespan_s"] / c["model_makespan_s"],
-        })
+        key = (c["matrix"], c["n_workers"], c["scheduler"],
+               c.get("variant", "base"))
+        by_variant[key] = c
+    out = []
+    for var, ref_var in VARIANT_PAIRS:
+        for key, c in by_variant.items():
+            if key[-1] != var:
+                continue
+            ref = by_variant.get(key[:-1] + (ref_var,))
+            if ref is None:
+                continue
+            out.append({
+                "matrix": c["matrix"],
+                "n_workers": c["n_workers"],
+                "scheduler": c["scheduler"],
+                "pair": f"{var}/{ref_var}",
+                "wall_speedup": ref["wall_s"] / c["wall_s"],
+                "model_speedup":
+                    ref["model_makespan_s"] / c["model_makespan_s"],
+            })
     return out
 
 
@@ -373,7 +410,7 @@ def main(argv=None) -> int:
                         "results/BENCH_threaded.json")
     p.add_argument("--variants", nargs="*", default=None,
                    choices=VARIANTS,
-                   help="hot-path variants to sweep (default both: "
+                   help="hot-path variants to sweep (default all: "
                         f"{VARIANTS})")
     p.add_argument("--mis-prioritize", action="store_true",
                    help="FAULT INJECTION: run 'priority' cells with the "
@@ -444,11 +481,11 @@ def main(argv=None) -> int:
     if variant_summary:
         print()
         print(format_table(
-            ["matrix", "workers", "scheduler",
-             "opt_wall_speedup", "opt_model_speedup"],
-            [[s["matrix"], s["n_workers"], s["scheduler"],
-              f"{s['wall_speedup_vs_base']:.2f}x",
-              f"{s['model_speedup_vs_base']:.2f}x"]
+            ["matrix", "workers", "scheduler", "pair",
+             "wall_speedup", "model_speedup"],
+            [[s["matrix"], s["n_workers"], s["scheduler"], s["pair"],
+              f"{s['wall_speedup']:.2f}x",
+              f"{s['model_speedup']:.2f}x"]
              for s in variant_summary],
         ))
 
@@ -456,7 +493,7 @@ def main(argv=None) -> int:
 
     payload = {
         "bench": "threaded",
-        "schema_version": 2,
+        "schema_version": 3,
         "quick": bool(args.quick),
         "n_cores": os.cpu_count(),
         "calib_gflops": calib,

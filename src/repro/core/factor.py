@@ -52,6 +52,10 @@ class NumericFactor:
     dl_buffer: bool = False
     #: The per-panel DLᵀ buffers (``None`` entries until factorized).
     DL: Optional[list] = None
+    #: Effective numeric kernel backend (``"numpy"`` or ``"compiled"``,
+    #: see :mod:`repro.kernels.compiled`).  The update kernels consult it
+    #: to route through the fused jit path.
+    kernels: str = "numpy"
 
     # ------------------------------------------------------------------
     @classmethod
@@ -87,6 +91,7 @@ class NumericFactor:
         matrix: SparseMatrixCSC,
         factotype: str,
         dtype=None,
+        kernels: str = "numpy",
     ) -> "NumericFactor":
         """Allocate and scatter the (already permuted) matrix values in.
 
@@ -94,6 +99,11 @@ class NumericFactor:
         output of ``pattern.permute`` with the analysis permutation, with
         values).  For ``llt``/``ldlt`` only the lower triangle is read;
         for ``lu`` both triangles are scattered (L and U sides).
+
+        ``kernels="compiled"`` routes the per-panel gather through the
+        jit loop of :func:`repro.kernels.compiled.gather_assign` — pure
+        assignment at distinct positions, bit-identical to the
+        fancy-index form (and a no-op change when numba is absent).
         """
         if matrix.values is None:
             raise ValueError("assemble needs numeric values")
@@ -124,6 +134,10 @@ class NumericFactor:
             if K else np.empty(0, dtype=np.int64)
         )
 
+        from repro.kernels.compiled import gather_assign
+
+        use_compiled = kernels == "compiled"
+
         def _scatter(panels, tgt, grow, gcol, gval):
             """Grouped fancy-index assignment of (tgt, grow, gcol) = gval."""
             order = np.argsort(tgt, kind="stable")
@@ -136,7 +150,12 @@ class NumericFactor:
                 s, e = bounds[k], bounds[k + 1]
                 if s == e:
                     continue
-                panels[k][rloc[s:e], cloc[s:e]] = gval[s:e]
+                if use_compiled:
+                    gather_assign(
+                        panels[k], rloc[s:e], cloc[s:e], gval[s:e]
+                    )
+                else:
+                    panels[k][rloc[s:e], cloc[s:e]] = gval[s:e]
 
         # Lower-and-diagonal part: entries with row inside the owner's
         # factor rows (row >= first column of the owning cblk).
@@ -184,6 +203,7 @@ class NumericFactor:
         )
         out.index_cache = self.index_cache
         out.dl_buffer = self.dl_buffer
+        out.kernels = self.kernels
         if self.DL is not None:
             out.DL = [None if p is None else p.copy() for p in self.DL]
         return out

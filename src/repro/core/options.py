@@ -10,6 +10,7 @@ __all__ = ["SolverOptions"]
 
 _FACTOTYPES = ("llt", "ldlt", "lu")
 _RUNTIMES = ("sequential", "native", "starpu", "parsec", "threaded")
+_KERNELS = ("numpy", "compiled")
 
 
 @dataclass(frozen=True)
@@ -44,6 +45,12 @@ class SolverOptions:
         Threaded runtime only: merge same-target update contributions
         in a per-worker accumulator and take the target mutex once per
         batch instead of once per couple (fan-in accumulation).
+    kernels:
+        Numeric kernel backend: ``"numpy"`` (the bit-identity reference)
+        or ``"compiled"`` (numba-jit fused update/merge/gather kernels,
+        :mod:`repro.kernels.compiled`).  ``"compiled"`` degrades
+        gracefully to numpy when numba is not installed; the *effective*
+        backend is stamped into ``trace.meta["kernels"]``.
     refine:
         Run iterative refinement inside :meth:`SparseSolver.solve`.
     refine_tol / refine_max_iter:
@@ -62,6 +69,7 @@ class SolverOptions:
     index_cache: bool = True
     dl_buffer: bool = False
     accumulate: bool = False
+    kernels: str = "numpy"
     refine: bool = True
     refine_tol: float = 1e-12
     refine_max_iter: int = 10
@@ -72,6 +80,8 @@ class SolverOptions:
             raise ValueError(f"factotype must be one of {_FACTOTYPES}")
         if self.runtime not in _RUNTIMES:
             raise ValueError(f"runtime must be one of {_RUNTIMES}")
+        if self.kernels not in _KERNELS:
+            raise ValueError(f"kernels must be one of {_KERNELS}")
         if self.n_workers < 1:
             raise ValueError("n_workers must be positive")
         if self.pivot_threshold < 0:

@@ -119,6 +119,7 @@ class SparseSolver:
                 pivot_threshold=opts.pivot_threshold,
                 index_cache=opts.index_cache,
                 dl_buffer=opts.dl_buffer,
+                kernels=opts.kernels,
             )
         elif opts.runtime == "threaded":
             from repro.runtime.threaded import factorize_threaded
@@ -133,6 +134,7 @@ class SparseSolver:
                 index_cache=opts.index_cache,
                 dl_buffer=opts.dl_buffer,
                 accumulate=opts.accumulate,
+                kernels=opts.kernels,
             )
         else:  # pragma: no cover - guarded by SolverOptions
             raise ValueError(f"unknown runtime {opts.runtime!r}")

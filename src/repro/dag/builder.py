@@ -9,6 +9,7 @@ from repro.kernels.cost import (
     complex_multiplier,
     flops_panel,
     flops_update,
+    flops_update_part,
 )
 from repro.symbolic.structures import SymbolMatrix
 
@@ -70,6 +71,7 @@ def build_dag(
     dtype=np.float64,
     recompute_ld: bool = True,
     fuse_subtree_flops: float | None = None,
+    split_rows: int | None = None,
 ) -> TaskDAG:
     """Unroll ``symbol`` into a :class:`TaskDAG`.
 
@@ -86,6 +88,13 @@ def build_dag(
     supernode tree whose total work is at most the threshold becomes one
     CPU task, removing its internal scheduling overhead; updates leaving
     the subtree stay individual tasks (2D granularity only).
+
+    ``split_rows`` enables tall-panel 2D row-block splitting (2D
+    granularity only): every couple whose GEMM height exceeds the
+    threshold becomes several independent update tasks, one per row
+    block of :func:`repro.symbolic.splitting.plan_update_rowblocks`.
+    Parts write disjoint target rows but keep the target-panel mutex;
+    their flop counts tile :func:`flops_update` exactly (N509).
     """
     K = symbol.n_cblk
     widths = np.diff(symbol.cblk_ptr).astype(np.int64)
@@ -108,10 +117,19 @@ def build_dag(
         ]
     )
 
+    if split_rows is not None and (granularity != "2d" or fuse_subtree_flops):
+        raise ValueError(
+            "split_rows requires plain 2d granularity (no subtree fusing)"
+        )
     if granularity == "2d" and fuse_subtree_flops:
         return _build_fused(
             symbol, factotype, dtype, widths, below, src, tgt, ms, ns,
             panel_flops, upd_flops, fuse_subtree_flops,
+        )
+    if granularity == "2d" and split_rows is not None:
+        return _build_split(
+            symbol, factotype, widths, src, tgt, ms, ns,
+            panel_flops, split_rows, recompute_ld, mult,
         )
     if granularity == "2d":
         n_tasks = K + n_upd
@@ -297,4 +315,86 @@ def _build_fused(
         symbol=symbol,
         factotype=factotype,
         fused_components=fused_components,
+    )
+
+
+def _build_split(
+    symbol, factotype, widths, src, tgt, ms, ns,
+    panel_flops, split_rows, recompute_ld, mult,
+):
+    """2D DAG with tall couples split into row-block update tasks.
+
+    Each row block is an independent task: disjoint target rows, same
+    target mutex (the scatter still serializes per panel), dependencies
+    panel(src) → part → panel(tgt) exactly as for unsplit updates.  The
+    per-part ``(row_lo, row_hi)`` bounds come from the canonical plan
+    (:func:`repro.symbolic.splitting.plan_update_rowblocks`), which the
+    hazard/symbolic auditors re-derive to check the DAG against.
+    """
+    from repro.symbolic.splitting import rowblock_bounds
+
+    K = symbol.n_cblk
+    n_upd = src.size
+    p_src: list[int] = []
+    p_tgt: list[int] = []
+    p_m: list[int] = []
+    p_n: list[int] = []
+    p_k: list[int] = []
+    p_lo: list[int] = []
+    p_hi: list[int] = []
+    p_flops: list[float] = []
+    for i in range(n_upd):
+        m, n, w = int(ms[i]), int(ns[i]), int(widths[src[i]])
+        for lo, hi in rowblock_bounds(m, split_rows):
+            p_src.append(int(src[i]))
+            p_tgt.append(int(tgt[i]))
+            p_m.append(hi - lo)
+            p_n.append(n)
+            p_k.append(w)
+            p_lo.append(lo)
+            p_hi.append(hi)
+            p_flops.append(mult * flops_update_part(
+                m, n, w, factotype, lo, hi, recompute_ld=recompute_ld,
+            ))
+
+    n_parts = len(p_src)
+    n_tasks = K + n_parts
+    kind = np.empty(n_tasks, dtype=np.int8)
+    kind[:K] = TaskKind.PANEL
+    kind[K:] = TaskKind.UPDATE
+    psrc = np.asarray(p_src, dtype=np.int64)
+    ptgt = np.asarray(p_tgt, dtype=np.int64)
+    cblk = np.concatenate([np.arange(K, dtype=np.int64), psrc])
+    target = np.concatenate([np.arange(K, dtype=np.int64), ptgt])
+    flops = np.concatenate([panel_flops, np.asarray(p_flops)])
+    gm = np.concatenate([np.zeros(K, np.int64), np.asarray(p_m, np.int64)])
+    gn = np.concatenate([np.zeros(K, np.int64), np.asarray(p_n, np.int64)])
+    gk = np.concatenate([np.zeros(K, np.int64), np.asarray(p_k, np.int64)])
+    row_lo = np.full(n_tasks, -1, dtype=np.int64)
+    row_hi = np.full(n_tasks, -1, dtype=np.int64)
+    row_lo[K:] = np.asarray(p_lo, dtype=np.int64)
+    row_hi[K:] = np.asarray(p_hi, dtype=np.int64)
+    upd_ids = K + np.arange(n_parts, dtype=np.int64)
+    heads = np.concatenate([psrc, upd_ids])
+    tails = np.concatenate([upd_ids, ptgt])
+    mutex = np.full(n_tasks, -1, dtype=np.int64)
+    mutex[K:] = ptgt
+    succ_ptr, succ_list = _csr_from_edges(n_tasks, heads, tails)
+    return TaskDAG(
+        kind=kind,
+        cblk=cblk,
+        target=target,
+        flops=flops,
+        gemm_m=gm,
+        gemm_n=gn,
+        gemm_k=gk,
+        succ_ptr=succ_ptr,
+        succ_list=succ_list,
+        mutex=mutex,
+        granularity="2d",
+        symbol=symbol,
+        factotype=factotype,
+        row_lo=row_lo,
+        row_hi=row_hi,
+        split_rows=int(split_rows),
     )

@@ -84,6 +84,9 @@ class TaskDAG:
         symbol=None,
         factotype: str = "llt",
         fused_components: dict | None = None,
+        row_lo: np.ndarray | None = None,
+        row_hi: np.ndarray | None = None,
+        split_rows: int | None = None,
     ) -> None:
         self.kind = kind
         self.cblk = cblk
@@ -105,6 +108,15 @@ class TaskDAG:
         #: ("panel", width, below) or ("update", m, n, w) — used by the
         #: simulator's duration models.
         self.fused_components = fused_components or {}
+        #: 2D row-block splitting (``build_dag(split_rows=...)``): the
+        #: tail-relative ``[row_lo, row_hi)`` bounds of each update task
+        #: (``-1`` for non-update tasks) and the ``max_rows`` threshold
+        #: the plan was derived from.  ``split_rows is None`` means the
+        #: classic one-task-per-couple DAG; the auditors treat duplicate
+        #: couples in that case as a hazard (H110).
+        self.row_lo = row_lo
+        self.row_hi = row_hi
+        self.split_rows = split_rows
         # In-degrees from the successor lists.
         n_deps = np.zeros(kind.size, dtype=np.int64)
         np.add.at(n_deps, succ_list, 1)
@@ -192,6 +204,13 @@ class TaskDAG:
         if self.phase == "facto":
             assert np.all(self.mutex[upd] == self.target[upd])
         assert np.all(self.mutex[~upd] == -1)
+        if self.split_rows is not None:
+            assert self.row_lo is not None and self.row_hi is not None
+            assert np.all(self.row_hi[upd] > self.row_lo[upd])
+            assert np.all(
+                self.gemm_m[upd] == self.row_hi[upd] - self.row_lo[upd]
+            )
+            assert np.all(self.row_lo[~upd] == -1)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

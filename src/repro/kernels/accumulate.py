@@ -88,7 +88,19 @@ class FanInAccumulator:
     # -- phase 1: outside the target lock ------------------------------
     def load(self, factor: NumericFactor, t: int,
              parts_list: Sequence[UpdateParts]) -> None:
-        """Merge a batch of ``panel_update_compute`` parts locally."""
+        """Merge a batch of ``panel_update_compute`` parts locally.
+
+        When the factor runs the compiled backend the merge routes
+        through :func:`repro.kernels.compiled.merge_add` — the same adds
+        at the same distinct positions as the ``np.ix_`` form (one
+        contribution never repeats a ``(row, col)`` pair), so compiled
+        and numpy merges are bit-identical.
+        """
+        from repro.kernels.compiled import HAVE_NUMBA, merge_add
+
+        use_compiled = (
+            getattr(factor, "kernels", "numpy") == "compiled" and HAVE_NUMBA
+        )
         shape = factor.L[t].shape
         dtype = factor.L[t].dtype
         acc_l = self._pool_l.get(shape, dtype)
@@ -96,13 +108,19 @@ class FanInAccumulator:
         r_lo, r_hi = shape[0], 0
         ur_lo, ur_hi = shape[0], 0
         for rows_local, cols_local, contrib, rows_u, contrib_u in parts_list:
-            acc_l[np.ix_(rows_local, cols_local)] += contrib
+            if use_compiled:
+                merge_add(acc_l, rows_local, cols_local, contrib)
+            else:
+                acc_l[np.ix_(rows_local, cols_local)] += contrib
             r_lo = min(r_lo, int(rows_local[0]))
             r_hi = max(r_hi, int(rows_local[-1]) + 1)
             if contrib_u is not None and rows_u.size:
                 if acc_u is None:
                     acc_u = self._pool_u.get(shape, dtype)
-                acc_u[np.ix_(rows_u, cols_local)] += contrib_u
+                if use_compiled:
+                    merge_add(acc_u, rows_u, cols_local, contrib_u)
+                else:
+                    acc_u[np.ix_(rows_u, cols_local)] += contrib_u
                 ur_lo = min(ur_lo, int(rows_u[0]))
                 ur_hi = max(ur_hi, int(rows_u[-1]) + 1)
         self._acc_l, self._span = acc_l, (r_lo, r_hi)

@@ -94,7 +94,42 @@ def update_slice(factor, k: int, t: int) -> tuple[int, int, np.ndarray]:
     return i0, i1, rk
 
 
-def panel_update_compute(factor, k: int, t: int):
+def _update_maps(factor, k: int, t: int):
+    """Scatter maps of couple ``(k, t)``: cached lookup or fallback.
+
+    Returns ``None`` when ``k`` does not face ``t``, else
+    ``(i0, i1, rows_local, cols_local, rk_size)`` — the same arrays a
+    :class:`repro.kernels.indexcache.CoupleMap` carries.
+
+    The uncached fallback exploits the target's layout instead of binary
+    searching the whole tail: the facing rows ``rk[i0:i1]`` land in the
+    target's diagonal block, whose factor-row positions are contiguous
+    (``rows[t][:w_t] == arange(f_t, l_t)``), so their local rows *are*
+    the column map ``rk[i0:i1] - f_t`` — no search.  Only the
+    strictly-below tail ``rk[i1:]`` needs a ``searchsorted``, and only
+    against the target's below-diagonal rows.  The resulting arrays are
+    bit-identical to a full ``searchsorted(rows[t], rk[i0:])``.
+    """
+    cache = getattr(factor, "index_cache", None)
+    if cache is not None:
+        cm = cache.lookup(k, t)
+        if cm is None:
+            return None  # k does not actually face t
+        return cm.i0, cm.i1, cm.rows_local, cm.cols_local, cm.rk_size
+    i0, i1, rk = update_slice(factor, k, t)
+    if i0 == i1:
+        return None  # k does not actually face t
+    sym = factor.symbol
+    w_t = sym.cblk_width(t)
+    cols_local = (rk[i0:i1] - sym.cblk_ptr[t]).astype(np.int64, copy=False)
+    tail = np.searchsorted(factor.rows[t][w_t:], rk[i1:]).astype(
+        np.int64, copy=False
+    )
+    rows_local = np.concatenate([cols_local, tail + w_t])
+    return i0, i1, rows_local, cols_local, int(rk.size)
+
+
+def panel_update_compute(factor, k: int, t: int, part=None):
     """Compute half of the workspace update: the GEMM, no writes.
 
     Forms panel ``k``'s contribution to facing panel ``t`` in contiguous
@@ -109,6 +144,11 @@ def panel_update_compute(factor, k: int, t: int):
     Returns ``None`` when ``k`` does not actually face ``t``, else an
     opaque parts tuple for :func:`panel_update_scatter`.
 
+    ``part=(lo, hi)`` restricts the contribution to tail rows
+    ``rk[i0+lo : i0+hi]`` — one row-block of a 2D-split update (see
+    :func:`repro.symbolic.splitting.plan_update_rowblocks`).  The parts
+    of a tiling of ``[0, m)`` sum to exactly the unsplit contribution.
+
     When the factor carries a couple index cache
     (:class:`repro.kernels.indexcache.CoupleMapCache`, attached as
     ``factor.index_cache``) the symbolic bookkeeping — both
@@ -118,29 +158,15 @@ def panel_update_compute(factor, k: int, t: int):
     """
     sym = factor.symbol
     w = sym.cblk_width(k)
-    cache = getattr(factor, "index_cache", None)
-    if cache is not None:
-        cm = cache.lookup(k, t)
-        if cm is None:
-            return None  # k does not actually face t
-        i0, i1 = cm.i0, cm.i1
-        rows_local = cm.rows_local
-        cols_local = cm.cols_local
-        rk_size = cm.rk_size
-    else:
-        i0, i1, rk = update_slice(factor, k, t)
-        if i0 == i1:
-            return None  # k does not actually face t
-        cols_local = (rk[i0:i1] - sym.cblk_ptr[t]).astype(
-            np.int64, copy=False
-        )
-        rows_local = np.searchsorted(factor.rows[t], rk[i0:]).astype(
-            np.int64, copy=False
-        )
-        rk_size = int(rk.size)
+    maps = _update_maps(factor, k, t)
+    if maps is None:
+        return None  # k does not actually face t
+    i0, i1, rows_local, cols_local, rk_size = maps
     Lk = factor.L[k]
 
-    a_tail = Lk[w + i0:, :]
+    lo, hi = (0, rk_size - i0) if part is None else (int(part[0]), int(part[1]))
+    a_tail = Lk[w + i0 + lo: w + i0 + hi, :]
+    rows_part = rows_local[lo:hi]
     b_mid = Lk[w + i0: w + i1, :]
     if factor.factotype == "ldlt":
         DL = getattr(factor, "DL", None)
@@ -158,15 +184,17 @@ def panel_update_compute(factor, k: int, t: int):
 
     rows_local_u = None
     contrib_u = None
-    if factor.factotype == "lu" and i1 < rk_size:
-        # U-side update: strictly-below rows of the target's U panel.
-        # Its row map is the tail of the L-side map past the facing
-        # slice — no second searchsorted needed.
-        u_tail = factor.U[k][w + i1:, :]
+    nn = i1 - i0
+    if factor.factotype == "lu" and hi > nn:
+        # U-side update: strictly-below rows of the target's U panel —
+        # tail rows past the facing slice, clipped to this part.  Its
+        # row map is the tail of the L-side map — no second searchsorted.
+        u0 = max(lo, nn)
+        u_tail = factor.U[k][w + i0 + u0: w + i0 + hi, :]
         l_mid = Lk[w + i0: w + i1, :]
-        rows_local_u = rows_local[i1 - i0:]
+        rows_local_u = rows_local[u0:hi]
         contrib_u = u_tail @ l_mid.T
-    return rows_local, cols_local, contrib, rows_local_u, contrib_u
+    return rows_part, cols_local, contrib, rows_local_u, contrib_u
 
 
 def panel_update_scatter(factor, t: int, parts) -> None:
@@ -182,7 +210,9 @@ def panel_update_scatter(factor, t: int, parts) -> None:
         factor.U[t][np.ix_(rows_local_u, cols_local)] -= contrib_u
 
 
-def panel_update(factor, k: int, t: int, *, workspace: bool = True) -> None:
+def panel_update(
+    factor, k: int, t: int, *, workspace: bool = True, part=None
+) -> None:
     """Apply the update of factorized panel ``k`` onto facing panel ``t``.
 
     ``workspace=True`` computes the outer product into a contiguous
@@ -191,38 +221,40 @@ def panel_update(factor, k: int, t: int, *, workspace: bool = True) -> None:
     so the threaded runtime can lock only the scatter);
     ``workspace=False`` routes through the blok-wise direct-scatter kernel
     (the GPU-style kernel twin, see :mod:`repro.kernels.sparse_gemm`).
+
+    When the factor requests the compiled backend
+    (``factor.kernels == "compiled"`` and numba is importable), the
+    workspace path runs the fused compute+scatter kernel instead —
+    callers must then hold ``t``'s mutex around the whole call, as with
+    ``workspace=False``.
+
+    ``part=(lo, hi)`` applies one row-block of a 2D-split update (see
+    :func:`panel_update_compute`).
     """
     if workspace:
-        parts = panel_update_compute(factor, k, t)
+        from repro.kernels import compiled
+
+        if (
+            getattr(factor, "kernels", "numpy") == "compiled"
+            and compiled.HAVE_NUMBA
+        ):
+            compiled.panel_update_fused(factor, k, t, part=part)
+            return
+        parts = panel_update_compute(factor, k, t, part=part)
         if parts is not None:
             panel_update_scatter(factor, t, parts)
         return
 
     sym = factor.symbol
     w = sym.cblk_width(k)
-    cache = getattr(factor, "index_cache", None)
-    if cache is not None:
-        cm = cache.lookup(k, t)
-        if cm is None:
-            return  # k does not actually face t
-        i0, i1 = cm.i0, cm.i1
-        rows_local = cm.rows_local
-        cols_local = cm.cols_local
-        rk_size = cm.rk_size
-    else:
-        i0, i1, rk = update_slice(factor, k, t)
-        if i0 == i1:
-            return  # k does not actually face t
-        cols_local = (rk[i0:i1] - sym.cblk_ptr[t]).astype(
-            np.int64, copy=False
-        )
-        rows_local = np.searchsorted(factor.rows[t], rk[i0:]).astype(
-            np.int64, copy=False
-        )
-        rk_size = int(rk.size)
+    maps = _update_maps(factor, k, t)
+    if maps is None:
+        return  # k does not actually face t
+    i0, i1, rows_local, cols_local, rk_size = maps
     Lk = factor.L[k]
 
-    a_tail = Lk[w + i0:, :]
+    lo, hi = (0, rk_size - i0) if part is None else (int(part[0]), int(part[1]))
+    a_tail = Lk[w + i0 + lo: w + i0 + hi, :]
     b_mid = Lk[w + i0: w + i1, :]
     if factor.factotype == "ldlt":
         DL = getattr(factor, "DL", None)
@@ -235,11 +267,15 @@ def panel_update(factor, k: int, t: int, *, workspace: bool = True) -> None:
 
     from repro.kernels.sparse_gemm import sparse_gemm_scatter
 
-    sparse_gemm_scatter(a_tail, b_mid, factor.L[t], rows_local, cols_local)
+    sparse_gemm_scatter(
+        a_tail, b_mid, factor.L[t], rows_local[lo:hi], cols_local
+    )
 
-    if factor.factotype == "lu" and i1 < rk_size:
-        u_tail = factor.U[k][w + i1:, :]
+    nn = i1 - i0
+    if factor.factotype == "lu" and hi > nn:
+        u0 = max(lo, nn)
+        u_tail = factor.U[k][w + i0 + u0: w + i0 + hi, :]
         l_mid = Lk[w + i0: w + i1, :]
         sparse_gemm_scatter(
-            u_tail, l_mid, factor.U[t], rows_local[i1 - i0:], cols_local
+            u_tail, l_mid, factor.U[t], rows_local[u0:hi], cols_local
         )

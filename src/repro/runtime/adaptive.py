@@ -54,6 +54,7 @@ __all__ = [
     "PerfHistory",
     "AdaptiveScheduler",
     "suggest_config",
+    "suggest_blocking",
 ]
 
 #: Version of the stamped model provenance (``trace.meta["adaptive"]``);
@@ -104,7 +105,12 @@ class PerfHistory:
         *global* rate: single-worker cells contribute their measured
         ``flops / wall_s`` (serial wall time is pure compute), and the
         report's ``calib_gflops`` is folded in as one weak sample when
-        no such cell exists.  Returns the number of samples consumed.
+        no such cell exists.  A report may additionally carry a
+        top-level ``"buckets"`` section (``{key: [n, sum_flops,
+        sum_seconds]}`` keyed by :func:`~repro.resilience.health.\
+bucket_key` — the kernel micro-benchmark ``BENCH_kernels.json``
+        emits one); those seed the per-bucket rates directly.  Returns
+        the number of samples consumed.
         """
         p = Path(path)
         files = sorted(p.glob("BENCH_*.json")) if p.is_dir() else [p]
@@ -132,6 +138,30 @@ class PerfHistory:
                         self._global[2] += wall
                     consumed += 1
                     had_serial = True
+            buckets = payload.get("buckets", {})
+            if isinstance(buckets, dict):
+                for key in sorted(buckets):
+                    vals = buckets[key]
+                    try:
+                        ns = float(vals[0])
+                        fl = float(vals[1])
+                        sec = float(vals[2])
+                    except (TypeError, ValueError, IndexError):
+                        continue
+                    if ns <= 0.0 or fl <= 0.0 or sec <= 0.0:
+                        continue
+                    with self._lock:
+                        b = self._buckets.setdefault(
+                            str(key), [0.0, 0.0, 0.0]
+                        )
+                        b[0] += ns
+                        b[1] += fl
+                        b[2] += sec
+                        self._global[0] += ns
+                        self._global[1] += fl
+                        self._global[2] += sec
+                    consumed += 1
+                    had_serial = True  # measured rates: skip calib fold
             calib = float(payload.get("calib_gflops", 0.0) or 0.0)
             if not had_serial and calib > 0.0:
                 # One synthetic second at the calibrated rate.
@@ -446,7 +476,12 @@ def suggest_config(
     knobs that produced it::
 
         {"scheduler": ..., "n_workers": ..., "accumulate": ...,
-         "index_cache": ..., "dl_buffer": ..., "model_makespan_s": ...}
+         "index_cache": ..., "dl_buffer": ..., "kernels": ...,
+         "model_makespan_s": ...}
+
+    A ``"compiled"``-variant cell maps to the opt toggles plus
+    ``kernels="compiled"``; any other non-base variant keeps
+    ``kernels="numpy"``.
 
     Ties break deterministically (scheduler name, then variant).  The
     fault-injection-only ``"inverse-priority"`` scheduler is never
@@ -479,7 +514,8 @@ def suggest_config(
             f"no usable cells for matrix {matrix!r} in {p}"
         )
     cell = best[3]
-    opt = cell.get("variant", "base") == "opt"
+    variant = str(cell.get("variant", "base"))
+    opt = variant != "base"
     return {
         "matrix": matrix,
         "scheduler": cell["scheduler"],
@@ -487,5 +523,59 @@ def suggest_config(
         "accumulate": opt,
         "index_cache": opt,
         "dl_buffer": opt,
+        "kernels": "compiled" if variant == "compiled" else "numpy",
         "model_makespan_s": float(cell["model_makespan_s"]),
+    }
+
+
+def suggest_blocking(
+    history: PerfHistory, *, target_task_s: float = 2e-3
+) -> dict[str, Any]:
+    """Derive split/amalgamation thresholds from measured kernel rates.
+
+    The symbolic splitting knobs trade task count against per-task
+    weight; the right trade depends on how fast the numeric kernels
+    actually run, which only a measured :class:`PerfHistory` (seeded
+    from ``BENCH_kernels.json`` / ``BENCH_threaded.json`` or warmed
+    online) knows.  Sizing rule: an update part of GEMM shape
+    ``rows x w x w`` costs about ``2 * rows * w**2`` flops, so
+
+    * panel width: ``2 * w**3 = target_task_s * rate`` (the square
+      ``w x w x w`` update hits the target) — the
+      ``SymbolicOptions.split_max_width`` suggestion, clamped to
+      ``[8, 256]``;
+    * rows per part: ``2 * split_rows * w**2 = target_task_s * rate``
+      at that width — the ``build_dag(split_rows=...)`` suggestion,
+      clamped to ``[w, 4096]``.
+
+    The rate is refined once through :meth:`PerfHistory.predict` at the
+    implied update size so a bucket-seeded history beats the global
+    average.  Raises ``ValueError`` on an empty history or a
+    non-positive ``target_task_s``.
+    """
+    from repro.dag.tasks import TaskKind
+
+    if target_task_s <= 0.0:
+        raise ValueError("target_task_s must be positive")
+    rate = history.global_rate()
+    if rate <= 0.0:
+        raise ValueError(
+            "history holds no measured rate; seed it from a benchmark "
+            "corpus (PerfHistory.seed_from_results) or run first"
+        )
+    w = 8
+    for _ in range(2):
+        w = int(min(max(round((target_task_s * rate / 2.0) ** (1.0 / 3.0)),
+                        8), 256))
+        flops = 2.0 * float(w) ** 3
+        dur = history.predict(int(TaskKind.UPDATE), flops)
+        if dur > 0.0:
+            rate = flops / dur
+    split_rows = int(min(max(round(target_task_s * rate
+                                   / (2.0 * float(w) ** 2)), w), 4096))
+    return {
+        "split_max_width": w,
+        "split_rows": split_rows,
+        "rate_gflops": rate / 1e9,
+        "target_task_s": float(target_task_s),
     }

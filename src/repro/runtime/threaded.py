@@ -797,6 +797,26 @@ class _ThreadedRun(_PoolRun):
         self.panel_locks = [
             threading.Lock() for _ in range(dag.symbol.n_cblk)
         ]
+        from repro.kernels.compiled import HAVE_NUMBA
+
+        # Compiled backend + workspace mode (no batching): updates run
+        # the *fused* compute+scatter jit kernel under the target mutex;
+        # the jit region drops the GIL, so fused updates to different
+        # panels still overlap.  With fan-in accumulation the two-phase
+        # split stays (the compiled merge_add runs in load()).
+        self._fused = (
+            getattr(factor, "kernels", "numpy") == "compiled" and HAVE_NUMBA
+        )
+
+    def _task_part(self, t: int):
+        """Row-block bounds of a 2D-split update task (or ``None``)."""
+        row_lo = self.dag.row_lo
+        if row_lo is None:
+            return None
+        lo = int(row_lo[t])
+        if lo < 0:
+            return None
+        return lo, int(self.dag.row_hi[t])
 
     def _push(self, t: int, worker: int) -> int:
         if self.accumulate and int(self.dag.kind[t]) == int(TaskKind.UPDATE):
@@ -850,11 +870,38 @@ class _ThreadedRun(_PoolRun):
                     self._kern[worker] = time.perf_counter() - k0
             return None
         src, tgt = int(dag.cblk[t]), int(dag.target[t])
+        part = self._task_part(t)
         # Blocking acquire is deadlock-free: a worker holds at most one
         # panel lock and never waits on anything else while holding it.
+        if self.workspace and self._fused:
+            # Fused compiled kernel: compute+scatter in one GIL-free jit
+            # call, entirely under the target mutex.  Hedged attempts
+            # serialize on that mutex, so the commit gate stays atomic.
+            kern = [0.0]
+            won = [True]
+
+            def fused_body():
+                if self.health is not None and t in self._committed:
+                    won[0] = False
+                    return
+                b0 = time.perf_counter()
+                panel_update(self.factor, src, tgt, part=part)
+                kern[0] = time.perf_counter() - b0
+                if self.health is not None:
+                    self._committed.add(t)
+
+            self._locked_scatter(t, tgt, worker, fused_body)
+            if self.faults is not None or self.health is not None:
+                i0 = time.perf_counter()
+                self._inject(t, worker, kern[0])
+                if self.health is not None:
+                    self._kern[worker] = (
+                        kern[0] + (time.perf_counter() - i0)
+                    )
+            return won[0] if self.health is not None else None
         if self.workspace:
             k0 = time.perf_counter()
-            parts = panel_update_compute(self.factor, src, tgt)
+            parts = panel_update_compute(self.factor, src, tgt, part=part)
             # The injected slowdown lands *between* the lock-free
             # compute and the locked scatter: that is where a limping
             # core loses the commit race to a healthy hedge duplicate.
@@ -906,14 +953,15 @@ class _ThreadedRun(_PoolRun):
             self._locked_scatter(
                 t, tgt, worker,
                 lambda: panel_update(self.factor, src, tgt,
-                                     workspace=False),
+                                     workspace=False, part=part),
             )
         else:
             kern = [0.0]
 
             def body():
                 b0 = time.perf_counter()
-                panel_update(self.factor, src, tgt, workspace=False)
+                panel_update(self.factor, src, tgt, workspace=False,
+                             part=part)
                 kern[0] = time.perf_counter() - b0
 
             self._locked_scatter(t, tgt, worker, body)
@@ -967,7 +1015,8 @@ class _ThreadedRun(_PoolRun):
             start = time.perf_counter() - self.t0
             try:
                 parts = panel_update_compute(
-                    self.factor, int(dag.cblk[u]), tgt
+                    self.factor, int(dag.cblk[u]), tgt,
+                    part=self._task_part(u),
                 )
             except BaseException as exc:
                 self._on_failure(u, worker, exc)
@@ -1196,6 +1245,8 @@ def factorize_threaded(
     record_sync: bool = False,
     faults: Optional[FaultModel] = None,
     health: Optional[HealthPolicy] = None,
+    kernels: str = "numpy",
+    split_rows: int | None = None,
 ) -> NumericFactor:
     """Factorize on a thread pool; returns the :class:`NumericFactor`.
 
@@ -1209,6 +1260,18 @@ def factorize_threaded(
     order like any cross-thread reordering, hence opt-in; results agree
     with the sequential factor to roundoff).  The effective settings
     and the cache/accumulator counters are stamped into ``trace.meta``.
+
+    ``kernels`` selects the numeric backend: ``"numpy"`` (the
+    bit-identity reference — traces and factors are unchanged from the
+    pre-toggle code) or ``"compiled"`` (numba-jit fused update kernel +
+    compiled fan-in merge and assemble gather,
+    :mod:`repro.kernels.compiled`; gracefully degrades to numpy when
+    numba is absent).  Both the requested and the *effective* backend
+    are stamped into ``trace.meta``.  ``split_rows`` enables tall-panel
+    2D row-block splitting of the update DAG
+    (``build_dag(split_rows=...)``): couples taller than the threshold
+    become several independent update tasks that share the target's
+    mutex but parallelize their GEMMs.
 
     ``scheduler`` selects the ready-queue policy by registry name
     (``"ws"`` work stealing — the default, ``"priority"`` critical-path
@@ -1248,7 +1311,13 @@ ThreadScheduler` instance; the choice is stamped into ``trace.meta``.
     commit gate (exactly-once: the R701 contract).  Both default off;
     when off every hook is a dead ``is None`` branch.
     """
-    factor = NumericFactor.assemble(symbol, matrix, factotype, dtype=dtype)
+    from repro.kernels.compiled import resolve_kernels
+
+    effective_kernels = resolve_kernels(kernels)
+    factor = NumericFactor.assemble(
+        symbol, matrix, factotype, dtype=dtype, kernels=effective_kernels
+    )
+    factor.kernels = effective_kernels
     if index_cache:
         from repro.kernels.indexcache import get_couple_cache
 
@@ -1260,7 +1329,8 @@ ThreadScheduler` instance; the choice is stamped into ``trace.meta``.
 
         factor.pivot_monitor = PivotMonitor(pivot_threshold)
     dag = build_dag(
-        symbol, factotype, granularity="2d", dtype=factor.dtype
+        symbol, factotype, granularity="2d", dtype=factor.dtype,
+        split_rows=split_rows,
     )
     run = _ThreadedRun(factor, dag, n_workers, workspace, trace,
                        max_retries=max_retries, watchdog_s=watchdog_s,
@@ -1272,6 +1342,13 @@ ThreadScheduler` instance; the choice is stamped into ``trace.meta``.
         trace.meta["index_cache"] = bool(index_cache)
         trace.meta["accumulate"] = bool(accumulate)
         trace.meta["dl_buffer"] = bool(factor.dl_buffer)
+        # The *effective* backend (what actually ran) plus the request:
+        # a trace from a numba-less host honestly says "numpy" even when
+        # kernels="compiled" was asked for.
+        trace.meta["kernels"] = effective_kernels
+        trace.meta["kernels_requested"] = kernels
+        if split_rows is not None:
+            trace.meta["split_rows"] = int(split_rows)
         if factor.index_cache is not None:
             trace.meta["index_cache_stats"] = factor.index_cache.stats()
         if accumulate:

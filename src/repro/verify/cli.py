@@ -26,7 +26,8 @@ pass is clean, which is what the ``make verify`` gate and CI consume.
 ``--inject`` deliberately corrupts the artifact under test (drops a DAG
 edge, an h2d transfer, a recovery event, or a sync event; overlaps two
 trace events; breaks a mutex window; overflows device residency; skews
-a task's flop count; records a completion twice; unlocks a scatter;
+a task's flop count; leaves a 2D row-split part's bounds stale;
+records a completion twice; unlocks a scatter;
 swallows a wakeup; collapses a heap tie-break; forges the replay RNG
 provenance; erases the sequence stamps; double-commits a hedged task;
 dispatches onto a quarantined worker; forges an illegal health
@@ -110,7 +111,8 @@ def add_verify_arguments(p: argparse.ArgumentParser) -> None:
         "--inject", default="none",
         choices=["none", "drop-edge", "overlap-trace", "break-mutex",
                  "drop-transfer", "overflow-residency", "skew-flops",
-                 "stale-cache", "drop-recovery", "double-complete",
+                 "stale-cache", "stale-split", "drop-recovery",
+                 "double-complete",
                  "drop-sync-event", "unlocked-scatter", "swallow-wakeup",
                  "reorder-ties", "reseed-midrun", "drop-seq",
                  "double-commit-hedge", "steal-from-quarantined",
@@ -636,9 +638,11 @@ def _symbolic_pass(args: argparse.Namespace, matrix: Any, res: Any,
     from repro.dag import build_dag
     from repro.kernels.indexcache import CoupleMapCache
     from repro.symbolic import SymbolicOptions, analyze
+    from repro.verify.hazards import analyze_hazards
     from repro.verify.symbols import (
         skew_flops,
         stale_couple_map,
+        stale_split,
         verify_couple_cache,
         verify_dag_costs,
         verify_symbolic,
@@ -671,6 +675,34 @@ def _symbolic_pass(args: argparse.Namespace, matrix: Any, res: Any,
     rep = verify_dag_costs(dag, name=f"dag-costs[{label}]")
     rep.stats["seconds"] = time.perf_counter() - t0
     reports.append(rep)
+
+    # Split-DAG audit: the same couples, row-block split so the largest
+    # couple yields several parts.  The parts must tile their couples
+    # exactly under both the symbolic (N509) and hazard (H110)
+    # re-derivations — a split whose maps went stale fails both.
+    mmax = int(dag.gemm_m.max()) if dag.n_tasks else 0
+    split_rows = max(1, mmax // 2)
+    sdag = build_dag(res.symbol, args.factotype, granularity="2d",
+                     split_rows=split_rows)
+    slabel = f"2d-split({split_rows})"
+    if args.inject == "stale-split":
+        try:
+            sdag, task = stale_split(sdag)
+        except ValueError as exc:
+            raise SystemExit(
+                f"--inject stale-split: {exc} (a larger --size gives "
+                "the builder couples tall enough to split)"
+            ) from exc
+        slabel += f"+stale-split(task {task})"
+    t0 = time.perf_counter()
+    rep = verify_dag_costs(sdag, name=f"dag-costs[{slabel}]")
+    rep.stats["seconds"] = time.perf_counter() - t0
+    reports.append(rep)
+    t0 = time.perf_counter()
+    hrep = analyze_hazards(sdag)
+    hrep.name = f"hazards[{slabel}]"
+    hrep.stats["seconds"] = time.perf_counter() - t0
+    reports.append(hrep)
 
     # Couple-index-cache audit: the scatter maps the numeric hot path
     # reuses must agree with an independent re-derivation (N507/N508).
@@ -743,6 +775,12 @@ def run_verify(args: argparse.Namespace) -> int:
         raise SystemExit(
             "--inject skew-model corrupts the adaptive pass; "
             "drop --no-adaptive to run it"
+        )
+    if args.inject in ("skew-flops", "stale-cache", "stale-split") \
+            and args.no_symbolic:
+        raise SystemExit(
+            f"--inject {args.inject} corrupts the symbolic pass; "
+            "drop --no-symbolic to run it"
         )
     reports: list[Report] = []
     needs_matrix = not (args.no_hazards and args.no_schedule

@@ -205,23 +205,37 @@ def test_bench_threaded_quick(bench_env, capsys):
     data = json.loads(out_path.read_text())
     assert data["bench"] == "threaded"
     assert data["calib_gflops"] > 0
-    # 5 schedulers x 2 hot-path variants (base/opt).
-    assert len(data["cells"]) == 10
-    assert {c["variant"] for c in data["cells"]} == {"base", "opt"}
+    # 5 schedulers x 3 hot-path variants (base/opt/compiled).
+    assert len(data["cells"]) == 15
+    assert {c["variant"] for c in data["cells"]} == {
+        "base", "opt", "compiled",
+    }
     for c in data["cells"]:
         assert c["wall_s"] > 0
         assert c["model_makespan_s"] >= c["model_cp_s"] > 0
         assert c["verified"] is True
+        # Compiled cells record the 2D split and the effective backend
+        # (which degrades to "numpy" when numba is absent).
+        if c["variant"] == "compiled":
+            assert c["split_rows"] == mod.SPLIT_ROWS
+            assert c["kernels"] in ("numpy", "compiled")
+        else:
+            assert c["split_rows"] is None
+            assert c["kernels"] == "numpy"
     # The summary compares each scheduler against the fifo baseline.
     assert {s["scheduler"] for s in data["summary"]} == {
         "ws", "priority", "affinity", "adaptive",
     }
-    # Every scheduler gets an opt-vs-base pairing.
-    assert {s["scheduler"] for s in data["variant_summary"]} == {
-        "fifo", "ws", "priority", "affinity", "adaptive",
+    # Every scheduler gets both ladder pairings (opt/base,
+    # compiled/opt).
+    assert {(s["scheduler"], s["pair"])
+            for s in data["variant_summary"]} == {
+        (sched, pair)
+        for sched in ("fifo", "ws", "priority", "affinity", "adaptive")
+        for pair in ("opt/base", "compiled/opt")
     }
     for s in data["variant_summary"]:
-        assert s["model_speedup_vs_base"] > 0
+        assert s["model_speedup"] > 0
 
 
 def test_perf_compare_pass_and_regression(bench_env, capsys):
@@ -298,7 +312,7 @@ def test_bench_threaded_mis_prioritize_is_caught(bench_env, capsys):
 
 
 def test_perf_compare_gate_variants(bench_env, capsys):
-    """--gate-variants: an opt cell slower than its base sibling fails."""
+    """--gate-variants: any ladder rung losing to its reference fails."""
     import copy
     import json
 
@@ -311,17 +325,21 @@ def test_perf_compare_gate_variants(bench_env, capsys):
              "--out", str(rep_path)])
     capsys.readouterr()
 
-    # Doctor the pair so opt clearly wins: the gate must pass.
+    # Doctor the ladder so each rung clearly wins: the gate must pass.
     data = json.loads(rep_path.read_text())
+    factor = {"opt": 0.8, "compiled": 0.7}
     for c in data["cells"]:
-        if c["variant"] == "opt":
-            c["model_makespan_s"] *= 0.8
-            c["wall_s"] *= 0.8
+        f = factor.get(c["variant"])
+        if f is not None:
+            c["model_makespan_s"] *= f
+            c["wall_s"] *= f
     good_path = tmp / "good.json"
     good_path.write_text(json.dumps(data))
     assert pc.main(["--gate-variants", "--no-wall",
                     str(good_path), str(good_path)]) == 0
-    assert "opt beats base" in capsys.readouterr().out
+    out = capsys.readouterr().out
+    assert "every variant rung beats its reference" in out
+    assert "opt/base" in out and "compiled/opt" in out
 
     # Doctor the opt cell to lose to base: the gate must fail even
     # though the baseline diff itself is clean.
@@ -335,7 +353,18 @@ def test_perf_compare_gate_variants(bench_env, capsys):
                     str(bad_path), str(bad_path)]) == 1
     assert "VARIANT REGRESSION" in capsys.readouterr().out
 
-    # A report with no base/opt pairs must not silently pass the gate.
+    # Compiled losing to opt trips the second rung the same way.
+    bad2 = copy.deepcopy(data)
+    for c in bad2["cells"]:
+        if c["variant"] == "compiled":
+            c["model_makespan_s"] *= 2.0
+    bad2_path = tmp / "bad2.json"
+    bad2_path.write_text(json.dumps(bad2))
+    assert pc.main(["--gate-variants", "--no-wall", "--threshold", "3.0",
+                    str(bad2_path), str(bad2_path)]) == 1
+    assert "VARIANT REGRESSION" in capsys.readouterr().out
+
+    # A report with no gateable pairs must not silently pass the gate.
     only_base = copy.deepcopy(data)
     only_base["cells"] = [
         c for c in only_base["cells"] if c["variant"] == "base"
@@ -344,7 +373,7 @@ def test_perf_compare_gate_variants(bench_env, capsys):
     ob_path.write_text(json.dumps(only_base))
     assert pc.main(["--gate-variants", "--no-wall",
                     str(ob_path), str(ob_path)]) == 1
-    assert "no base/opt cell pairs" in capsys.readouterr().out
+    assert "no variant cell pairs" in capsys.readouterr().out
 
 
 def test_perf_compare_gate_adaptive(bench_env, capsys):
